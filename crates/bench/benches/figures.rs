@@ -1,0 +1,118 @@
+//! Criterion benches for Figures 7–12: wall-clock cost of each Bonnie
+//! phase and the search workload on all three stacks.
+//!
+//! These complement the `reproduce` binary: Criterion measures the real
+//! compute cost of the in-process stacks (statistically), while
+//! `reproduce` reports the virtual-time model that maps to the paper's
+//! absolute numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench_harness::{build_world, SystemKind, World};
+use ffs::FsConfig;
+
+/// Small file so a full phase fits in a criterion iteration.
+const FILE_SIZE: u64 = 1024 * 1024;
+
+fn setup(kind: SystemKind) -> World {
+    build_world(kind, FsConfig::small(), 128)
+}
+
+fn bench_output_phases(c: &mut Criterion) {
+    for (name, phase) in [
+        (
+            "fig07_seq_out_char",
+            bonnie::seq_output_char as fn(&mut dyn bonnie::BenchFile, u64) -> bonnie::PhaseResult,
+        ),
+        ("fig08_seq_out_block", bonnie::seq_output_block),
+    ] {
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        group.throughput(criterion::Throughput::Bytes(FILE_SIZE));
+        for kind in SystemKind::ALL {
+            let mut world = setup(kind);
+            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+                b.iter(|| {
+                    let mut f = world.fs.create("bonnie.dat");
+                    phase(&mut *f, FILE_SIZE)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_rewrite");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Bytes(FILE_SIZE));
+    for kind in SystemKind::ALL {
+        let mut world = setup(kind);
+        {
+            let mut f = world.fs.create("bonnie.dat");
+            bonnie::seq_output_block(&mut *f, FILE_SIZE);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let mut f = world.fs.open("bonnie.dat");
+                bonnie::seq_rewrite(&mut *f, FILE_SIZE)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_input_phases(c: &mut Criterion) {
+    for (name, per_char) in [("fig10_seq_in_char", true), ("fig11_seq_in_block", false)] {
+        let mut group = c.benchmark_group(name);
+        group.sample_size(10);
+        group.throughput(criterion::Throughput::Bytes(FILE_SIZE));
+        for kind in SystemKind::ALL {
+            let mut world = setup(kind);
+            {
+                let mut f = world.fs.create("bonnie.dat");
+                bonnie::seq_output_block(&mut *f, FILE_SIZE);
+            }
+            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+                b.iter(|| {
+                    let mut f = world.fs.open("bonnie.dat");
+                    if per_char {
+                        bonnie::seq_input_char(&mut *f, FILE_SIZE).0
+                    } else {
+                        bonnie::seq_input_block(&mut *f, FILE_SIZE).0
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    let spec = bonnie::TreeSpec {
+        dirs: 4,
+        files_per_dir: 8,
+        avg_file_size: 2048,
+        seed: 0x0B5D,
+    };
+    let mut group = c.benchmark_group("fig12_search");
+    group.sample_size(10);
+    for kind in SystemKind::ALL {
+        let mut world = setup(kind);
+        world.fs.mkdir("src");
+        bonnie::generate_tree(&mut *world.fs, "src", &spec);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| bonnie::search(&mut *world.fs, "src"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_output_phases,
+    bench_rewrite,
+    bench_input_phases,
+    bench_search
+);
+criterion_main!(figures);

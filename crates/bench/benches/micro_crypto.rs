@@ -1,0 +1,67 @@
+//! Micro-benchmarks for the crypto substrate: the primitive operations
+//! underlying credential verification and channel protection.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use discfs_crypto::chacha20poly1305::ChaCha20Poly1305;
+use discfs_crypto::ed25519::SigningKey;
+use discfs_crypto::sha256::Sha256;
+use discfs_crypto::sha512::Sha512;
+use discfs_crypto::x25519;
+use discfs_crypto::Digest;
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xA5u8; 8192];
+    let mut group = c.benchmark_group("hash_8k");
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("sha256", |b| b.iter(|| Sha256::digest(&data)));
+    group.bench_function("sha512", |b| b.iter(|| Sha512::digest(&data)));
+    group.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let aead = ChaCha20Poly1305::new(&[7; 32]);
+    let nonce = [9u8; 12];
+    let block = vec![0x5Au8; 8192];
+    let sealed = aead.seal(&nonce, b"", &block);
+    let mut group = c.benchmark_group("esp_record_8k");
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("seal", |b| b.iter(|| aead.seal(&nonce, b"", &block)));
+    group.bench_function("open", |b| {
+        b.iter(|| aead.open(&nonce, b"", &sealed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let key = SigningKey::from_seed(&[7; 32]);
+    let msg = b"Authorizer: ... Licensees: ... Conditions: ...";
+    let sig = key.sign(msg);
+    let mut group = c.benchmark_group("ed25519");
+    group.sample_size(20);
+    group.bench_function("sign", |b| b.iter(|| key.sign(msg)));
+    group.bench_function("verify", |b| {
+        b.iter(|| key.public().verify(msg, &sig).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dh(c: &mut Criterion) {
+    let scalar = [0x77u8; 32];
+    let peer = x25519::public_key(&[0x99u8; 32]);
+    let mut group = c.benchmark_group("x25519");
+    group.sample_size(20);
+    group.bench_function("shared_secret", |b| {
+        b.iter(|| x25519::x25519(&scalar, &peer))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro_crypto,
+    bench_hashes,
+    bench_aead,
+    bench_signatures,
+    bench_dh
+);
+criterion_main!(micro_crypto);

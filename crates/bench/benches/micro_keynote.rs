@@ -1,0 +1,114 @@
+//! Micro-benchmarks for the KeyNote engine: compliance-check latency,
+//! delegation chain length scaling, and credential admission — the
+//! "primitive operations in the context of our access control
+//! mechanism" from §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use discfs::{CredentialIssuer, Perm};
+use discfs_crypto::ed25519::SigningKey;
+use keynote::{AssertionBuilder, Session};
+
+fn chain_session(links: usize) -> (Session, SigningKey) {
+    let admin = SigningKey::from_seed(&[1; 32]);
+    let policy = AssertionBuilder::new()
+        .licensee_key(&admin.public())
+        .policy();
+    let mut keys = vec![admin];
+    for i in 0..links {
+        keys.push(SigningKey::from_seed(&[40 + i as u8; 32]));
+    }
+    let mut session = Session::new(&Perm::VALUE_SET);
+    session.add_policy(&policy).unwrap();
+    for pair in keys.windows(2) {
+        let cred = CredentialIssuer::new(&pair[0])
+            .holder(&pair[1].public())
+            .grant_handle_string("42.1", Perm::RW)
+            .issue();
+        session.add_credential(&cred).unwrap();
+    }
+    session.set_attribute("app_domain", "DisCFS");
+    session.set_attribute("HANDLE", "42.1");
+    let requester = SigningKey::from_seed(keys.last().unwrap().seed());
+    session.add_requester_key(&requester.public());
+    (session, requester)
+}
+
+fn bench_query_by_chain_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keynote_query_chain");
+    for links in [1usize, 2, 4, 8, 16, 32] {
+        let (session, _) = chain_session(links);
+        assert_eq!(session.query().unwrap().as_str(), "RW");
+        group.bench_with_input(BenchmarkId::from_parameter(links), &links, |b, _| {
+            b.iter(|| session.query().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_credential_admission(c: &mut Criterion) {
+    // Admission = parse + signature verification, the per-submission
+    // cost at SUBMIT_CRED time.
+    let admin = SigningKey::from_seed(&[1; 32]);
+    let bob = SigningKey::from_seed(&[2; 32]);
+    let cred = CredentialIssuer::new(&admin)
+        .holder(&bob.public())
+        .grant_handle_string("7.1", Perm::RWX)
+        .issue();
+    let mut group = c.benchmark_group("credential");
+    group.sample_size(20);
+    group.bench_function("parse_only", |b| {
+        b.iter(|| keynote::Assertion::parse(&cred).unwrap())
+    });
+    group.bench_function("parse_and_verify", |b| {
+        b.iter(|| {
+            let a = keynote::Assertion::parse(&cred).unwrap();
+            a.verify().unwrap();
+        })
+    });
+    group.bench_function("issue_and_sign", |b| {
+        b.iter(|| {
+            CredentialIssuer::new(&admin)
+                .holder(&bob.public())
+                .grant_handle_string("7.1", Perm::RWX)
+                .issue()
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_with_conditions(c: &mut Criterion) {
+    // Richer conditions: regex + arithmetic + time windows.
+    let admin = SigningKey::from_seed(&[1; 32]);
+    let bob = SigningKey::from_seed(&[2; 32]);
+    let policy = AssertionBuilder::new()
+        .licensee_key(&admin.public())
+        .policy();
+    let cred = AssertionBuilder::new()
+        .licensee_key(&bob.public())
+        .conditions(
+            "(app_domain == \"DisCFS\") && (HANDLE ~= \"^42\\\\.\") && \
+             (hour >= 9 && hour < 17) && (size / 2 < 4096) -> \"RW\";",
+        )
+        .sign(&admin);
+    let mut session = Session::new(&Perm::VALUE_SET);
+    session.add_policy(&policy).unwrap();
+    session.add_credential(&cred).unwrap();
+    session.set_attribute("app_domain", "DisCFS");
+    session.set_attribute("HANDLE", "42.1");
+    session.set_attribute("hour", "12");
+    session.set_attribute("size", "100");
+    session.add_requester_key(&bob.public());
+    assert_eq!(session.query().unwrap().as_str(), "RW");
+    c.bench_function("keynote_query_rich_conditions", |b| {
+        b.iter(|| session.query().unwrap())
+    });
+}
+
+criterion_group!(
+    micro_keynote,
+    bench_query_by_chain_length,
+    bench_credential_admission,
+    bench_query_with_conditions
+);
+criterion_main!(micro_keynote);

@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the full stack: per-operation RPC latency, the
+//! policy cache ablation, and the IKE handshake — the remote-RPC costs
+//! the paper's §7 identifies as the constraining factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench_harness::{build_world, SystemKind};
+use discfs::{CredentialIssuer, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+use discfs_crypto::rng::DetRng;
+use ffs::FsConfig;
+use netsim::{Link, LinkConfig, SimClock};
+
+fn bench_getattr_latency(c: &mut Criterion) {
+    // One GETATTR round trip on each remote stack.
+    let mut group = c.benchmark_group("rpc_getattr");
+    for kind in [SystemKind::CfsNe, SystemKind::Discfs] {
+        let mut world = build_world(kind, FsConfig::small(), 128);
+        // Touch a file so there is something to stat, and warm caches.
+        world.fs.write_file("probe", b"x");
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| world.fs.read_file("probe"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_check");
+    for (name, cache_size) in [("cache_128", 128usize), ("cache_off", 0)] {
+        let bed = Testbed::with_config(FsConfig::small(), LinkConfig::instant(), cache_size);
+        let user = SigningKey::from_seed(&[0xB0; 32]);
+        let client = bed.connect(&user).unwrap();
+        let grant = CredentialIssuer::new(bed.admin())
+            .holder(&user.public())
+            .grant_handle_string("1.1", Perm::RWX)
+            .issue();
+        client.submit_credential(&grant).unwrap();
+        let root = client.remote().root();
+        client.client().getattr(&root).unwrap();
+        let service = bed.service().clone();
+        let peer = user.public();
+        group.bench_function(name, |b| {
+            b.iter(|| service.permissions_for(&peer, &root));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ike_handshake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ike");
+    group.sample_size(10);
+    group.bench_function("handshake", |b| {
+        b.iter(|| {
+            let clock = SimClock::new();
+            let (ce, se) = Link::loopback(&clock);
+            let server_key = SigningKey::from_seed(&[9; 32]);
+            let client_key = SigningKey::from_seed(&[8; 32]);
+            let server = std::thread::spawn(move || {
+                let mut rng = DetRng::new(2);
+                ipsec::ike::respond(se, &server_key, &mut rng).unwrap()
+            });
+            let mut rng = DetRng::new(1);
+            let chan = ipsec::ike::initiate(ce, &client_key, None, &mut rng).unwrap();
+            server.join().unwrap();
+            chan
+        });
+    });
+    group.finish();
+}
+
+fn bench_credential_submission(c: &mut Criterion) {
+    // End-to-end SUBMIT_CRED over the wire (includes server-side
+    // signature verification).
+    let bed = Testbed::instant();
+    let user = SigningKey::from_seed(&[0xB0; 32]);
+    let client = bed.connect(&user).unwrap();
+    let grant = CredentialIssuer::new(bed.admin())
+        .holder(&user.public())
+        .grant_handle_string("1.1", Perm::RWX)
+        .issue();
+    let mut group = c.benchmark_group("discfs_rpc");
+    group.sample_size(20);
+    group.bench_function("submit_credential", |b| {
+        b.iter(|| client.submit_credential(&grant).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro_stack,
+    bench_getattr_latency,
+    bench_policy_cache,
+    bench_ike_handshake,
+    bench_credential_submission
+);
+criterion_main!(micro_stack);

@@ -1,0 +1,674 @@
+//! Benchmark harness: adapters, world builders and experiment runners
+//! that regenerate every figure of the paper's evaluation (§6).
+//!
+//! Three systems are measured, exactly as in the paper:
+//!
+//! * **FFS** — the local filesystem (direct `ffs` calls, timed disk).
+//! * **CFS-NE** — the baseline: the CFS code path with encryption off,
+//!   served over plain NFS on simulated 100 Mbps Ethernet.
+//! * **DisCFS** — the full system: IPsec channel, KeyNote checks with
+//!   the 128-entry policy cache, same network and disk.
+//!
+//! Every workload reports both **virtual time** (network + disk + policy
+//! model on the shared [`SimClock`]) and **wall time** (real compute of
+//! the whole in-process stack). Figure shapes are judged on virtual
+//! time; wall time cross-checks that the real code paths behave the
+//! same way.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bonnie::{BenchFile, BenchFs};
+use discfs::{CredentialIssuer, DiscfsClient, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+use ffs::{Ffs, FsConfig, Ino, SetAttr};
+use ipsec::PlainChannel;
+use netsim::{Link, LinkConfig, SimClock};
+use nfsv2::{FHandle, NfsClient, RemoteFs, Sattr};
+
+// ---------------------------------------------------------------------------
+// FFS adapter (the "local file system" series).
+// ---------------------------------------------------------------------------
+
+/// Direct access to a local `ffs` volume.
+pub struct FfsBench {
+    fs: Arc<Ffs>,
+}
+
+impl FfsBench {
+    /// Wraps a volume.
+    pub fn new(fs: Arc<Ffs>) -> FfsBench {
+        FfsBench { fs }
+    }
+
+    fn resolve_parent(&self, path: &str) -> (Ino, String) {
+        let trimmed = path.trim_matches('/');
+        let (parent, name) = match trimmed.rsplit_once('/') {
+            Some((p, n)) => (p, n),
+            None => ("", trimmed),
+        };
+        let dir = self.fs.resolve_path(parent).expect("parent path exists");
+        (dir, name.to_string())
+    }
+}
+
+/// An open file on the local volume.
+pub struct FfsFile<'a> {
+    fs: &'a Ffs,
+    ino: Ino,
+}
+
+impl BenchFile for FfsFile<'_> {
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        self.fs.write(self.ino, offset, data).expect("ffs write");
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> Vec<u8> {
+        self.fs.read(self.ino, offset, len).expect("ffs read")
+    }
+}
+
+impl BenchFs for FfsBench {
+    fn create<'a>(&'a mut self, path: &str) -> Box<dyn BenchFile + 'a> {
+        let (dir, name) = self.resolve_parent(path);
+        let ino = match self.fs.lookup(dir, &name) {
+            Ok(ino) => {
+                self.fs
+                    .setattr(
+                        ino,
+                        SetAttr {
+                            size: Some(0),
+                            ..Default::default()
+                        },
+                    )
+                    .expect("truncate");
+                ino
+            }
+            Err(_) => self.fs.create(dir, &name, 0o644, 0, 0).expect("ffs create"),
+        };
+        Box::new(FfsFile { fs: &self.fs, ino })
+    }
+
+    fn open<'a>(&'a mut self, path: &str) -> Box<dyn BenchFile + 'a> {
+        let ino = self.fs.resolve_path(path).expect("path exists");
+        Box::new(FfsFile { fs: &self.fs, ino })
+    }
+
+    fn mkdir(&mut self, path: &str) {
+        let (dir, name) = self.resolve_parent(path);
+        self.fs.mkdir(dir, &name, 0o755, 0, 0).expect("ffs mkdir");
+    }
+
+    fn write_file(&mut self, path: &str, data: &[u8]) {
+        let mut f = self.create(path);
+        f.write_at(0, data);
+    }
+
+    fn read_file(&mut self, path: &str) -> Vec<u8> {
+        let ino = self.fs.resolve_path(path).expect("path exists");
+        let size = self.fs.getattr(ino).expect("getattr").size;
+        self.fs.read(ino, 0, size as usize).expect("ffs read")
+    }
+
+    fn readdir(&mut self, path: &str) -> Vec<(String, bool)> {
+        let ino = self.fs.resolve_path(path).expect("path exists");
+        self.fs
+            .readdir(ino)
+            .expect("readdir")
+            .into_iter()
+            .filter(|e| e.name != "." && e.name != "..")
+            .map(|e| {
+                let is_dir = self
+                    .fs
+                    .getattr(e.ino)
+                    .map(|a| a.kind == ffs::FileKind::Directory)
+                    .unwrap_or(false);
+                (e.name, is_dir)
+            })
+            .collect()
+    }
+
+    fn remove(&mut self, path: &str) {
+        let (dir, name) = self.resolve_parent(path);
+        self.fs.unlink(dir, &name).expect("unlink");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote NFS adapter (CFS-NE series).
+// ---------------------------------------------------------------------------
+
+/// A mounted remote filesystem (plain NFS client).
+pub struct RemoteBench {
+    remote: RemoteFs,
+}
+
+impl RemoteBench {
+    /// Wraps a mount.
+    pub fn new(remote: RemoteFs) -> RemoteBench {
+        RemoteBench { remote }
+    }
+}
+
+/// An open remote file.
+pub struct RemoteFile<'a> {
+    client: &'a NfsClient,
+    fh: FHandle,
+}
+
+impl BenchFile for RemoteFile<'_> {
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        self.client
+            .write_all(&self.fh, offset, data)
+            .expect("nfs write");
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> Vec<u8> {
+        self.client
+            .read_all(&self.fh, offset, len)
+            .expect("nfs read")
+    }
+}
+
+impl BenchFs for RemoteBench {
+    fn create<'a>(&'a mut self, path: &str) -> Box<dyn BenchFile + 'a> {
+        let fh = self.remote.write_file(path, b"").expect("nfs create");
+        Box::new(RemoteFile {
+            client: self.remote.client(),
+            fh,
+        })
+    }
+
+    fn open<'a>(&'a mut self, path: &str) -> Box<dyn BenchFile + 'a> {
+        let (fh, _) = self.remote.resolve(path).expect("nfs lookup");
+        Box::new(RemoteFile {
+            client: self.remote.client(),
+            fh,
+        })
+    }
+
+    fn mkdir(&mut self, path: &str) {
+        self.remote.mkdir_path(path).expect("nfs mkdir");
+    }
+
+    fn write_file(&mut self, path: &str, data: &[u8]) {
+        self.remote.write_file(path, data).expect("nfs write_file");
+    }
+
+    fn read_file(&mut self, path: &str) -> Vec<u8> {
+        self.remote.read_file(path).expect("nfs read_file")
+    }
+
+    fn readdir(&mut self, path: &str) -> Vec<(String, bool)> {
+        let (fh, _) = self.remote.resolve(path).expect("nfs lookup");
+        self.remote
+            .client()
+            .readdir_all(&fh)
+            .expect("nfs readdir")
+            .into_iter()
+            .filter(|e| e.name != "." && e.name != "..")
+            .map(|e| {
+                let full = if path.trim_matches('/').is_empty() {
+                    e.name.clone()
+                } else {
+                    format!("{}/{}", path.trim_matches('/'), e.name)
+                };
+                let is_dir = self
+                    .remote
+                    .resolve(&full)
+                    .map(|(_, a)| a.ftype == nfsv2::FType::Directory)
+                    .unwrap_or(false);
+                (e.name, is_dir)
+            })
+            .collect()
+    }
+
+    fn remove(&mut self, path: &str) {
+        let trimmed = path.trim_matches('/');
+        let (parent, name) = match trimmed.rsplit_once('/') {
+            Some((p, n)) => (p, n),
+            None => ("", trimmed),
+        };
+        let (dir, _) = self.remote.resolve(parent).expect("nfs lookup");
+        self.remote.client().remove(&dir, name).expect("nfs remove");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DisCFS adapter.
+// ---------------------------------------------------------------------------
+
+/// The DisCFS client driven as a benchmark filesystem.
+///
+/// File and directory creation go through the credential-returning side
+/// procedures, so the session automatically holds the rights to touch
+/// what it created (plus a root grant installed by the world builder).
+pub struct DiscfsBench {
+    client: DiscfsClient,
+}
+
+impl DiscfsBench {
+    /// Wraps a connected client.
+    pub fn new(client: DiscfsClient) -> DiscfsBench {
+        DiscfsBench { client }
+    }
+
+    /// Access to the underlying client (cache stats etc.).
+    pub fn client(&self) -> &DiscfsClient {
+        &self.client
+    }
+
+    fn resolve(&self, path: &str) -> (FHandle, nfsv2::Fattr) {
+        self.client.remote().resolve(path).expect("discfs lookup")
+    }
+
+    fn resolve_parent(&self, path: &str) -> (FHandle, String) {
+        let trimmed = path.trim_matches('/');
+        let (parent, name) = match trimmed.rsplit_once('/') {
+            Some((p, n)) => (p, n),
+            None => ("", trimmed),
+        };
+        let (dir, _) = self.resolve(parent);
+        (dir, name.to_string())
+    }
+}
+
+/// An open DisCFS file.
+pub struct DiscfsFile<'a> {
+    client: &'a NfsClient,
+    fh: FHandle,
+}
+
+impl BenchFile for DiscfsFile<'_> {
+    fn write_at(&mut self, offset: u64, data: &[u8]) {
+        self.client
+            .write_all(&self.fh, offset, data)
+            .expect("discfs write");
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> Vec<u8> {
+        self.client
+            .read_all(&self.fh, offset, len)
+            .expect("discfs read")
+    }
+}
+
+impl BenchFs for DiscfsBench {
+    fn create<'a>(&'a mut self, path: &str) -> Box<dyn BenchFile + 'a> {
+        let (dir, name) = self.resolve_parent(path);
+        let fh = match self.client.remote().resolve(path) {
+            Ok((fh, _)) => {
+                let mut sattr = Sattr::unchanged();
+                sattr.size = 0;
+                self.client.client().setattr(&fh, &sattr).expect("truncate");
+                fh
+            }
+            Err(_) => {
+                self.client
+                    .create_with_credential(&dir, &name, 0o644)
+                    .expect("discfs create")
+                    .fh
+            }
+        };
+        Box::new(DiscfsFile {
+            client: self.client.client(),
+            fh,
+        })
+    }
+
+    fn open<'a>(&'a mut self, path: &str) -> Box<dyn BenchFile + 'a> {
+        let (fh, _) = self.resolve(path);
+        Box::new(DiscfsFile {
+            client: self.client.client(),
+            fh,
+        })
+    }
+
+    fn mkdir(&mut self, path: &str) {
+        let (dir, name) = self.resolve_parent(path);
+        self.client
+            .mkdir_with_credential(&dir, &name, 0o755)
+            .expect("discfs mkdir");
+    }
+
+    fn write_file(&mut self, path: &str, data: &[u8]) {
+        let mut f = self.create(path);
+        f.write_at(0, data);
+    }
+
+    fn read_file(&mut self, path: &str) -> Vec<u8> {
+        let (fh, attr) = self.resolve(path);
+        self.client
+            .client()
+            .read_all(&fh, 0, attr.size as usize)
+            .expect("discfs read")
+    }
+
+    fn readdir(&mut self, path: &str) -> Vec<(String, bool)> {
+        let (fh, _) = self.resolve(path);
+        self.client
+            .client()
+            .readdir_all(&fh)
+            .expect("discfs readdir")
+            .into_iter()
+            .filter(|e| e.name != "." && e.name != "..")
+            .map(|e| {
+                let full = if path.trim_matches('/').is_empty() {
+                    e.name.clone()
+                } else {
+                    format!("{}/{}", path.trim_matches('/'), e.name)
+                };
+                let is_dir = self
+                    .client
+                    .remote()
+                    .resolve(&full)
+                    .map(|(_, a)| a.ftype == nfsv2::FType::Directory)
+                    .unwrap_or(false);
+                (e.name, is_dir)
+            })
+            .collect()
+    }
+
+    fn remove(&mut self, path: &str) {
+        let (dir, name) = self.resolve_parent(path);
+        self.client
+            .client()
+            .remove(&dir, &name)
+            .expect("discfs remove");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worlds.
+// ---------------------------------------------------------------------------
+
+/// Which system a world simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Local filesystem.
+    Ffs,
+    /// CFS with encryption off, over plain remote NFS.
+    CfsNe,
+    /// The full DisCFS stack.
+    Discfs,
+}
+
+impl SystemKind {
+    /// All three systems, in the paper's presentation order.
+    pub const ALL: [SystemKind; 3] = [SystemKind::Ffs, SystemKind::CfsNe, SystemKind::Discfs];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Ffs => "FFS",
+            SystemKind::CfsNe => "CFS-NE",
+            SystemKind::Discfs => "DisCFS",
+        }
+    }
+}
+
+/// A running world: a filesystem under benchmark plus its clock.
+pub struct World {
+    /// The filesystem interface workloads run against.
+    pub fs: Box<dyn BenchFs>,
+    /// The shared virtual clock.
+    pub clock: SimClock,
+    /// Kept alive: the testbed (DisCFS) if any.
+    _bed: Option<Testbed>,
+}
+
+/// Builds a world for `kind` with the given volume geometry and cache
+/// size (cache size only affects DisCFS).
+pub fn build_world(kind: SystemKind, fs_config: FsConfig, cache_size: usize) -> World {
+    match kind {
+        SystemKind::Ffs => {
+            let clock = SimClock::new();
+            let fs = Arc::new(Ffs::format_timed(&clock, fs_config));
+            World {
+                fs: Box::new(FfsBench::new(fs)),
+                clock,
+                _bed: None,
+            }
+        }
+        SystemKind::CfsNe => {
+            let clock = SimClock::new();
+            let fs = Arc::new(Ffs::format_timed(&clock, fs_config));
+            let service = Arc::new(cfs::CfsService::passthrough(fs, 1));
+            let (client_end, server_end) = Link::pair(&clock, LinkConfig::ethernet_100mbps());
+            nfsv2::server::spawn(service, Box::new(PlainChannel::new(server_end)));
+            let client = NfsClient::new(Box::new(PlainChannel::new(client_end)));
+            let remote = RemoteFs::mount(client, "/").expect("mount CFS-NE");
+            World {
+                fs: Box::new(RemoteBench::new(remote)),
+                clock,
+                _bed: None,
+            }
+        }
+        SystemKind::Discfs => {
+            let bed = Testbed::with_config(fs_config, LinkConfig::ethernet_100mbps(), cache_size);
+            let clock = bed.clock().clone();
+            let user = SigningKey::from_seed(&[0xB0; 32]);
+            let client = bed.connect(&user).expect("connect DisCFS");
+            // Grant the benchmark user the root directory, like the
+            // paper's measurement user owning the test directory.
+            let grant = CredentialIssuer::new(bed.admin())
+                .holder(&user.public())
+                .grant_handle_string("1.1", Perm::RWX)
+                .comment("benchmark root grant")
+                .issue();
+            client.submit_credential(&grant).expect("submit root grant");
+            World {
+                fs: Box::new(DiscfsBench::new(client)),
+                clock,
+                _bed: Some(bed),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment runner.
+// ---------------------------------------------------------------------------
+
+/// One measured result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Virtual (modeled) elapsed time.
+    pub virtual_time: Duration,
+    /// Real elapsed compute time.
+    pub wall_time: Duration,
+    /// Bytes moved by the workload.
+    pub bytes: u64,
+}
+
+impl Measurement {
+    /// Throughput in KB/s of virtual time (the paper's K/sec axis).
+    pub fn kb_per_sec_virtual(&self) -> f64 {
+        if self.virtual_time.is_zero() {
+            return f64::INFINITY;
+        }
+        (self.bytes as f64 / 1024.0) / self.virtual_time.as_secs_f64()
+    }
+}
+
+/// The Bonnie phases as figure identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Figure 7: sequential output, per char.
+    F7OutChar,
+    /// Figure 8: sequential output, per block.
+    F8OutBlock,
+    /// Figure 9: sequential rewrite.
+    F9Rewrite,
+    /// Figure 10: sequential input, per char.
+    F10InChar,
+    /// Figure 11: sequential input, per block.
+    F11InBlock,
+}
+
+impl Figure {
+    /// All Bonnie figures in order.
+    pub const ALL: [Figure; 5] = [
+        Figure::F7OutChar,
+        Figure::F8OutBlock,
+        Figure::F9Rewrite,
+        Figure::F10InChar,
+        Figure::F11InBlock,
+    ];
+
+    /// The paper's caption.
+    pub fn caption(self) -> &'static str {
+        match self {
+            Figure::F7OutChar => "Figure 7: Bonnie Sequential Output (Char)",
+            Figure::F8OutBlock => "Figure 8: Bonnie Sequential Output (Block)",
+            Figure::F9Rewrite => "Figure 9: Bonnie Sequential Output (Rewrite)",
+            Figure::F10InChar => "Figure 10: Bonnie Sequential Input (Char)",
+            Figure::F11InBlock => "Figure 11: Bonnie Sequential Input (Block)",
+        }
+    }
+}
+
+/// Runs one Bonnie figure against one system.
+pub fn run_bonnie_figure(
+    kind: SystemKind,
+    figure: Figure,
+    file_size: u64,
+    fs_config: FsConfig,
+) -> Measurement {
+    let mut world = build_world(kind, fs_config, 128);
+    // Input and rewrite phases need a populated file (not measured).
+    let needs_prefill = matches!(
+        figure,
+        Figure::F9Rewrite | Figure::F10InChar | Figure::F11InBlock
+    );
+    if needs_prefill {
+        let mut f = world.fs.create("bonnie.dat");
+        bonnie::seq_output_block(&mut *f, file_size);
+    }
+
+    let mut file = if needs_prefill {
+        world.fs.open("bonnie.dat")
+    } else {
+        world.fs.create("bonnie.dat")
+    };
+
+    world.clock.reset();
+    let wall_start = Instant::now();
+    let result = match figure {
+        Figure::F7OutChar => bonnie::seq_output_char(&mut *file, file_size),
+        Figure::F8OutBlock => bonnie::seq_output_block(&mut *file, file_size),
+        Figure::F9Rewrite => bonnie::seq_rewrite(&mut *file, file_size),
+        Figure::F10InChar => bonnie::seq_input_char(&mut *file, file_size).0,
+        Figure::F11InBlock => bonnie::seq_input_block(&mut *file, file_size).0,
+    };
+    Measurement {
+        virtual_time: world.clock.now(),
+        wall_time: wall_start.elapsed(),
+        bytes: result.bytes,
+    }
+}
+
+/// Runs the Figure 12 search workload; returns the totals and timing.
+pub fn run_search(
+    kind: SystemKind,
+    spec: &bonnie::TreeSpec,
+    fs_config: FsConfig,
+    cache_size: usize,
+) -> (bonnie::SearchTotals, Measurement) {
+    let mut world = build_world(kind, fs_config, cache_size);
+    world.fs.mkdir("src");
+    bonnie::generate_tree(&mut *world.fs, "src", spec);
+
+    world.clock.reset();
+    let wall_start = Instant::now();
+    let totals = bonnie::search(&mut *world.fs, "src");
+    let measurement = Measurement {
+        virtual_time: world.clock.now(),
+        wall_time: wall_start.elapsed(),
+        bytes: totals.bytes,
+    };
+    (totals, measurement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonnie::TreeSpec;
+
+    const SMALL: u64 = 256 * 1024;
+
+    #[test]
+    fn all_systems_run_block_output() {
+        for kind in SystemKind::ALL {
+            let m = run_bonnie_figure(kind, Figure::F8OutBlock, SMALL, FsConfig::small());
+            assert_eq!(m.bytes, SMALL, "{kind:?}");
+            assert!(m.virtual_time > Duration::ZERO, "{kind:?} charges time");
+        }
+    }
+
+    #[test]
+    fn ffs_is_fastest_and_baselines_close() {
+        // The paper's headline shape on the block-write figure.
+        let ffs = run_bonnie_figure(
+            SystemKind::Ffs,
+            Figure::F8OutBlock,
+            SMALL,
+            FsConfig::small(),
+        );
+        let cfs = run_bonnie_figure(
+            SystemKind::CfsNe,
+            Figure::F8OutBlock,
+            SMALL,
+            FsConfig::small(),
+        );
+        let dis = run_bonnie_figure(
+            SystemKind::Discfs,
+            Figure::F8OutBlock,
+            SMALL,
+            FsConfig::small(),
+        );
+        assert!(
+            ffs.virtual_time < cfs.virtual_time,
+            "FFS {:?} must beat CFS-NE {:?}",
+            ffs.virtual_time,
+            cfs.virtual_time
+        );
+        // DisCFS within 15% of CFS-NE ("virtually identical").
+        let ratio = dis.virtual_time.as_secs_f64() / cfs.virtual_time.as_secs_f64();
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "DisCFS/CFS-NE ratio {ratio:.3} out of band"
+        );
+    }
+
+    #[test]
+    fn search_totals_identical_across_systems() {
+        let spec = TreeSpec {
+            dirs: 2,
+            files_per_dir: 4,
+            avg_file_size: 512,
+            seed: 42,
+        };
+        let (t_ffs, _) = run_search(SystemKind::Ffs, &spec, FsConfig::small(), 128);
+        let (t_cfs, _) = run_search(SystemKind::CfsNe, &spec, FsConfig::small(), 128);
+        let (t_dis, _) = run_search(SystemKind::Discfs, &spec, FsConfig::small(), 128);
+        assert_eq!(t_ffs, t_cfs);
+        assert_eq!(t_ffs, t_dis);
+        assert_eq!(t_ffs.files, 8);
+    }
+
+    #[test]
+    fn read_phases_preserve_data() {
+        let mut world = build_world(SystemKind::Discfs, FsConfig::small(), 128);
+        {
+            let mut f = world.fs.create("bonnie.dat");
+            bonnie::seq_output_char(&mut *f, 64 * 1024);
+        }
+        let mut f = world.fs.open("bonnie.dat");
+        let (res, checksum) = bonnie::seq_input_char(&mut *f, 64 * 1024);
+        assert_eq!(res.bytes, 64 * 1024);
+        assert!(checksum > 0);
+    }
+}

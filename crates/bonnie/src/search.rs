@@ -1,0 +1,121 @@
+//! The Figure 12 workload: recursive `wc` over every `.c`/`.h` file.
+
+use crate::BenchFs;
+
+/// Aggregate counts, like `wc`'s lines/words/bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchTotals {
+    /// Source files visited.
+    pub files: u64,
+    /// Newline count.
+    pub lines: u64,
+    /// Whitespace-separated word count.
+    pub words: u64,
+    /// Byte count.
+    pub bytes: u64,
+}
+
+/// Counts lines/words/bytes of one buffer (the `wc` algorithm).
+fn wc(data: &[u8]) -> (u64, u64, u64) {
+    let mut lines = 0u64;
+    let mut words = 0u64;
+    let mut in_word = false;
+    for &b in data {
+        if b == b'\n' {
+            lines += 1;
+        }
+        if b.is_ascii_whitespace() {
+            in_word = false;
+        } else if !in_word {
+            in_word = true;
+            words += 1;
+        }
+    }
+    (lines, words, data.len() as u64)
+}
+
+/// Walks the tree under `root`, running `wc` over each `.c`/`.h` file —
+/// the paper's search macro-benchmark.
+pub fn search(fs: &mut dyn BenchFs, root: &str) -> SearchTotals {
+    let mut totals = SearchTotals::default();
+    let mut stack = vec![root.trim_end_matches('/').to_string()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs.readdir(&dir);
+        for (name, is_dir) in entries {
+            let path = if dir.is_empty() {
+                name.clone()
+            } else {
+                format!("{dir}/{name}")
+            };
+            if is_dir {
+                stack.push(path);
+            } else if path.ends_with(".c") || path.ends_with(".h") {
+                let data = fs.read_file(&path);
+                let (lines, words, bytes) = wc(&data);
+                totals.files += 1;
+                totals.lines += lines;
+                totals.words += words;
+                totals.bytes += bytes;
+            }
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srctree::{generate_tree, TreeSpec};
+    use crate::{BenchFs as _, MemFs};
+
+    #[test]
+    fn wc_counts() {
+        let (lines, words, bytes) = wc(b"hello world\nfoo  bar baz\n");
+        assert_eq!(lines, 2);
+        assert_eq!(words, 5);
+        assert_eq!(bytes, 25);
+        assert_eq!(wc(b""), (0, 0, 0));
+        assert_eq!(wc(b"no-newline"), (0, 1, 10));
+    }
+
+    #[test]
+    fn search_visits_only_sources() {
+        let mut fs = MemFs::new();
+        fs.mkdir("src");
+        fs.write_file("src/a.c", b"int x;\n");
+        fs.write_file("src/b.h", b"#define Y 1\n");
+        fs.write_file("src/README", b"not source\n");
+        fs.write_file("notes.txt", b"skip me\n");
+        let totals = search(&mut fs, "");
+        assert_eq!(totals.files, 2);
+        assert_eq!(totals.lines, 2);
+        assert_eq!(totals.bytes, 7 + 12);
+    }
+
+    #[test]
+    fn search_recurses() {
+        let mut fs = MemFs::new();
+        fs.mkdir("a");
+        fs.mkdir("a/b");
+        fs.mkdir("a/b/c");
+        fs.write_file("a/b/c/deep.c", b"void f(void);\n");
+        let totals = search(&mut fs, "");
+        assert_eq!(totals.files, 1);
+        assert_eq!(totals.words, 2); // "void" and "f(void);"
+    }
+
+    #[test]
+    fn search_totals_deterministic_over_generated_tree() {
+        let mut fs1 = MemFs::new();
+        let mut fs2 = MemFs::new();
+        let spec = TreeSpec::small();
+        let bytes1 = generate_tree(&mut fs1, "", &spec);
+        generate_tree(&mut fs2, "", &spec);
+        let t1 = search(&mut fs1, "");
+        let t2 = search(&mut fs2, "");
+        assert_eq!(t1, t2);
+        assert_eq!(t1.files as usize, spec.dirs * spec.files_per_dir);
+        assert_eq!(t1.bytes, bytes1);
+        assert!(t1.lines > 0 && t1.words > t1.lines);
+    }
+}

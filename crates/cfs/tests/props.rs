@@ -1,0 +1,73 @@
+//! Property tests for the CFS cipher: encryption commutes with
+//! arbitrary chunking/offset patterns, and name encryption is a
+//! deterministic bijection.
+
+use cfs::CfsCipher;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whole-buffer encryption equals any split into sub-ranges.
+    #[test]
+    fn content_chunking_invariant(
+        key in any::<[u8; 32]>(),
+        ino in any::<u32>(),
+        base_offset in 0u64..100_000,
+        data in proptest::collection::vec(any::<u8>(), 1..800),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let cipher = CfsCipher::new(&key);
+        let mut whole = data.clone();
+        cipher.apply_content(ino, base_offset, &mut whole);
+
+        let split = split.index(data.len());
+        let mut parts = data.clone();
+        let (a, b) = parts.split_at_mut(split);
+        cipher.apply_content(ino, base_offset, a);
+        cipher.apply_content(ino, base_offset + split as u64, b);
+        prop_assert_eq!(parts, whole);
+    }
+
+    /// Applying twice is the identity (XOR stream).
+    #[test]
+    fn content_involution(
+        key in any::<[u8; 32]>(),
+        ino in any::<u32>(),
+        offset in 0u64..1_000_000,
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let cipher = CfsCipher::new(&key);
+        let mut buf = data.clone();
+        cipher.apply_content(ino, offset, &mut buf);
+        cipher.apply_content(ino, offset, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Name encryption round-trips for any valid file name.
+    #[test]
+    fn name_round_trip(name in "[^/\u{0}]{1,100}") {
+        let cipher = CfsCipher::new(&[7; 32]);
+        let enc = cipher.encrypt_name(&name);
+        if name != "." && name != ".." {
+            prop_assert_ne!(&enc, &name);
+        }
+        prop_assert_eq!(cipher.decrypt_name(&enc).unwrap(), name);
+    }
+
+    /// Distinct names map to distinct stored names (injectivity).
+    #[test]
+    fn name_injective(a in "[a-z]{1,30}", b in "[a-z]{1,30}") {
+        let cipher = CfsCipher::new(&[7; 32]);
+        if a != b {
+            prop_assert_ne!(cipher.encrypt_name(&a), cipher.encrypt_name(&b));
+        }
+    }
+
+    /// decrypt_name never panics on arbitrary stored strings.
+    #[test]
+    fn decrypt_never_panics(stored in ".{0,200}") {
+        let cipher = CfsCipher::new(&[7; 32]);
+        let _ = cipher.decrypt_name(&stored);
+    }
+}

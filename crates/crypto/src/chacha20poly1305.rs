@@ -1,0 +1,151 @@
+//! The ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! This is the record-protection algorithm for the simulated IPsec ESP
+//! channel: each NFS RPC travels inside one sealed record.
+
+use crate::chacha20::ChaCha20;
+use crate::poly1305::Poly1305;
+use crate::{ct, CryptoError};
+
+/// An AEAD key.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; 32],
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an AEAD instance for a 256-bit key.
+    pub fn new(key: &[u8; 32]) -> ChaCha20Poly1305 {
+        ChaCha20Poly1305 { key: *key }
+    }
+
+    fn tag(&self, nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
+        let cipher = ChaCha20::new(&self.key, nonce);
+        let block0 = cipher.block(0);
+        let otk: [u8; 32] = block0[..32].try_into().expect("32-byte half");
+
+        let mut mac = Poly1305::new(&otk);
+        mac.update(aad);
+        mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Seals `plaintext`, returning `ciphertext ‖ tag`.
+    pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let cipher = ChaCha20::new(&self.key, nonce);
+        let mut out = cipher.encrypt(1, plaintext);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Opens `sealed` (`ciphertext ‖ tag`), returning the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadTag`] when authentication fails;
+    /// [`CryptoError::BadLength`] when `sealed` is shorter than a tag.
+    pub fn open(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < 16 {
+            return Err(CryptoError::BadLength);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - 16);
+        let expected = self.tag(nonce, aad, ciphertext);
+        if !ct::eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        let cipher = ChaCha20::new(&self.key, nonce);
+        Ok(cipher.encrypt(1, ciphertext))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_seal() {
+        let key: Vec<u8> = (0x80u8..0xa0).collect();
+        let nonce = hex::decode_array::<12>("070000004041424344454647").unwrap();
+        let aad = hex::decode("50515253c0c1c2c3c4c5c6c7").unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you o\
+nly one tip for the future, sunscreen would be it.";
+        let aead = ChaCha20Poly1305::new(&key.try_into().unwrap());
+        let sealed = aead.seal(&nonce, &aad, plaintext);
+        let (ct_part, tag_part) = sealed.split_at(sealed.len() - 16);
+        assert_eq!(
+            hex::encode(ct_part),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116"
+        );
+        assert_eq!(hex::encode(tag_part), "1ae10b594f09e26a7e902ecbd0600691");
+    }
+
+    #[test]
+    fn round_trip() {
+        let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [3u8; 12];
+        let sealed = aead.seal(&nonce, b"header", b"secret payload");
+        let opened = aead.open(&nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"secret payload");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [3u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", b"data");
+        sealed[0] ^= 1;
+        assert_eq!(aead.open(&nonce, b"", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampered_aad_rejected() {
+        let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+        let nonce = [3u8; 12];
+        let sealed = aead.seal(&nonce, b"aad1", b"data");
+        assert_eq!(
+            aead.open(&nonce, b"aad2", &sealed),
+            Err(CryptoError::BadTag)
+        );
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+        let sealed = aead.seal(&[1u8; 12], b"", b"data");
+        assert!(aead.open(&[2u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+        assert_eq!(
+            aead.open(&[1u8; 12], b"", &[0u8; 15]),
+            Err(CryptoError::BadLength)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let aead = ChaCha20Poly1305::new(&[4u8; 32]);
+        let nonce = [5u8; 12];
+        let sealed = aead.seal(&nonce, b"only aad", b"");
+        assert_eq!(sealed.len(), 16);
+        assert_eq!(aead.open(&nonce, b"only aad", &sealed).unwrap(), b"");
+    }
+}

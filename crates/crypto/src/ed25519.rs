@@ -1,0 +1,487 @@
+//! Ed25519 signatures (RFC 8032).
+//!
+//! These play the role of the paper's DSA credential signatures: every
+//! KeyNote credential carries an `ed25519-hex:` authorizer/licensee key
+//! and a `sig-ed25519-sha512-hex:` signature computed here.
+//!
+//! Scalar multiplication is implemented with the complete twisted
+//! Edwards addition law in extended coordinates. Point operations are
+//! *variable time*; that is an accepted trade-off for this research
+//! reproduction (side channels are out of scope for a simulated
+//! testbed) and is documented here per the threat model in DESIGN.md.
+
+use crate::field25519::Fe;
+use crate::scalar25519::Scalar;
+use crate::sha512::Sha512;
+use crate::{ct, CryptoError, Digest};
+
+/// A point on the Ed25519 curve in extended homogeneous coordinates
+/// (X : Y : Z : T) with X·Y = T·Z.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+/// Returns the curve constant d = −121665/121666 mod p.
+fn d_const() -> Fe {
+    let num = Fe::ZERO.sub(Fe([121665, 0, 0, 0, 0]));
+    let den = Fe([121666, 0, 0, 0, 0]);
+    num.mul(den.invert())
+}
+
+/// Returns 2·d, used by the addition formula.
+fn d2_const() -> Fe {
+    let d = d_const();
+    d.add(d)
+}
+
+impl EdwardsPoint {
+    /// The identity element (0, 1).
+    pub fn identity() -> EdwardsPoint {
+        EdwardsPoint {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// The standard base point B (y = 4/5, x even).
+    pub fn base() -> EdwardsPoint {
+        let mut enc = [0x66u8; 32];
+        enc[0] = 0x58;
+        EdwardsPoint::decompress(&enc).expect("the base point encoding is valid")
+    }
+
+    /// Decompresses a 32-byte point encoding (RFC 8032 §5.1.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPoint`] when the encoding does not
+    /// correspond to a curve point.
+    pub fn decompress(bytes: &[u8; 32]) -> Result<EdwardsPoint, CryptoError> {
+        let x_sign = (bytes[31] >> 7) & 1;
+        let y = Fe::from_bytes(bytes);
+        let d = d_const();
+        let yy = y.square();
+        let u = yy.sub(Fe::ONE);
+        let v = d.mul(yy).add(Fe::ONE);
+        // Candidate root: x = u·v^3·(u·v^7)^((p−5)/8).
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut x = u.mul(v3).mul(u.mul(v7).pow_p58());
+        let vxx = v.mul(x.square());
+        if vxx.ct_eq(u) {
+            // x is correct.
+        } else if vxx.ct_eq(u.neg()) {
+            x = x.mul(Fe::sqrt_m1());
+        } else {
+            return Err(CryptoError::InvalidPoint);
+        }
+        if x.is_zero() && x_sign == 1 {
+            return Err(CryptoError::InvalidPoint);
+        }
+        if (x.is_negative() as u8) != x_sign {
+            x = x.neg();
+        }
+        Ok(EdwardsPoint {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+
+    /// Compresses to the 32-byte encoding.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut out = y.to_bytes();
+        out[31] |= (x.is_negative() as u8) << 7;
+        out
+    }
+
+    /// Point addition via the complete "add-2008-hwcd-3" formula (a = −1).
+    pub fn add(&self, other: &EdwardsPoint) -> EdwardsPoint {
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(d2_const()).mul(other.t);
+        let d = self.z.add(self.z).mul(other.z);
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Point doubling via "dbl-2008-hwcd" (a = −1).
+    pub fn double(&self) -> EdwardsPoint {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_small(2);
+        let d = a.neg();
+        let e = self.x.add(self.y).square().sub(a).sub(b);
+        let g = d.add(b);
+        let f = g.sub(c);
+        let h = d.sub(b);
+        EdwardsPoint {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Negation: (x, y) → (−x, y).
+    pub fn neg(&self) -> EdwardsPoint {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Scalar multiplication `[k]P` (MSB-first double-and-add, variable time).
+    pub fn mul_scalar(&self, k: &Scalar) -> EdwardsPoint {
+        let mut acc = EdwardsPoint::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if k.bit(i) == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Equality check via compressed encodings.
+    pub fn ct_eq(&self, other: &EdwardsPoint) -> bool {
+        ct::eq(&self.compress(), &other.compress())
+    }
+
+    /// Checks the affine curve equation −x² + y² = 1 + d·x²·y² (test aid).
+    pub fn is_on_curve(&self) -> bool {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let xx = x.square();
+        let yy = y.square();
+        let lhs = yy.sub(xx);
+        let rhs = Fe::ONE.add(d_const().mul(xx).mul(yy));
+        lhs.ct_eq(rhs)
+    }
+}
+
+/// An Ed25519 private signing key (seed + cached expansion).
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    /// Reduced secret scalar a.
+    a: Scalar,
+    /// The deterministic-nonce prefix (second half of SHA-512(seed)).
+    prefix: [u8; 32],
+    /// Compressed public key A = [a]B.
+    public: VerifyingKey,
+}
+
+/// An Ed25519 public verification key (compressed point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VerifyingKey(pub [u8; 32]);
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey({})", crate::hex::encode(&self.0[..8]))
+    }
+}
+
+/// A detached Ed25519 signature (R ‖ s).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(pub [u8; 64]);
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({}…)", crate::hex::encode(&self.0[..8]))
+    }
+}
+
+/// Clamps a seed hash into an Ed25519 secret scalar per RFC 8032.
+fn clamp(mut h: [u8; 32]) -> [u8; 32] {
+    h[0] &= 248;
+    h[31] &= 127;
+    h[31] |= 64;
+    h
+}
+
+impl SigningKey {
+    /// Derives a signing key deterministically from a 32-byte seed.
+    pub fn from_seed(seed: &[u8; 32]) -> SigningKey {
+        let h = Sha512::digest(seed);
+        let scalar_bytes = clamp(h[..32].try_into().expect("32-byte half"));
+        let a = Scalar::from_bytes_wide(&scalar_bytes);
+        let prefix: [u8; 32] = h[32..].try_into().expect("32-byte half");
+        let public_point = EdwardsPoint::base().mul_scalar(&a);
+        SigningKey {
+            seed: *seed,
+            a,
+            prefix,
+            public: VerifyingKey(public_point.compress()),
+        }
+    }
+
+    /// Generates a fresh key from an RNG.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> SigningKey {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        SigningKey::from_seed(&seed)
+    }
+
+    /// Returns the 32-byte seed this key was derived from.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Returns the public verification key.
+    pub fn public(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `msg`, producing a 64-byte detached signature.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(msg);
+        let r = Scalar::from_bytes_wide(&h.finalize());
+        let r_point = EdwardsPoint::base().mul_scalar(&r).compress();
+
+        let mut h2 = Sha512::new();
+        h2.update(&r_point);
+        h2.update(&self.public.0);
+        h2.update(msg);
+        let k = Scalar::from_bytes_wide(&h2.finalize());
+
+        let s = k.mul_add(self.a, r);
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_point);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+}
+
+impl VerifyingKey {
+    /// Parses a verifying key from its 32-byte encoding, validating that
+    /// it decompresses to a curve point.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<VerifyingKey, CryptoError> {
+        EdwardsPoint::decompress(bytes)?;
+        Ok(VerifyingKey(*bytes))
+    }
+
+    /// Verifies `sig` over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::BadSignature`] when the equation does not hold,
+    /// [`CryptoError::InvalidPoint`]/[`CryptoError::InvalidScalar`] for
+    /// malformed encodings.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), CryptoError> {
+        let r_bytes: [u8; 32] = sig.0[..32].try_into().expect("32-byte half");
+        let s_bytes: [u8; 32] = sig.0[32..].try_into().expect("32-byte half");
+        let s = Scalar::from_canonical_bytes(&s_bytes)?;
+        let a_point = EdwardsPoint::decompress(&self.0)?;
+
+        let mut h = Sha512::new();
+        h.update(&r_bytes);
+        h.update(&self.0);
+        h.update(msg);
+        let k = Scalar::from_bytes_wide(&h.finalize());
+
+        // Check [s]B == R + [k]A by computing [s]B + [k](−A) and
+        // comparing with the signature's R encoding.
+        let sb = EdwardsPoint::base().mul_scalar(&s);
+        let ka_neg = a_point.neg().mul_scalar(&k);
+        let r_check = sb.add(&ka_neg).compress();
+        if ct::eq(&r_check, &r_bytes) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn base_point_is_on_curve() {
+        assert!(EdwardsPoint::base().is_on_curve());
+        assert!(EdwardsPoint::identity().is_on_curve());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = EdwardsPoint::base();
+        assert!(b.double().ct_eq(&b.add(&b)));
+        let b4 = b.double().double();
+        assert!(b4.ct_eq(&b.add(&b).add(&b).add(&b)));
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = EdwardsPoint::base();
+        let id = EdwardsPoint::identity();
+        assert!(b.add(&id).ct_eq(&b));
+        assert!(b.add(&b.neg()).ct_eq(&id));
+    }
+
+    // RFC 8032 §7.1 TEST 1: empty message.
+    #[test]
+    fn rfc8032_test1() {
+        let seed = hex::decode_array::<32>(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        )
+        .unwrap();
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex::encode(&key.public().0),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = key.sign(b"");
+        assert_eq!(
+            hex::encode(&sig.0),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        key.public().verify(b"", &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 2: one-byte message 0x72.
+    #[test]
+    fn rfc8032_test2() {
+        let seed = hex::decode_array::<32>(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        )
+        .unwrap();
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex::encode(&key.public().0),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let sig = key.sign(&[0x72]);
+        assert_eq!(
+            hex::encode(&sig.0),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+        key.public().verify(&[0x72], &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 3: two-byte message af82.
+    #[test]
+    fn rfc8032_test3() {
+        let seed = hex::decode_array::<32>(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        )
+        .unwrap();
+        let key = SigningKey::from_seed(&seed);
+        assert_eq!(
+            hex::encode(&key.public().0),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let sig = key.sign(&[0xaf, 0x82]);
+        assert_eq!(
+            hex::encode(&sig.0),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+        );
+        key.public().verify(&[0xaf, 0x82], &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let key = SigningKey::from_seed(&[1u8; 32]);
+        let sig = key.sign(b"hello");
+        assert_eq!(
+            key.public().verify(b"hellO", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = SigningKey::from_seed(&[2u8; 32]);
+        let mut sig = key.sign(b"hello");
+        sig.0[5] ^= 1;
+        assert!(key.public().verify(b"hello", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let k1 = SigningKey::from_seed(&[3u8; 32]);
+        let k2 = SigningKey::from_seed(&[4u8; 32]);
+        let sig = k1.sign(b"msg");
+        assert!(k2.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        let key = SigningKey::from_seed(&[5u8; 32]);
+        let mut sig = key.sign(b"msg");
+        // Force s ≥ L by setting high bits.
+        sig.0[63] = 0xff;
+        assert!(key.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn invalid_public_key_rejected() {
+        // Roughly half of all y values are not on the curve; verify that
+        // decompression actually rejects some small-y encodings.
+        let mut rejected = 0;
+        for y in 0u8..32 {
+            let mut enc = [0u8; 32];
+            enc[0] = y;
+            if VerifyingKey::from_bytes(&enc).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(
+            rejected > 5,
+            "expected several invalid encodings, got {rejected}"
+        );
+    }
+
+    #[test]
+    fn decompress_compress_round_trip() {
+        let b = EdwardsPoint::base();
+        for k in 1u8..6 {
+            let p = b.mul_scalar(&Scalar::from_bytes_wide(&[k]));
+            let enc = p.compress();
+            let q = EdwardsPoint::decompress(&enc).unwrap();
+            assert!(p.ct_eq(&q));
+            assert!(q.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let key = SigningKey::from_seed(&[6u8; 32]);
+        assert_eq!(key.sign(b"x").0.to_vec(), key.sign(b"x").0.to_vec());
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_add() {
+        let b = EdwardsPoint::base();
+        let five = Scalar::from_bytes_wide(&[5]);
+        let expected = b.add(&b).add(&b).add(&b).add(&b);
+        assert!(b.mul_scalar(&five).ct_eq(&expected));
+    }
+}

@@ -1,0 +1,408 @@
+//! Arithmetic in GF(2^255 − 19), the base field of Curve25519.
+//!
+//! Elements are stored as five 51-bit limbs (little-endian), the classic
+//! "radix 2^51" representation: products of two ≤54-bit limbs fit in a
+//! `u128` with room for the reduction-by-19 folding. All public
+//! operations keep limbs below 2^52, so any two results can be fed back
+//! into [`Fe::mul`] without overflow.
+
+use crate::ct;
+
+/// Low 51 bits of a limb.
+pub(crate) const MASK: u64 = (1 << 51) - 1;
+
+/// An element of GF(2^255 − 19).
+#[derive(Clone, Copy, Debug)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+// The inherent add/sub/mul/neg methods intentionally mirror the field
+// operation names used by every curve25519 implementation; operator
+// traits would hide the reduction semantics. Index-based loops follow
+// the reference carry-chain formulations.
+#[allow(clippy::should_implement_trait, clippy::needless_range_loop)]
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0, 0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Constructs an element from a little-endian 32-byte encoding.
+    ///
+    /// The top bit (bit 255) is ignored per RFC 7748/8032 conventions;
+    /// values ≥ p are accepted and reduced.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |b: &[u8]| -> u64 { u64::from_le_bytes(b.try_into().expect("8 bytes")) };
+        let mut h = [0u64; 5];
+        h[0] = load(&bytes[0..8]) & MASK;
+        h[1] = (load(&bytes[6..14]) >> 3) & MASK;
+        h[2] = (load(&bytes[12..20]) >> 6) & MASK;
+        h[3] = (load(&bytes[19..27]) >> 1) & MASK;
+        // Bit 204 is bit 12 of the load at byte 24; masking drops bit 255.
+        h[4] = (load(&bytes[24..32]) >> 12) & MASK;
+        Fe(h).reduce_weak()
+    }
+
+    /// Serializes to the canonical little-endian 32-byte form (< p).
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut l = self.reduce_weak().0;
+        // Compute q = floor(value / p) ∈ {0, 1} by propagating (x+19)
+        // carries through the limbs.
+        let mut q = (l[0].wrapping_add(19)) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        l[1] += l[0] >> 51;
+        l[0] &= MASK;
+        l[2] += l[1] >> 51;
+        l[1] &= MASK;
+        l[3] += l[2] >> 51;
+        l[2] &= MASK;
+        l[4] += l[3] >> 51;
+        l[3] &= MASK;
+        l[4] &= MASK;
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0;
+        for limb in l {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    /// One carry pass: brings all limbs below 2^52 (and usually 2^51).
+    fn reduce_weak(self) -> Fe {
+        let mut l = self.0;
+        let c0 = l[0] >> 51;
+        l[0] &= MASK;
+        l[1] += c0;
+        let c1 = l[1] >> 51;
+        l[1] &= MASK;
+        l[2] += c1;
+        let c2 = l[2] >> 51;
+        l[2] &= MASK;
+        l[3] += c2;
+        let c3 = l[3] >> 51;
+        l[3] &= MASK;
+        l[4] += c3;
+        let c4 = l[4] >> 51;
+        l[4] &= MASK;
+        l[0] += c4 * 19;
+        let c0b = l[0] >> 51;
+        l[0] &= MASK;
+        l[1] += c0b;
+        Fe(l)
+    }
+
+    /// Addition.
+    pub fn add(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
+        .reduce_weak()
+    }
+
+    /// Subtraction (adds 2p first so limbs never underflow).
+    pub fn sub(self, rhs: Fe) -> Fe {
+        // 2p in radix-2^51 limbs: [2^52 − 38, 2^52 − 2, ..., 2^52 − 2].
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + TWO_P[0] - b[0],
+            a[1] + TWO_P[1] - b[1],
+            a[2] + TWO_P[2] - b[2],
+            a[3] + TWO_P[3] - b[3],
+            a[4] + TWO_P[4] - b[4],
+        ])
+        .reduce_weak()
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Multiplication with reduction modulo 2^255 − 19.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let a: [u128; 5] = [
+            self.0[0] as u128,
+            self.0[1] as u128,
+            self.0[2] as u128,
+            self.0[3] as u128,
+            self.0[4] as u128,
+        ];
+        let b: [u128; 5] = [
+            rhs.0[0] as u128,
+            rhs.0[1] as u128,
+            rhs.0[2] as u128,
+            rhs.0[3] as u128,
+            rhs.0[4] as u128,
+        ];
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+        let c0 = a[0] * b[0] + a[1] * b4_19 + a[2] * b3_19 + a[3] * b2_19 + a[4] * b1_19;
+        let mut c1 = a[0] * b[1] + a[1] * b[0] + a[2] * b4_19 + a[3] * b3_19 + a[4] * b2_19;
+        let mut c2 = a[0] * b[2] + a[1] * b[1] + a[2] * b[0] + a[3] * b4_19 + a[4] * b3_19;
+        let mut c3 = a[0] * b[3] + a[1] * b[2] + a[2] * b[1] + a[3] * b[0] + a[4] * b4_19;
+        let mut c4 = a[0] * b[4] + a[1] * b[3] + a[2] * b[2] + a[3] * b[1] + a[4] * b[0];
+
+        let mut out = [0u64; 5];
+        c1 += c0 >> 51;
+        out[0] = (c0 as u64) & MASK;
+        c2 += c1 >> 51;
+        out[1] = (c1 as u64) & MASK;
+        c3 += c2 >> 51;
+        out[2] = (c2 as u64) & MASK;
+        c4 += c3 >> 51;
+        out[3] = (c3 as u64) & MASK;
+        let carry = (c4 >> 51) as u64;
+        out[4] = (c4 as u64) & MASK;
+        out[0] += carry * 19;
+        out[1] += out[0] >> 51;
+        out[0] &= MASK;
+        Fe(out)
+    }
+
+    /// Squaring (delegates to [`Fe::mul`]; clarity over micro-speed).
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplies by a small constant (used by X25519's a24 = 121665).
+    pub fn mul_small(self, n: u64) -> Fe {
+        debug_assert!(n < (1 << 20));
+        let mut c: [u128; 5] = [0; 5];
+        for i in 0..5 {
+            c[i] = self.0[i] as u128 * n as u128;
+        }
+        let mut out = [0u64; 5];
+        c[1] += c[0] >> 51;
+        out[0] = (c[0] as u64) & MASK;
+        c[2] += c[1] >> 51;
+        out[1] = (c[1] as u64) & MASK;
+        c[3] += c[2] >> 51;
+        out[2] = (c[2] as u64) & MASK;
+        c[4] += c[3] >> 51;
+        out[3] = (c[3] as u64) & MASK;
+        let carry = (c[4] >> 51) as u64;
+        out[4] = (c[4] as u64) & MASK;
+        out[0] += carry * 19;
+        out[1] += out[0] >> 51;
+        out[0] &= MASK;
+        Fe(out)
+    }
+
+    /// Variable-time exponentiation by a little-endian 32-byte exponent.
+    ///
+    /// Exponents here are public constants (p−2, (p−5)/8, (p−1)/4), so
+    /// variable time is acceptable.
+    pub fn pow_vartime(self, exp_le: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        let mut started = false;
+        for byte_idx in (0..32).rev() {
+            for bit_idx in (0..8).rev() {
+                if started {
+                    result = result.square();
+                }
+                if (exp_le[byte_idx] >> bit_idx) & 1 == 1 {
+                    if started {
+                        result = result.mul(self);
+                    } else {
+                        result = self;
+                        started = true;
+                    }
+                }
+            }
+        }
+        if started {
+            result
+        } else {
+            Fe::ONE
+        }
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem: x^(p−2).
+    ///
+    /// Returns zero for zero input (callers check separately).
+    pub fn invert(self) -> Fe {
+        // p − 2 = 2^255 − 21 = 0x7fff...ffeb, little-endian bytes below.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow_vartime(&exp)
+    }
+
+    /// Computes x^((p−5)/8), the core of the Ed25519 square-root step.
+    pub fn pow_p58(self) -> Fe {
+        // (p − 5) / 8 = 2^252 − 3 = 0x0fff...fffd.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow_vartime(&exp)
+    }
+
+    /// √−1 mod p, needed during point decompression.
+    pub fn sqrt_m1() -> Fe {
+        // 2^((p−1)/4) with (p−1)/4 = 2^253 − 5 = 0x1fff...fffb.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        Fe([2, 0, 0, 0, 0]).pow_vartime(&exp)
+    }
+
+    /// Returns true iff the element is zero (canonical comparison).
+    pub fn is_zero(self) -> bool {
+        ct::eq(&self.to_bytes(), &[0u8; 32])
+    }
+
+    /// Canonical equality.
+    pub fn ct_eq(self, other: Fe) -> bool {
+        ct::eq(&self.to_bytes(), &other.to_bytes())
+    }
+
+    /// Returns bit 0 of the canonical encoding (the "sign" of x).
+    pub fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Constant-time conditional swap of two elements when `swap` is 1.
+    pub fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        debug_assert!(swap <= 1);
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> Fe {
+        Fe([n & MASK, 0, 0, 0, 0]).reduce_weak()
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut b = [0u8; 32];
+        b[0] = 42;
+        b[17] = 0xa5;
+        b[31] = 0x55;
+        assert_eq!(Fe::from_bytes(&b).to_bytes(), b);
+    }
+
+    #[test]
+    fn high_bit_ignored() {
+        let mut b = [0u8; 32];
+        b[0] = 7;
+        let mut b_high = b;
+        b_high[31] |= 0x80;
+        assert!(Fe::from_bytes(&b).ct_eq(Fe::from_bytes(&b_high)));
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        // p = 2^255 - 19.
+        let mut p = [0xffu8; 32];
+        p[0] = 0xed;
+        p[31] = 0x7f;
+        assert!(Fe::from_bytes(&p).is_zero());
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = fe(1234567);
+        let b = fe(7654321);
+        assert!(a.add(b).sub(b).ct_eq(a));
+        assert!(a.sub(a).is_zero());
+    }
+
+    #[test]
+    fn mul_identity_and_commutativity() {
+        let a = fe(99999);
+        assert!(a.mul(Fe::ONE).ct_eq(a));
+        let b = fe(12345);
+        assert!(a.mul(b).ct_eq(b.mul(a)));
+    }
+
+    #[test]
+    fn small_multiplication() {
+        assert!(fe(6).ct_eq(fe(2).mul(fe(3))));
+        assert!(fe(121665 * 4).ct_eq(fe(4).mul_small(121665)));
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        let a = fe(987654321);
+        assert!(a.mul(a.invert()).ct_eq(Fe::ONE));
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = Fe::sqrt_m1();
+        assert!(i.square().ct_eq(Fe::ONE.neg()));
+    }
+
+    #[test]
+    fn negation() {
+        let a = fe(5);
+        assert!(a.add(a.neg()).is_zero());
+    }
+
+    #[test]
+    fn distributive_law() {
+        let a = fe(111);
+        let b = fe(222);
+        let c = fe(333);
+        assert!(a.mul(b.add(c)).ct_eq(a.mul(b).add(a.mul(c))));
+    }
+
+    #[test]
+    fn cswap_swaps() {
+        let mut a = fe(1);
+        let mut b = fe(2);
+        Fe::cswap(0, &mut a, &mut b);
+        assert!(a.ct_eq(fe(1)) && b.ct_eq(fe(2)));
+        Fe::cswap(1, &mut a, &mut b);
+        assert!(a.ct_eq(fe(2)) && b.ct_eq(fe(1)));
+    }
+
+    #[test]
+    fn pow_vartime_matches_repeated_mul() {
+        let a = fe(3);
+        let mut exp = [0u8; 32];
+        exp[0] = 13;
+        let expected = fe(1594323); // 3^13
+        assert!(a.pow_vartime(&exp).ct_eq(expected));
+    }
+}

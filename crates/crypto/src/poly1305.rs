@@ -1,0 +1,246 @@
+//! The Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Implemented in the classic "donna" radix-2^26 style: the 130-bit
+//! accumulator lives in five 26-bit limbs so 64-bit products never
+//! overflow.
+
+const MASK26: u64 = (1 << 26) - 1;
+
+/// Streaming Poly1305 state.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u64; 5],
+    s: [u64; 4],
+    h: [u64; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+fn le32(b: &[u8]) -> u64 {
+    u32::from_le_bytes(b.try_into().expect("4 bytes")) as u64
+}
+
+impl Poly1305 {
+    /// Creates an authenticator from a 32-byte one-time key.
+    pub fn new(key: &[u8; 32]) -> Poly1305 {
+        // Clamp r per RFC 8439 §2.5.
+        let r = [
+            le32(&key[0..4]) & 0x3ffffff,
+            (le32(&key[3..7]) >> 2) & 0x3ffff03,
+            (le32(&key[6..10]) >> 4) & 0x3ffc0ff,
+            (le32(&key[9..13]) >> 6) & 0x3f03fff,
+            (le32(&key[12..16]) >> 8) & 0x00fffff,
+        ];
+        let s = [
+            le32(&key[16..20]),
+            le32(&key[20..24]),
+            le32(&key[24..28]),
+            le32(&key[28..32]),
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs one 16-byte block. `hibit` is 1<<24 for full blocks and 0
+    /// for the padded final partial block.
+    fn block(&mut self, m: &[u8; 16], hibit: u64) {
+        let [r0, r1, r2, r3, r4] = self.r;
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let h0 = self.h[0] + (le32(&m[0..4]) & MASK26);
+        let h1 = self.h[1] + ((le32(&m[3..7]) >> 2) & MASK26);
+        let h2 = self.h[2] + ((le32(&m[6..10]) >> 4) & MASK26);
+        let h3 = self.h[3] + ((le32(&m[9..13]) >> 6) & MASK26);
+        let h4 = self.h[4] + ((le32(&m[12..16]) >> 8) | hibit);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut c = d0 >> 26;
+        self.h[0] = d0 & MASK26;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        self.h[1] = d1 & MASK26;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        self.h[2] = d2 & MASK26;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        self.h[3] = d3 & MASK26;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        self.h[4] = d4 & MASK26;
+        self.h[0] += c * 5;
+        let c2 = self.h[0] >> 26;
+        self.h[0] &= MASK26;
+        self.h[1] += c2;
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.block(&block, 1 << 24);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let block: [u8; 16] = data[..16].try_into().expect("16-byte chunk");
+            self.block(&block, 1 << 24);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            // Pad the final partial block: append 0x01 then zeros, no hibit.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.block(&block, 0);
+        }
+        // Full carry so each limb is < 2^26.
+        let mut h = self.h;
+        let mut c = h[1] >> 26;
+        h[1] &= MASK26;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= MASK26;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= MASK26;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= MASK26;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= MASK26;
+        h[1] += c;
+
+        // Conditional subtraction of p = 2^130 − 5: h >= p iff the top
+        // four limbs are maximal and h0 >= 2^26 − 5. The branch leaks
+        // only one comparison on the final accumulator value, which is
+        // acceptable in this simulated-testbed threat model.
+        if h[4] == MASK26
+            && h[3] == MASK26
+            && h[2] == MASK26
+            && h[1] == MASK26
+            && h[0] >= MASK26 - 4
+        {
+            h[0] -= MASK26 - 4;
+            h[1] = 0;
+            h[2] = 0;
+            h[3] = 0;
+            h[4] = 0;
+        }
+
+        // Repack 26-bit limbs into four 32-bit words (mod 2^128).
+        let w0 = (h[0] | (h[1] << 26)) & 0xffff_ffff;
+        let w1 = ((h[1] >> 6) | (h[2] << 20)) & 0xffff_ffff;
+        let w2 = ((h[2] >> 12) | (h[3] << 14)) & 0xffff_ffff;
+        let w3 = ((h[3] >> 18) | (h[4] << 8)) & 0xffff_ffff;
+
+        // tag = (h + s) mod 2^128.
+        let mut tag = [0u8; 16];
+        let mut carry: u64 = 0;
+        for (i, (w, s)) in [w0, w1, w2, w3].iter().zip(self.s.iter()).enumerate() {
+            let sum = w + s + carry;
+            tag[i * 4..(i + 1) * 4].copy_from_slice(&(sum as u32).to_le_bytes());
+            carry = sum >> 32;
+        }
+        tag
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8; 32], data: &[u8]) -> [u8; 16] {
+        let mut p = Poly1305::new(key);
+        p.update(data);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_tag() {
+        let key = hex::decode_array::<32>(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            hex::encode(&Poly1305::mac(&key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9"
+        );
+    }
+
+    // RFC 8439 §A.3 test vector 1: all-zero key and message.
+    #[test]
+    fn zero_key_zero_msg() {
+        let key = [0u8; 32];
+        let msg = [0u8; 64];
+        assert_eq!(
+            hex::encode(&Poly1305::mac(&key, &msg)),
+            "00000000000000000000000000000000"
+        );
+    }
+
+    // RFC 8439 §A.3 test vector 2: r = 0, s = text, message tag equals s.
+    #[test]
+    fn r_zero_tag_is_s() {
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&hex::decode("36e5f6b5c5e06070f0efca96227a863e").unwrap());
+        let msg = b"Any submission to the IETF intended by the Contributor for publi\
+cation as all or part of an IETF Internet-Draft or RFC and any statement made within the c\
+ontext of an IETF activity is considered an \"IETF Contribution\". Such statements include \
+oral statements in IETF sessions, as well as written and electronic communications made a\
+t any time or place, which are addressed to";
+        assert_eq!(
+            hex::encode(&Poly1305::mac(&key, &msg[..])),
+            "36e5f6b5c5e06070f0efca96227a863e"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = [0x42u8; 32];
+        let data: Vec<u8> = (0..200u8).collect();
+        for split in [0, 1, 15, 16, 17, 31, 100] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn different_messages_different_tags() {
+        let key = [0x11u8; 32];
+        assert_ne!(Poly1305::mac(&key, b"a"), Poly1305::mac(&key, b"b"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Randomness helpers.
+//!
+//! The workspace needs two kinds of randomness: real entropy for
+//! interactive use (delegated to [`rand`]) and *deterministic* streams
+//! for reproducible simulations and benchmarks. [`DetRng`] provides the
+//! latter, built on our own ChaCha20 so no extra dependency is needed.
+
+use crate::chacha20::ChaCha20;
+use rand::{CryptoRng, RngCore};
+
+/// A deterministic ChaCha20-based RNG seeded with 32 bytes.
+///
+/// Identical seeds yield identical streams on every platform, which the
+/// benchmark harness relies on to regenerate the paper's workloads
+/// bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use discfs_crypto::rng::DetRng;
+/// use rand::RngCore;
+///
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub struct DetRng {
+    cipher: ChaCha20,
+    counter: u32,
+    buf: [u8; 64],
+    pos: usize,
+}
+
+impl DetRng {
+    /// Creates a deterministic RNG from a 64-bit convenience seed.
+    pub fn new(seed: u64) -> DetRng {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        DetRng::from_key(&key)
+    }
+
+    /// Creates a deterministic RNG from a full 256-bit key.
+    pub fn from_key(key: &[u8; 32]) -> DetRng {
+        DetRng {
+            cipher: ChaCha20::new(key, &[0u8; 12]),
+            counter: 0,
+            buf: [0u8; 64],
+            pos: 64,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.buf = self.cipher.block(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.pos = 0;
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill_bytes(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.pos == 64 {
+                self.refill();
+            }
+            let take = (64 - self.pos).min(dest.len() - filled);
+            dest[filled..filled + take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+            filled += take;
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+// The stream is a full-strength ChaCha20 keystream, so exposing it as a
+// CryptoRng for key generation in tests/simulations is sound.
+impl CryptoRng for DetRng {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        let mut buf_a = [0u8; 100];
+        let mut buf_b = [0u8; 100];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_crosses_block_boundary() {
+        let mut r = DetRng::new(9);
+        let mut big = [0u8; 200];
+        r.fill_bytes(&mut big);
+        // Same stream read in pieces must match.
+        let mut r2 = DetRng::new(9);
+        let mut parts = [0u8; 200];
+        for chunk in parts.chunks_mut(37) {
+            r2.fill_bytes(chunk);
+        }
+        assert_eq!(big, parts);
+    }
+
+    #[test]
+    fn not_all_zero() {
+        let mut r = DetRng::new(0);
+        let mut buf = [0u8; 32];
+        r.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 32]);
+    }
+}

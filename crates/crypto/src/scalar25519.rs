@@ -1,0 +1,257 @@
+//! Arithmetic modulo the Ed25519 group order
+//! L = 2^252 + 27742317777372353535851937790883648493.
+//!
+//! Ed25519 signing needs `(r + h·a) mod L` and reduction of 64-byte
+//! hashes mod L. Scalars are held as four little-endian `u64` limbs;
+//! wide values are reduced with simple binary long division — signing is
+//! not on any hot path in this workspace, so clarity wins over speed.
+
+use crate::CryptoError;
+
+/// L, the prime order of the Ed25519 base-point subgroup (little-endian limbs).
+const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0x0000000000000000,
+    0x1000000000000000,
+];
+
+/// A scalar in the range [0, L).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scalar(pub(crate) [u64; 4]);
+
+/// Compares two 4-limb little-endian values: `a >= b`.
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Subtracts `b` from `a` in place; caller guarantees `a >= b`.
+fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "caller must ensure a >= b");
+}
+
+// Inherent add/mul names match the reference implementations; index
+// loops mirror the textbook carry chains.
+#[allow(clippy::should_implement_trait, clippy::needless_range_loop)]
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The scalar one.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Reduces an arbitrary little-endian byte string (≤ 64 bytes) mod L.
+    ///
+    /// This is `sc_reduce` in ref10 terms, used both for hashing to a
+    /// scalar and for clamped-key arithmetic.
+    pub fn from_bytes_wide(bytes: &[u8]) -> Scalar {
+        assert!(bytes.len() <= 64, "wide scalar input limited to 64 bytes");
+        // Binary long division: feed bits from the most significant end
+        // into an accumulator, subtracting L whenever it is exceeded.
+        let mut acc = [0u64; 4];
+        for byte in bytes.iter().rev() {
+            for bit_idx in (0..8).rev() {
+                // acc = acc << 1 (acc < L < 2^253, so this cannot overflow).
+                let mut carry = 0u64;
+                for limb in acc.iter_mut() {
+                    let new_carry = *limb >> 63;
+                    *limb = (*limb << 1) | carry;
+                    carry = new_carry;
+                }
+                debug_assert_eq!(carry, 0);
+                acc[0] |= ((byte >> bit_idx) & 1) as u64;
+                if geq(&acc, &L) {
+                    sub_in_place(&mut acc, &L);
+                }
+            }
+        }
+        Scalar(acc)
+    }
+
+    /// Parses a canonical 32-byte little-endian scalar, rejecting values ≥ L.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidScalar`] if the value is ≥ L (RFC
+    /// 8032 requires rejecting non-canonical `s` in signatures).
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Result<Scalar, CryptoError> {
+        let mut limbs = [0u64; 4];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if geq(&limbs, &L) {
+            return Err(CryptoError::InvalidScalar);
+        }
+        Ok(Scalar(limbs))
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// Addition mod L.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        let mut limbs = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        // Both inputs < L < 2^253, so the sum fits in 254 bits: no carry out.
+        debug_assert_eq!(carry, 0);
+        if geq(&limbs, &L) {
+            sub_in_place(&mut limbs, &L);
+        }
+        Scalar(limbs)
+    }
+
+    /// Multiplication mod L.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        // Schoolbook 4x4 limb multiply into a 512-bit product.
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = wide[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                wide[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        let mut bytes = [0u8; 64];
+        for (i, limb) in wide.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        Scalar::from_bytes_wide(&bytes)
+    }
+
+    /// Computes `self * b + c mod L` (the signing equation `r + h·a`).
+    pub fn mul_add(self, b: Scalar, c: Scalar) -> Scalar {
+        self.mul(b).add(c)
+    }
+
+    /// Returns the i-th bit (little-endian) of the scalar.
+    pub fn bit(&self, i: usize) -> u8 {
+        debug_assert!(i < 256);
+        ((self.0[i / 64] >> (i % 64)) & 1) as u8
+    }
+
+    /// True iff the scalar is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Scalar::ZERO.is_zero());
+        assert_eq!(Scalar::ONE.add(Scalar::ZERO), Scalar::ONE);
+        assert_eq!(Scalar::ONE.mul(Scalar::ONE), Scalar::ONE);
+    }
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let mut l_bytes = [0u8; 32];
+        for (i, limb) in L.iter().enumerate() {
+            l_bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert!(Scalar::from_bytes_wide(&l_bytes).is_zero());
+        assert!(Scalar::from_canonical_bytes(&l_bytes).is_err());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical() {
+        let mut limbs = L;
+        limbs[0] -= 1;
+        let mut bytes = [0u8; 32];
+        for (i, limb) in limbs.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        let s = Scalar::from_canonical_bytes(&bytes).unwrap();
+        // (L-1) + 1 == 0 mod L.
+        assert!(s.add(Scalar::ONE).is_zero());
+    }
+
+    #[test]
+    fn wide_reduction_matches_small_values() {
+        let s = Scalar::from_bytes_wide(&[42]);
+        assert_eq!(s.to_bytes()[0], 42);
+        assert_eq!(s.to_bytes()[1..], [0u8; 31]);
+    }
+
+    #[test]
+    fn mul_small_numbers() {
+        let six = Scalar::from_bytes_wide(&[6]);
+        let seven = Scalar::from_bytes_wide(&[7]);
+        let forty_two = Scalar::from_bytes_wide(&[42]);
+        assert_eq!(six.mul(seven), forty_two);
+    }
+
+    #[test]
+    fn mul_add_small() {
+        let a = Scalar::from_bytes_wide(&[3]);
+        let b = Scalar::from_bytes_wide(&[4]);
+        let c = Scalar::from_bytes_wide(&[5]);
+        assert_eq!(a.mul_add(b, c), Scalar::from_bytes_wide(&[17]));
+    }
+
+    #[test]
+    fn add_commutes_and_associates() {
+        let a = Scalar::from_bytes_wide(&[0xde, 0xad, 0xbe, 0xef, 1, 2, 3]);
+        let b = Scalar::from_bytes_wide(&[0xca, 0xfe, 0xba, 0xbe, 9, 9]);
+        let c = Scalar::from_bytes_wide(&[0x11; 40]);
+        assert_eq!(a.add(b), b.add(a));
+        assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let a = Scalar::from_bytes_wide(&[0x77; 64]);
+        let b = Scalar::from_bytes_wide(&[0x33; 50]);
+        let c = Scalar::from_bytes_wide(&[0x99; 20]);
+        assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let s = Scalar::from_bytes_wide(&[0b1010_0101]);
+        assert_eq!(s.bit(0), 1);
+        assert_eq!(s.bit(1), 0);
+        assert_eq!(s.bit(2), 1);
+        assert_eq!(s.bit(5), 1);
+        assert_eq!(s.bit(7), 1);
+        assert_eq!(s.bit(255), 0);
+    }
+
+    #[test]
+    fn round_trip_canonical() {
+        let s = Scalar::from_bytes_wide(&[0xab; 33]);
+        let round = Scalar::from_canonical_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s, round);
+    }
+}

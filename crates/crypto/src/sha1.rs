@@ -1,0 +1,160 @@
+//! SHA-1 (FIPS 180-4, legacy).
+//!
+//! The paper's credentials use `sig-dsa-sha1-hex` signature identifiers;
+//! we keep SHA-1 available so the KeyNote algorithm registry can expose
+//! historically-named algorithms, but nothing security-critical in this
+//! workspace depends on SHA-1 collision resistance.
+
+use crate::Digest;
+
+/// Incremental SHA-1 state.
+///
+/// # Examples
+///
+/// ```
+/// use discfs_crypto::{Digest, sha1::Sha1};
+///
+/// let d = Sha1::digest(b"abc");
+/// assert_eq!(
+///     discfs_crypto::hex::encode(&d),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Sha1 {
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a827999),
+                1 => (b ^ c ^ d, 0x6ed9eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(*wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = 20;
+    const BLOCK_LEN: usize = 64;
+
+    fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().expect("64-byte chunk");
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            self.buf[self.buf_len] = 0;
+            self.buf_len += 1;
+        }
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        self.state
+            .iter()
+            .flat_map(|w| w.to_be_bytes())
+            .collect::<Vec<u8>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex::encode(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex::encode(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex::encode(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..999u16).flat_map(|i| i.to_be_bytes()).collect();
+        for split in [0, 1, 63, 64, 65, 500] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split at {split}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The access audit log.
+//!
+//! Paper §4.2: *"The system may not know that Alice is trying to get at
+//! a file, but it can log that key A (Alice's key) was used and that
+//! key B (Bob's key) authorized the operation."* Every access decision
+//! is recorded with the requesting key and the issuer keys of the
+//! credentials that were in the session when the decision was made —
+//! the delegation evidence an operator reconstructs chains from.
+
+use std::collections::VecDeque;
+
+use discfs_crypto::hex;
+use parking_lot::Mutex;
+
+use crate::perm::Perm;
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Virtual time of the decision.
+    pub time: u64,
+    /// Hex of the requesting public key ("key A").
+    pub requester: String,
+    /// The operation attempted (e.g. `"read"`, `"write"`, `"lookup"`).
+    pub op: String,
+    /// The file handle string (`ino.generation`).
+    pub handle: String,
+    /// Permissions the operation needed.
+    pub required: Perm,
+    /// Permissions the policy granted.
+    pub granted: Perm,
+    /// Whether the operation proceeded.
+    pub allowed: bool,
+    /// Hex keys of the credential issuers in the session ("key B" and
+    /// any other links of the chain).
+    pub authorizers: Vec<String>,
+}
+
+/// A bounded in-memory audit log.
+pub struct AuditLog {
+    records: Mutex<VecDeque<AuditRecord>>,
+    capacity: usize,
+    seq: Mutex<u64>,
+}
+
+impl AuditLog {
+    /// Creates a log keeping the most recent `capacity` records.
+    pub fn new(capacity: usize) -> AuditLog {
+        AuditLog {
+            records: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            seq: Mutex::new(0),
+        }
+    }
+
+    /// Appends a record (dropping the oldest when full).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        time: u64,
+        requester: &[u8; 32],
+        op: &str,
+        handle: &str,
+        required: Perm,
+        granted: Perm,
+        allowed: bool,
+        authorizers: Vec<String>,
+    ) {
+        let mut seq_guard = self.seq.lock();
+        *seq_guard += 1;
+        let record = AuditRecord {
+            seq: *seq_guard,
+            time,
+            requester: hex::encode(requester),
+            op: op.to_string(),
+            handle: handle.to_string(),
+            required,
+            granted,
+            allowed,
+            authorizers,
+        };
+        drop(seq_guard);
+        let mut records = self.records.lock();
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(record);
+    }
+
+    /// A snapshot of the retained records (oldest first).
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.records.lock().iter().cloned().collect()
+    }
+
+    /// Records matching a requester key prefix (hex).
+    pub fn by_requester(&self, key_hex_prefix: &str) -> Vec<AuditRecord> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.requester.starts_with(key_hex_prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Denied accesses only — the operator's first question.
+    pub fn denials(&self) -> Vec<AuditRecord> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| !r.allowed)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let log = AuditLog::new(10);
+        log.record(
+            1,
+            &[0xaa; 32],
+            "read",
+            "5.1",
+            Perm::R,
+            Perm::RW,
+            true,
+            vec![],
+        );
+        log.record(
+            2,
+            &[0xbb; 32],
+            "write",
+            "5.1",
+            Perm::W,
+            Perm::NONE,
+            false,
+            vec![],
+        );
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[1].seq, 2);
+        assert!(records[0].allowed);
+        assert!(!records[1].allowed);
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let log = AuditLog::new(3);
+        for i in 0..5u64 {
+            log.record(
+                i,
+                &[i as u8; 32],
+                "read",
+                "1.1",
+                Perm::R,
+                Perm::R,
+                true,
+                vec![],
+            );
+        }
+        let records = log.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].seq, 3, "two oldest dropped");
+    }
+
+    #[test]
+    fn filters() {
+        let log = AuditLog::new(10);
+        log.record(
+            1,
+            &[0xaa; 32],
+            "read",
+            "1.1",
+            Perm::R,
+            Perm::R,
+            true,
+            vec![],
+        );
+        log.record(
+            2,
+            &[0xbb; 32],
+            "write",
+            "1.1",
+            Perm::W,
+            Perm::NONE,
+            false,
+            vec![],
+        );
+        assert_eq!(log.by_requester("aa").len(), 1);
+        assert_eq!(log.by_requester("bb").len(), 1);
+        assert_eq!(log.denials().len(), 1);
+        assert_eq!(log.denials()[0].op, "write");
+    }
+
+    #[test]
+    fn authorizer_chain_recorded() {
+        let log = AuditLog::new(4);
+        log.record(
+            1,
+            &[0x01; 32],
+            "read",
+            "9.2",
+            Perm::R,
+            Perm::R,
+            true,
+            vec!["keyB".into(), "keyAdmin".into()],
+        );
+        assert_eq!(log.records()[0].authorizers, vec!["keyB", "keyAdmin"]);
+    }
+}

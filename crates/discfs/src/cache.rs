@@ -1,0 +1,223 @@
+//! The policy-result cache.
+//!
+//! Paper §5: *"When read or write operations occur however, the KeyNote
+//! \[session\] is consulted again on whether the specific requests should
+//! be granted ... To improve performance, we use a cache of requested
+//! operations and policy results."* Figure 12's search benchmark ran
+//! with a cache of 128 policy results; that is this module's default.
+//!
+//! Keys are `(peer key, handle, epoch)`. Epochs make invalidation O(1):
+//! submitting credentials bumps the peer's epoch, revocation or
+//! environment changes (time-of-day) bump a global epoch, and stale
+//! entries simply stop matching until LRU eviction reclaims them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::perm::Perm;
+
+/// A cache key: requester, file, and invalidation epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Requester public key bytes.
+    pub peer: [u8; 32],
+    /// `(inode, generation)` of the file.
+    pub handle: (u32, u32),
+    /// Peer-session epoch (bumped on credential submission) and global
+    /// environment epoch (bumped on time/revocation changes). Kept as a
+    /// pair — combining them arithmetically invites collisions.
+    pub epoch: (u64, u64),
+}
+
+/// Hit/miss/eviction counters (for the Figure 12 analysis and the cache
+/// ablation bench).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// A bounded LRU map from [`CacheKey`] to granted [`Perm`].
+pub struct PolicyCache {
+    capacity: usize,
+    state: Mutex<HashMap<CacheKey, (Perm, u64)>>,
+    tick: AtomicU64,
+    stats: CacheStats,
+}
+
+impl PolicyCache {
+    /// Creates a cache holding at most `capacity` results. A capacity
+    /// of 0 disables caching (every check is a full KeyNote query —
+    /// the ablation baseline).
+    pub fn new(capacity: usize) -> PolicyCache {
+        PolicyCache {
+            capacity,
+            state: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The paper's configuration: 128 entries.
+    pub fn paper_default() -> PolicyCache {
+        PolicyCache::new(128)
+    }
+
+    /// Looks up a cached decision.
+    pub fn get(&self, key: &CacheKey) -> Option<Perm> {
+        if self.capacity == 0 {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut map = self.state.lock();
+        match map.get_mut(key) {
+            Some((perm, stamp)) => {
+                *stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(*perm)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decision, evicting the least-recently-used entry when
+    /// full. (Linear eviction scan: at the paper's 128 entries this is
+    /// cheaper than maintaining a linked list.)
+    pub fn insert(&self, key: CacheKey, perm: Perm) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.state.lock();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            if let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                map.remove(&oldest);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, (perm, stamp));
+    }
+
+    /// Drops every entry (full invalidation after revocation).
+    pub fn clear(&self) {
+        self.state.lock().clear();
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.state.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access to the counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(peer: u8, ino: u32, epoch: u64) -> CacheKey {
+        CacheKey {
+            peer: [peer; 32],
+            handle: (ino, 1),
+            epoch: (epoch, 0),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = PolicyCache::new(4);
+        cache.insert(key(1, 10, 0), Perm::RW);
+        assert_eq!(cache.get(&key(1, 10, 0)), Some(Perm::RW));
+        assert_eq!(cache.stats().hits(), 1);
+    }
+
+    #[test]
+    fn different_epoch_misses() {
+        let cache = PolicyCache::new(4);
+        cache.insert(key(1, 10, 0), Perm::RW);
+        assert_eq!(cache.get(&key(1, 10, 1)), None);
+    }
+
+    #[test]
+    fn different_peer_misses() {
+        let cache = PolicyCache::new(4);
+        cache.insert(key(1, 10, 0), Perm::RW);
+        assert_eq!(cache.get(&key(2, 10, 0)), None);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let cache = PolicyCache::new(2);
+        cache.insert(key(1, 1, 0), Perm::R);
+        cache.insert(key(1, 2, 0), Perm::W);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1, 1, 0)).is_some());
+        cache.insert(key(1, 3, 0), Perm::X);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, 1, 0)).is_some());
+        assert!(cache.get(&key(1, 2, 0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1, 3, 0)).is_some());
+        assert_eq!(cache.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = PolicyCache::new(0);
+        cache.insert(key(1, 1, 0), Perm::R);
+        assert_eq!(cache.get(&key(1, 1, 0)), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache = PolicyCache::new(4);
+        cache.insert(key(1, 1, 0), Perm::R);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1, 1, 0)), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let cache = PolicyCache::new(4);
+        cache.insert(key(1, 1, 0), Perm::R);
+        cache.insert(key(1, 1, 0), Perm::RWX);
+        assert_eq!(cache.get(&key(1, 1, 0)), Some(Perm::RWX));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,481 @@
+//! DisCFS — the Distributed Credential Filesystem.
+//!
+//! A Rust reproduction of the system described in *"Secure and Flexible
+//! Global File Sharing"* (Miltchev, Prevelakis, Ioannidis, Keromytis,
+//! Smith). Under DisCFS, **credentials identify both the files stored
+//! in the file system and the users permitted to access them**, as well
+//! as the circumstances under which access is allowed. Users delegate
+//! access rights simply by issuing new credentials, so files can be
+//! shared with remote users the server has never heard of — no accounts,
+//! no ACLs, no administrator in the loop.
+//!
+//! # Architecture (paper §4–§5)
+//!
+//! * Identity — the client's Ed25519 key, authenticated by the IKE
+//!   handshake of the [`ipsec`] channel. All NFS requests on the
+//!   connection are bound to that key.
+//! * Authorization — [`keynote`] compliance checks: the administrator's
+//!   local policy delegates to user keys through chains of signed
+//!   credentials; each query returns a value from the 8-element
+//!   permission lattice ([`Perm`]), whose index is the octal mode.
+//! * Files — handles are `(inode, generation)` pairs served by the
+//!   [`ffs`] volume via the [`nfsv2`] protocol; credentials name
+//!   handles in their `HANDLE ==` conditions (paper Figure 5).
+//! * The [`server::DiscfsService`] glues these together with the
+//!   policy-result [`cache`], [`revocation`] list, and [`audit`] log;
+//!   [`client::DiscfsClient`] is the `cattach` + wallet side.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use discfs::{CredentialIssuer, Perm, Testbed};
+//! use discfs_crypto::ed25519::SigningKey;
+//!
+//! let bed = Testbed::instant();
+//! let bob = SigningKey::from_seed(&[0xB0; 32]);
+//! let alice = SigningKey::from_seed(&[0xA1; 32]);
+//!
+//! // The administrator grants Bob the root directory.
+//! let root_cred = CredentialIssuer::new(bed.admin())
+//!     .holder(&bob.public())
+//!     .grant_handle_string("1.1", Perm::RWX)
+//!     .issue();
+//!
+//! // Bob attaches, submits his credential, and stores a file.
+//! let mut bob_client = bed.connect(&bob).unwrap();
+//! bob_client.submit_credential(&root_cred).unwrap();
+//! let root = bob_client.remote().root();
+//! let created = bob_client.create_with_credential(&root, "paper.tex", 0o644).unwrap();
+//! bob_client.client().write_all(&created.fh, 0, b"\\title{DisCFS}").unwrap();
+//!
+//! // Bob delegates read access to Alice by issuing a credential —
+//! // no administrator involved.
+//! let to_alice = CredentialIssuer::new(&bob)
+//!     .holder(&alice.public())
+//!     .grant(&created.fh, Perm::R)
+//!     .issue();
+//!
+//! let alice_client = bed.connect(&alice).unwrap();
+//! alice_client.submit_credential(&created.credential).unwrap(); // chain link 1
+//! alice_client.submit_credential(&to_alice).unwrap();           // chain link 2
+//! let text = alice_client.client().read_all(&created.fh, 0, 100).unwrap();
+//! assert_eq!(text, b"\\title{DisCFS}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod cache;
+pub mod client;
+pub mod cred;
+pub mod perm;
+pub mod revocation;
+pub mod rpc;
+pub mod server;
+pub mod testbed;
+pub mod wallet;
+
+pub use cache::PolicyCache;
+pub use client::{DiscfsClient, DiscfsClientError};
+pub use cred::{root_policy, CredentialIssuer, Restrictions};
+pub use perm::Perm;
+pub use revocation::RevocationList;
+pub use server::{DiscfsConfig, DiscfsService, PolicyCharge};
+pub use wallet::{Wallet, WalletEntry};
+pub use testbed::Testbed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discfs_crypto::ed25519::SigningKey;
+    use nfsv2::{ClientError, NfsStat};
+
+    fn key(seed: u8) -> SigningKey {
+        SigningKey::from_seed(&[seed; 32])
+    }
+
+    /// Grants `holder` RWX on the root directory, signed by the admin.
+    fn root_grant(bed: &Testbed, holder: &SigningKey) -> String {
+        CredentialIssuer::new(bed.admin())
+            .holder(&holder.public())
+            .grant_handle_string("1.1", Perm::RWX)
+            .issue()
+    }
+
+    #[test]
+    fn attach_without_credentials_shows_mode_000() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        let attr = client.client().getattr(&client.remote().root()).unwrap();
+        assert_eq!(
+            attr.mode & 0o777,
+            0o000,
+            "no credentials, no visible access"
+        );
+    }
+
+    #[test]
+    fn credentials_change_visible_mode() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let attr = client.client().getattr(&client.remote().root()).unwrap();
+        assert_eq!(attr.mode & 0o777, 0o777);
+    }
+
+    #[test]
+    fn read_denied_without_credentials() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        let err = client.client().readdir_all(&client.remote().root());
+        assert!(matches!(err, Err(ClientError::Status(NfsStat::Acces))));
+    }
+
+    #[test]
+    fn create_returns_working_credential() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let mut client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        let res = client
+            .create_with_credential(&root, "notes.txt", 0o644)
+            .unwrap();
+        // The credential parses, verifies, and names the new handle.
+        let assertion = keynote::Assertion::parse(&res.credential).unwrap();
+        assertion.verify().unwrap();
+        assert!(res.credential.contains(&res.fh.credential_string()));
+        // And the file is immediately usable.
+        client.client().write_all(&res.fh, 0, b"hello").unwrap();
+        assert_eq!(client.client().read_all(&res.fh, 0, 10).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn plain_nfs_create_leaves_file_inaccessible() {
+        // The §5 pitfall: CREATE via the standard procedure yields a
+        // file the creator holds no credential for.
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        let (fh, _) = client
+            .client()
+            .create(&root, "orphan.txt", &nfsv2::Sattr::with_mode(0o644))
+            .unwrap();
+        let err = client.client().read(&fh, 0, 10);
+        assert!(matches!(err, Err(ClientError::Status(NfsStat::Acces))));
+    }
+
+    #[test]
+    fn figure1_delegation_admin_bob_alice() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let alice = key(3);
+
+        let mut bob_client = bed.connect(&bob).unwrap();
+        bob_client
+            .submit_credential(&root_grant(&bed, &bob))
+            .unwrap();
+        let root = bob_client.remote().root();
+        let res = bob_client
+            .create_with_credential(&root, "doc", 0o644)
+            .unwrap();
+        bob_client
+            .client()
+            .write_all(&res.fh, 0, b"shared doc")
+            .unwrap();
+
+        // Bob issues Alice a read-only credential.
+        let to_alice = CredentialIssuer::new(&bob)
+            .holder(&alice.public())
+            .grant(&res.fh, Perm::R)
+            .issue();
+
+        let alice_client = bed.connect(&alice).unwrap();
+        // Without the chain: denied.
+        assert!(alice_client.client().read(&res.fh, 0, 10).is_err());
+        // Alice submits both links (server→bob via create-credential,
+        // bob→alice) and reads.
+        alice_client.submit_credential(&res.credential).unwrap();
+        alice_client.submit_credential(&to_alice).unwrap();
+        assert_eq!(
+            alice_client.client().read_all(&res.fh, 0, 20).unwrap(),
+            b"shared doc"
+        );
+        // But she cannot write: Bob granted R only.
+        assert!(matches!(
+            alice_client.client().write(&res.fh, 0, b"evil"),
+            Err(ClientError::Status(NfsStat::Acces))
+        ));
+    }
+
+    #[test]
+    fn revoked_key_loses_access_immediately() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        assert!(client.client().readdir_all(&root).is_ok());
+
+        bed.service().revoke_key(&bob.public(), None);
+        assert!(matches!(
+            client.client().readdir_all(&root),
+            Err(ClientError::Status(NfsStat::Acces))
+        ));
+    }
+
+    #[test]
+    fn revoked_credential_cannot_be_resubmitted() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        let cred = root_grant(&bed, &bob);
+        let id = keynote::Assertion::parse(&cred).unwrap().id();
+        bed.service().revoke_credential(&id, None);
+        assert!(matches!(
+            client.submit_credential(&cred),
+            Err(DiscfsClientError::CredentialRejected(
+                rpc::DiscfsRpcStatus::Revoked
+            ))
+        ));
+    }
+
+    #[test]
+    fn admin_can_revoke_remotely_others_cannot() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let mallory = key(4);
+
+        let bob_client = bed.connect(&bob).unwrap();
+        bob_client
+            .submit_credential(&root_grant(&bed, &bob))
+            .unwrap();
+
+        // Mallory (not admin) cannot revoke Bob.
+        let mallory_client = bed.connect(&mallory).unwrap();
+        assert!(mallory_client.revoke_key(&bob.public()).is_err());
+        assert!(bob_client
+            .client()
+            .readdir_all(&bob_client.remote().root())
+            .is_ok());
+
+        // The admin can.
+        let admin_key = SigningKey::from_seed(bed.admin().seed());
+        let admin_client = bed.connect(&admin_key).unwrap();
+        admin_client.revoke_key(&bob.public()).unwrap();
+        assert!(bob_client
+            .client()
+            .readdir_all(&bob_client.remote().root())
+            .is_err());
+    }
+
+    #[test]
+    fn time_of_day_conditions_enforced() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        let cred = CredentialIssuer::new(bed.admin())
+            .holder(&bob.public())
+            .grant_handle_string("1.1", Perm::RWX)
+            .valid_hours(9, 17)
+            .issue();
+        client.submit_credential(&cred).unwrap();
+
+        bed.service().set_hour(10);
+        assert!(client.client().readdir_all(&client.remote().root()).is_ok());
+
+        bed.service().set_hour(20);
+        assert!(client
+            .client()
+            .readdir_all(&client.remote().root())
+            .is_err());
+
+        bed.service().set_hour(16);
+        assert!(client.client().readdir_all(&client.remote().root()).is_ok());
+    }
+
+    #[test]
+    fn credential_expiry_enforced() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        let cred = CredentialIssuer::new(bed.admin())
+            .holder(&bob.public())
+            .grant_handle_string("1.1", Perm::RWX)
+            .expires_at(100)
+            .issue();
+        client.submit_credential(&cred).unwrap();
+
+        bed.service().set_time(50);
+        assert!(client.client().readdir_all(&client.remote().root()).is_ok());
+        bed.service().set_time(150);
+        assert!(client
+            .client()
+            .readdir_all(&client.remote().root())
+            .is_err());
+    }
+
+    #[test]
+    fn audit_log_records_requester_and_authorizers() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        client
+            .client()
+            .readdir_all(&client.remote().root())
+            .unwrap();
+
+        let records = bed.service().audit().records();
+        assert!(!records.is_empty());
+        let read_record = records
+            .iter()
+            .rfind(|r| r.op == "readdir" && r.allowed)
+            .expect("readdir must be audited");
+        assert_eq!(
+            read_record.requester,
+            discfs_crypto::hex::encode(&bob.public().0)
+        );
+        // The admin key (credential issuer) appears as an authorizer.
+        let admin_principal = keynote::key_principal(&bed.admin().public());
+        assert!(read_record.authorizers.contains(&admin_principal));
+    }
+
+    #[test]
+    fn policy_cache_hits_on_repeated_ops() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        for _ in 0..20 {
+            client.client().readdir_all(&root).unwrap();
+        }
+        let stats = bed.service().cache().stats();
+        assert!(stats.hits() > 10, "hits = {}", stats.hits());
+    }
+
+    #[test]
+    fn credential_count_reflects_submissions() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        assert_eq!(client.credential_count().unwrap(), 0);
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        assert_eq!(client.credential_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn malformed_credential_rejected() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        assert!(matches!(
+            client.submit_credential("not a keynote assertion"),
+            Err(DiscfsClientError::CredentialRejected(
+                rpc::DiscfsRpcStatus::BadCredential
+            ))
+        ));
+    }
+
+    #[test]
+    fn two_clients_isolated_sessions() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let carol = key(5);
+        let bob_client = bed.connect(&bob).unwrap();
+        let carol_client = bed.connect(&carol).unwrap();
+        bob_client
+            .submit_credential(&root_grant(&bed, &bob))
+            .unwrap();
+        // Bob's credentials do not leak authority to Carol.
+        assert!(bob_client
+            .client()
+            .readdir_all(&bob_client.remote().root())
+            .is_ok());
+        assert!(carol_client
+            .client()
+            .readdir_all(&carol_client.remote().root())
+            .is_err());
+    }
+
+    #[test]
+    fn public_access_grants_and_revokes() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let stranger = key(9);
+        let mut bob_client = bed.connect(&bob).unwrap();
+        bob_client
+            .submit_credential(&root_grant(&bed, &bob))
+            .unwrap();
+        let file = bob_client
+            .create_with_credential(&bob_client.remote().root(), "pub.txt", 0o644)
+            .unwrap();
+        bob_client
+            .client()
+            .write_all(&file.fh, 0, b"published")
+            .unwrap();
+
+        let visitor = bed.connect(&stranger).unwrap();
+        assert!(visitor.client().read(&file.fh, 0, 9).is_err());
+
+        bed.service().set_public_access(&file.fh, Perm::R);
+        assert_eq!(
+            visitor.client().read_all(&file.fh, 0, 9).unwrap(),
+            b"published"
+        );
+        // Read-only: writes still need a credential chain.
+        assert!(visitor.client().write(&file.fh, 0, b"deface").is_err());
+
+        bed.service().set_public_access(&file.fh, Perm::NONE);
+        assert!(visitor.client().read(&file.fh, 0, 9).is_err());
+    }
+
+    #[test]
+    fn public_access_unions_with_credentials() {
+        // A user holding W on a public-R file ends up with R|W... per
+        // the union in permissions_for.
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        let w_only = CredentialIssuer::new(bed.admin())
+            .holder(&bob.public())
+            .grant_handle_string("1.1", Perm::WX)
+            .issue();
+        client.submit_credential(&w_only).unwrap();
+        // WX alone cannot list the root...
+        assert!(client
+            .client()
+            .readdir_all(&client.remote().root())
+            .is_err());
+        // ...until the root is published readable.
+        let root = client.remote().root();
+        bed.service().set_public_access(&root, Perm::R);
+        assert!(client.client().readdir_all(&root).is_ok());
+        // And the reported mode reflects the union.
+        let attr = client.client().getattr(&root).unwrap();
+        assert_eq!(
+            attr.mode & 0o777,
+            0o777,
+            "WX credential + public R = RWX view"
+        );
+    }
+
+    #[test]
+    fn wallet_submission_helper() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let mut client = bed.connect(&bob).unwrap();
+        client.wallet_add(&root_grant(&bed, &bob));
+        client.wallet_add("garbage credential");
+        let accepted = client.submit_wallet().unwrap();
+        assert_eq!(accepted, 1);
+        assert_eq!(client.credential_count().unwrap(), 1);
+    }
+}

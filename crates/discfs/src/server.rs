@@ -1,0 +1,679 @@
+//! The DisCFS server: a user-level NFS service whose every decision is
+//! a KeyNote compliance check.
+//!
+//! Request flow (paper §4–§5):
+//!
+//! 1. The IPsec channel authenticates the client key; the server binds
+//!    every request on the connection to that key ([`RequestCtx::peer`]).
+//! 2. A **persistent KeyNote session** per client key holds the
+//!    administrator policy plus every credential the client has
+//!    submitted over the side RPC program.
+//! 3. Each NFS operation asks the session what permissions the peer
+//!    holds on the file's `HANDLE`; results go through the
+//!    [`PolicyCache`] (default 128 entries, as in Figure 12).
+//! 4. Attach semantics: everything is visible with **mode 000** until
+//!    credentials arrive; GETATTR reports the *granted* permissions as
+//!    the file mode, so unmodified NFS clients behave sensibly.
+//! 5. CREATE/MKDIR via the side program return a fresh RWX credential
+//!    for the creator, signed by the server's key (which the root
+//!    policy trusts) — the paper's added procedures.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use discfs_crypto::ed25519::{SigningKey, VerifyingKey};
+use ffs::Ffs;
+use keynote::Session;
+use nfsv2::{
+    DirOpArgs, FHandle, Fattr, FfsService, NfsService, NfsStat, ReaddirEntry, RequestCtx, Sattr,
+    StatfsRes,
+};
+use onc_rpc::{AcceptStat, Decoder, Encoder};
+use parking_lot::{Mutex, RwLock};
+use std::time::Duration;
+
+use crate::audit::AuditLog;
+use crate::cache::{CacheKey, PolicyCache};
+use crate::cred::{root_policy, CredentialIssuer};
+use crate::perm::Perm;
+use crate::revocation::RevocationList;
+use crate::rpc::{
+    encode_create_res, proc_discfs, CreateWithCredRes, DiscfsRpcStatus, DISCFS_PROGRAM,
+    DISCFS_VERSION,
+};
+
+/// Server configuration.
+pub struct DiscfsConfig {
+    /// Filesystem id baked into handles.
+    pub fsid: u32,
+    /// Local policy assertions (authorizer `POLICY`).
+    pub policy: Vec<String>,
+    /// The server's signing key (issues CREATE/MKDIR credentials).
+    pub server_key: SigningKey,
+    /// Keys allowed to drive revocation remotely.
+    pub admin_keys: Vec<VerifyingKey>,
+    /// Policy-result cache capacity (paper: 128).
+    pub cache_size: usize,
+    /// Audit log capacity.
+    pub audit_capacity: usize,
+}
+
+impl DiscfsConfig {
+    /// The standard setup: `admin` and the server key are policy roots;
+    /// `admin` may revoke; cache size 128.
+    pub fn standard(admin: VerifyingKey, server_key: SigningKey) -> DiscfsConfig {
+        let policy = vec![root_policy(&[admin, server_key.public()])];
+        DiscfsConfig {
+            fsid: 1,
+            policy,
+            server_key,
+            admin_keys: vec![admin],
+            cache_size: 128,
+            audit_capacity: 4096,
+        }
+    }
+}
+
+/// Environment attributes exposed to policy conditions.
+#[derive(Debug, Clone, Copy)]
+struct Env {
+    hour: u32,
+    time: u64,
+    epoch: u64,
+}
+
+/// Per-client-key session state.
+struct PeerState {
+    session: Session,
+    epoch: u64,
+}
+
+/// The DisCFS service.
+pub struct DiscfsService {
+    storage: FfsService,
+    server_key: SigningKey,
+    admin_keys: Vec<VerifyingKey>,
+    policy: Vec<String>,
+    peers: Mutex<HashMap<[u8; 32], PeerState>>,
+    epoch_counter: Mutex<u64>,
+    cache: PolicyCache,
+    revocations: RwLock<RevocationList>,
+    audit: AuditLog,
+    env: RwLock<Env>,
+    /// Optional virtual-time charge per policy decision, so benchmarks
+    /// account the KeyNote evaluation cost on the simulated clock.
+    policy_charge: RwLock<Option<PolicyCharge>>,
+    /// Baseline permissions granted to *any* authenticated key, keyed by
+    /// `(inode, generation)` — the paper's §7 future-work scenario of
+    /// "untrusted users characteristic of the WWW" (anonymous browsing).
+    public_grants: RwLock<HashMap<(u32, u32), Perm>>,
+}
+
+/// Virtual-time cost model for policy decisions.
+#[derive(Clone)]
+pub struct PolicyCharge {
+    /// The clock to charge.
+    pub clock: netsim::SimClock,
+    /// Cost of a policy-cache hit.
+    pub cache_hit: Duration,
+    /// Cost of a full KeyNote compliance check.
+    pub cache_miss: Duration,
+}
+
+impl DiscfsService {
+    /// Creates a service exporting `fs`.
+    pub fn new(fs: Arc<Ffs>, config: DiscfsConfig) -> DiscfsService {
+        DiscfsService {
+            storage: FfsService::new(fs, config.fsid),
+            server_key: config.server_key,
+            admin_keys: config.admin_keys,
+            policy: config.policy,
+            peers: Mutex::new(HashMap::new()),
+            epoch_counter: Mutex::new(1),
+            cache: PolicyCache::new(config.cache_size),
+            revocations: RwLock::new(RevocationList::new()),
+            audit: AuditLog::new(4096),
+            env: RwLock::new(Env {
+                hour: 12,
+                time: 0,
+                epoch: 0,
+            }),
+            policy_charge: RwLock::new(None),
+            public_grants: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Grants `perms` on `fh` to every authenticated client, with no
+    /// credential required — anonymous-Web-style publication (§7 future
+    /// work). The requester still authenticates a key (for auditing),
+    /// but needs no delegation chain. Pass [`Perm::NONE`] to unpublish.
+    pub fn set_public_access(&self, fh: &FHandle, perms: Perm) {
+        let (_, ino, generation) = fh.unpack();
+        {
+            let mut grants = self.public_grants.write();
+            if perms.is_none() {
+                grants.remove(&(ino, generation));
+            } else {
+                grants.insert((ino, generation), perms);
+            }
+        }
+        // Cached decisions may now be stale in either direction.
+        let mut env = self.env.write();
+        env.epoch += 1;
+    }
+
+    /// The public baseline permissions for a handle, if any.
+    pub fn public_access(&self, fh: &FHandle) -> Perm {
+        let (_, ino, generation) = fh.unpack();
+        self.public_grants
+            .read()
+            .get(&(ino, generation))
+            .copied()
+            .unwrap_or(Perm::NONE)
+    }
+
+    /// Installs a virtual-time cost model for policy decisions (used by
+    /// the benchmark testbed; see DESIGN.md §5).
+    pub fn set_policy_charge(&self, charge: PolicyCharge) {
+        *self.policy_charge.write() = Some(charge);
+    }
+
+    /// The exported storage service.
+    pub fn storage(&self) -> &FfsService {
+        &self.storage
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The policy cache (stats for benches).
+    pub fn cache(&self) -> &PolicyCache {
+        &self.cache
+    }
+
+    /// Sets the hour-of-day seen by `hour` conditions. Invalidates
+    /// cached decisions.
+    pub fn set_hour(&self, hour: u32) {
+        let mut env = self.env.write();
+        env.hour = hour % 24;
+        env.epoch += 1;
+        // Let the revocation list forget expired entries opportunistically.
+        self.revocations.write().expire(env.time);
+    }
+
+    /// Sets the virtual wall time seen by `time` conditions (credential
+    /// expiry). Invalidates cached decisions.
+    pub fn set_time(&self, time: u64) {
+        let mut env = self.env.write();
+        env.time = time;
+        env.epoch += 1;
+        self.revocations.write().expire(time);
+    }
+
+    /// Revokes a key server-side (local administration path).
+    pub fn revoke_key(&self, key: &VerifyingKey, forget_after: Option<u64>) {
+        self.revocations.write().revoke_key(key, forget_after);
+        self.purge_revoked();
+    }
+
+    /// Revokes a credential by id server-side.
+    pub fn revoke_credential(&self, id: &str, forget_after: Option<u64>) {
+        self.revocations.write().revoke_credential(id, forget_after);
+        self.purge_revoked();
+    }
+
+    /// Removes revoked credentials from every live session and flushes
+    /// the decision cache.
+    fn purge_revoked(&self) {
+        let revocations = self.revocations.read();
+        let mut peers = self.peers.lock();
+        for state in peers.values_mut() {
+            state.session.retain_credentials(|a| {
+                if revocations.is_credential_revoked(&a.id()) {
+                    return false;
+                }
+                match a.authorizer().as_key() {
+                    Some(key) => !revocations.is_key_revoked(key),
+                    None => true,
+                }
+            });
+        }
+        drop(peers);
+        self.cache.clear();
+    }
+
+    /// Runs `f` with the peer's session, creating it on first use.
+    fn with_peer<R>(&self, peer: &VerifyingKey, f: impl FnOnce(&mut PeerState) -> R) -> R {
+        let mut peers = self.peers.lock();
+        let state = peers.entry(peer.0).or_insert_with(|| {
+            let mut session = Session::new(&Perm::VALUE_SET);
+            for p in &self.policy {
+                session
+                    .add_policy(p)
+                    .expect("configured policy assertions must parse");
+            }
+            let mut counter = self.epoch_counter.lock();
+            *counter += 1;
+            PeerState {
+                session,
+                epoch: *counter << 20,
+            }
+        });
+        f(state)
+    }
+
+    /// Computes the permissions `peer` holds on `fh` (cached).
+    pub fn permissions_for(&self, peer: &VerifyingKey, fh: &FHandle) -> Perm {
+        let env = *self.env.read();
+        if self.revocations.read().is_key_revoked(peer) {
+            return Perm::NONE;
+        }
+        let (_, ino, generation) = fh.unpack();
+        self.with_peer(peer, |state| {
+            let key = CacheKey {
+                peer: peer.0,
+                handle: (ino, generation),
+                epoch: (state.epoch, env.epoch),
+            };
+            if let Some(perm) = self.cache.get(&key) {
+                if let Some(charge) = &*self.policy_charge.read() {
+                    charge.clock.advance(charge.cache_hit);
+                }
+                return perm;
+            }
+            let session = &mut state.session;
+            session.clear_attributes();
+            session.set_attribute("app_domain", "DisCFS");
+            session.set_attribute("HANDLE", &fh.credential_string());
+            session.set_attribute("hour", &env.hour.to_string());
+            session.set_attribute("time", &env.time.to_string());
+            session.clear_requesters();
+            session.add_requester_key(peer);
+            let perm = match session.query() {
+                Ok(value) => Perm::from_value_string(value.as_str()),
+                Err(_) => Perm::NONE,
+            };
+            // Public (anonymous-Web) baseline applies to everyone.
+            let perm = perm.union(
+                self.public_grants
+                    .read()
+                    .get(&(ino, generation))
+                    .copied()
+                    .unwrap_or(Perm::NONE),
+            );
+            if let Some(charge) = &*self.policy_charge.read() {
+                charge.clock.advance(charge.cache_miss);
+            }
+            self.cache.insert(key, perm);
+            perm
+        })
+    }
+
+    /// Authorizes an operation: the peer must hold `required` on `fh`.
+    fn authorize(
+        &self,
+        ctx: &RequestCtx,
+        fh: &FHandle,
+        required: Perm,
+        op: &str,
+    ) -> Result<(), NfsStat> {
+        let Some(peer) = ctx.peer else {
+            // No channel identity at all: nothing can be authorized.
+            return Err(NfsStat::Acces);
+        };
+        let granted = self.permissions_for(&peer, fh);
+        let allowed = granted.contains(required);
+        // Log "key A was used and key B authorized" (§4.2): the issuers
+        // of the session's credentials are the candidate authorizers.
+        let authorizers = self.with_peer(&peer, |state| {
+            state
+                .session
+                .credentials()
+                .iter()
+                .map(|a| a.authorizer().to_text())
+                .collect::<Vec<_>>()
+        });
+        self.audit.record(
+            self.env.read().time,
+            &peer.0,
+            op,
+            &fh.credential_string(),
+            required,
+            granted,
+            allowed,
+            authorizers,
+        );
+        if allowed {
+            Ok(())
+        } else {
+            Err(NfsStat::Acces)
+        }
+    }
+
+    /// Issues the creator credential for a freshly created file and
+    /// registers it in the creator's session (paper §5's added
+    /// CREATE/MKDIR procedures).
+    fn issue_creator_credential(&self, peer: &VerifyingKey, fh: &FHandle, name: &str) -> String {
+        let credential = CredentialIssuer::new(&self.server_key)
+            .holder(peer)
+            .grant(fh, Perm::RWX)
+            .comment(name)
+            .issue();
+        self.with_peer(peer, |state| {
+            state
+                .session
+                .add_credential(&credential)
+                .expect("server-issued credentials always verify");
+            state.epoch += 1;
+        });
+        credential
+    }
+
+    fn submit_credential(&self, peer: &VerifyingKey, text: &str) -> DiscfsRpcStatus {
+        // Revocation screening before the session sees it.
+        match keynote::Assertion::parse(text) {
+            Ok(assertion) => {
+                let revocations = self.revocations.read();
+                if revocations.is_credential_revoked(&assertion.id()) {
+                    return DiscfsRpcStatus::Revoked;
+                }
+                if let Some(key) = assertion.authorizer().as_key() {
+                    if revocations.is_key_revoked(key) {
+                        return DiscfsRpcStatus::Revoked;
+                    }
+                }
+            }
+            Err(_) => return DiscfsRpcStatus::BadCredential,
+        }
+        self.with_peer(peer, |state| match state.session.add_credential(text) {
+            Ok(()) => {
+                state.epoch += 1;
+                DiscfsRpcStatus::Ok
+            }
+            Err(_) => DiscfsRpcStatus::BadCredential,
+        })
+    }
+
+    fn create_with_cred(
+        &self,
+        ctx: &RequestCtx,
+        args: &DirOpArgs,
+        mode: u32,
+        mkdir: bool,
+    ) -> Result<CreateWithCredRes, NfsStat> {
+        let peer = ctx.peer.ok_or(NfsStat::Acces)?;
+        self.authorize(
+            ctx,
+            &args.dir,
+            Perm::W.union(Perm::X),
+            if mkdir { "mkdir" } else { "create" },
+        )?;
+        let sattr = Sattr::with_mode(mode);
+        let (fh, attr) = if mkdir {
+            self.storage.mkdir(ctx, args, &sattr)?
+        } else {
+            self.storage.create(ctx, args, &sattr)?
+        };
+        let credential = self.issue_creator_credential(&peer, &fh, &args.name);
+        Ok(CreateWithCredRes {
+            fh,
+            attr,
+            credential,
+        })
+    }
+
+    /// Rewrites attributes so the reported mode/owner reflect *granted*
+    /// rights, not the stored Unix bits (attach semantics, §5).
+    fn present(&self, ctx: &RequestCtx, fh: &FHandle, mut attr: Fattr) -> Fattr {
+        let granted = match ctx.peer {
+            Some(peer) => self.permissions_for(&peer, fh),
+            None => Perm::NONE,
+        };
+        attr.mode = (attr.mode & 0o170000) | granted.mode_bits();
+        if ctx.uid != u32::MAX {
+            attr.uid = ctx.uid;
+            attr.gid = ctx.gid;
+        }
+        attr
+    }
+}
+
+impl NfsService for DiscfsService {
+    fn mount(&self, ctx: &RequestCtx, path: &str) -> Result<FHandle, NfsStat> {
+        // Attach always succeeds for authenticated peers; without
+        // credentials the tree simply shows mode 000.
+        if ctx.peer.is_none() {
+            return Err(NfsStat::Acces);
+        }
+        self.storage.mount(ctx, path)
+    }
+
+    fn getattr(&self, ctx: &RequestCtx, fh: &FHandle) -> Result<Fattr, NfsStat> {
+        let attr = self.storage.getattr(ctx, fh)?;
+        Ok(self.present(ctx, fh, attr))
+    }
+
+    fn setattr(&self, ctx: &RequestCtx, fh: &FHandle, sattr: &Sattr) -> Result<Fattr, NfsStat> {
+        // Only size/time updates are meaningful: access control lives in
+        // credentials, so chmod/chown are accepted but inert (§5: the
+        // setattr procedure "becomes superfluous").
+        self.authorize(ctx, fh, Perm::W, "setattr")?;
+        let attr = self.storage.setattr(ctx, fh, sattr)?;
+        Ok(self.present(ctx, fh, attr))
+    }
+
+    fn lookup(&self, ctx: &RequestCtx, args: &DirOpArgs) -> Result<(FHandle, Fattr), NfsStat> {
+        self.authorize(ctx, &args.dir, Perm::X, "lookup")?;
+        let (fh, attr) = self.storage.lookup(ctx, args)?;
+        let attr = self.present(ctx, &fh, attr);
+        Ok((fh, attr))
+    }
+
+    fn readlink(&self, ctx: &RequestCtx, fh: &FHandle) -> Result<String, NfsStat> {
+        self.authorize(ctx, fh, Perm::R, "readlink")?;
+        self.storage.readlink(ctx, fh)
+    }
+
+    fn read(
+        &self,
+        ctx: &RequestCtx,
+        fh: &FHandle,
+        offset: u32,
+        count: u32,
+    ) -> Result<(Fattr, Vec<u8>), NfsStat> {
+        self.authorize(ctx, fh, Perm::R, "read")?;
+        let (attr, data) = self.storage.read(ctx, fh, offset, count)?;
+        Ok((self.present(ctx, fh, attr), data))
+    }
+
+    fn write(
+        &self,
+        ctx: &RequestCtx,
+        fh: &FHandle,
+        offset: u32,
+        data: &[u8],
+    ) -> Result<Fattr, NfsStat> {
+        self.authorize(ctx, fh, Perm::W, "write")?;
+        let attr = self.storage.write(ctx, fh, offset, data)?;
+        Ok(self.present(ctx, fh, attr))
+    }
+
+    fn create(
+        &self,
+        ctx: &RequestCtx,
+        args: &DirOpArgs,
+        sattr: &Sattr,
+    ) -> Result<(FHandle, Fattr), NfsStat> {
+        // The plain NFS CREATE path works but yields no credential —
+        // exactly the §5 pitfall ("he would not be able to access the
+        // newly created file"); clients should use the side program.
+        self.authorize(ctx, &args.dir, Perm::W.union(Perm::X), "create")?;
+        let (fh, attr) = self.storage.create(ctx, args, sattr)?;
+        let attr = self.present(ctx, &fh, attr);
+        Ok((fh, attr))
+    }
+
+    fn remove(&self, ctx: &RequestCtx, args: &DirOpArgs) -> Result<(), NfsStat> {
+        self.authorize(ctx, &args.dir, Perm::W.union(Perm::X), "remove")?;
+        self.storage.remove(ctx, args)
+    }
+
+    fn rename(&self, ctx: &RequestCtx, from: &DirOpArgs, to: &DirOpArgs) -> Result<(), NfsStat> {
+        self.authorize(ctx, &from.dir, Perm::W.union(Perm::X), "rename")?;
+        self.authorize(ctx, &to.dir, Perm::W.union(Perm::X), "rename")?;
+        self.storage.rename(ctx, from, to)
+    }
+
+    fn link(&self, ctx: &RequestCtx, from: &FHandle, to: &DirOpArgs) -> Result<(), NfsStat> {
+        self.authorize(ctx, from, Perm::R, "link")?;
+        self.authorize(ctx, &to.dir, Perm::W.union(Perm::X), "link")?;
+        self.storage.link(ctx, from, to)
+    }
+
+    fn symlink(
+        &self,
+        ctx: &RequestCtx,
+        args: &DirOpArgs,
+        target: &str,
+        sattr: &Sattr,
+    ) -> Result<(), NfsStat> {
+        self.authorize(ctx, &args.dir, Perm::W.union(Perm::X), "symlink")?;
+        self.storage.symlink(ctx, args, target, sattr)
+    }
+
+    fn mkdir(
+        &self,
+        ctx: &RequestCtx,
+        args: &DirOpArgs,
+        sattr: &Sattr,
+    ) -> Result<(FHandle, Fattr), NfsStat> {
+        self.authorize(ctx, &args.dir, Perm::W.union(Perm::X), "mkdir")?;
+        let (fh, attr) = self.storage.mkdir(ctx, args, sattr)?;
+        let attr = self.present(ctx, &fh, attr);
+        Ok((fh, attr))
+    }
+
+    fn rmdir(&self, ctx: &RequestCtx, args: &DirOpArgs) -> Result<(), NfsStat> {
+        self.authorize(ctx, &args.dir, Perm::W.union(Perm::X), "rmdir")?;
+        self.storage.rmdir(ctx, args)
+    }
+
+    fn readdir(
+        &self,
+        ctx: &RequestCtx,
+        fh: &FHandle,
+        cookie: u32,
+        count: u32,
+    ) -> Result<(Vec<ReaddirEntry>, bool), NfsStat> {
+        self.authorize(ctx, fh, Perm::R, "readdir")?;
+        self.storage.readdir(ctx, fh, cookie, count)
+    }
+
+    fn statfs(&self, ctx: &RequestCtx, fh: &FHandle) -> Result<StatfsRes, NfsStat> {
+        if ctx.peer.is_none() {
+            return Err(NfsStat::Acces);
+        }
+        self.storage.statfs(ctx, fh)
+    }
+
+    fn extension(
+        &self,
+        ctx: &RequestCtx,
+        prog: u32,
+        proc_num: u32,
+        args: &[u8],
+    ) -> Option<Result<Vec<u8>, AcceptStat>> {
+        if prog != DISCFS_PROGRAM {
+            return None;
+        }
+        Some(self.discfs_dispatch(ctx, proc_num, args))
+    }
+
+    fn connection_closed(&self, ctx: &RequestCtx) {
+        // The persistent KeyNote session ends with the connection; the
+        // client resubmits credentials next time (credential caching is
+        // the client wallet's job, §4.1).
+        if let Some(peer) = ctx.peer {
+            self.peers.lock().remove(&peer.0);
+        }
+    }
+}
+
+impl DiscfsService {
+    fn discfs_dispatch(
+        &self,
+        ctx: &RequestCtx,
+        proc_num: u32,
+        args: &[u8],
+    ) -> Result<Vec<u8>, AcceptStat> {
+        let mut d = Decoder::new(args);
+        let peer = match ctx.peer {
+            Some(p) => p,
+            None => return Err(AcceptStat::SystemErr),
+        };
+        match proc_num {
+            proc_discfs::NULL => Ok(Vec::new()),
+            proc_discfs::SUBMIT_CRED => {
+                let text = d.get_string().map_err(|_| AcceptStat::GarbageArgs)?;
+                let status = self.submit_credential(&peer, &text);
+                let mut e = Encoder::new();
+                e.put_u32(status as u32);
+                Ok(e.finish())
+            }
+            proc_discfs::CREATE | proc_discfs::MKDIR => {
+                let dir_args = DirOpArgs::decode(&mut d).map_err(|_| AcceptStat::GarbageArgs)?;
+                let mode = d.get_u32().map_err(|_| AcceptStat::GarbageArgs)?;
+                let result =
+                    self.create_with_cred(ctx, &dir_args, mode, proc_num == proc_discfs::MKDIR);
+                Ok(encode_create_res(&result))
+            }
+            proc_discfs::CRED_COUNT => {
+                let count = self.with_peer(&peer, |state| state.session.credentials().len());
+                let mut e = Encoder::new();
+                e.put_u32(count as u32);
+                Ok(e.finish())
+            }
+            proc_discfs::REVOKE_KEY => {
+                if !self.admin_keys.contains(&peer) {
+                    let mut e = Encoder::new();
+                    e.put_u32(DiscfsRpcStatus::Denied as u32);
+                    return Ok(e.finish());
+                }
+                let key_bytes = d
+                    .get_opaque_fixed(32)
+                    .map_err(|_| AcceptStat::GarbageArgs)?;
+                let key_array: [u8; 32] = key_bytes.try_into().expect("32 bytes");
+                let status = match VerifyingKey::from_bytes(&key_array) {
+                    Ok(key) => {
+                        self.revoke_key(&key, None);
+                        DiscfsRpcStatus::Ok
+                    }
+                    Err(_) => DiscfsRpcStatus::BadCredential,
+                };
+                let mut e = Encoder::new();
+                e.put_u32(status as u32);
+                Ok(e.finish())
+            }
+            proc_discfs::REVOKE_CRED => {
+                if !self.admin_keys.contains(&peer) {
+                    let mut e = Encoder::new();
+                    e.put_u32(DiscfsRpcStatus::Denied as u32);
+                    return Ok(e.finish());
+                }
+                let id = d.get_string().map_err(|_| AcceptStat::GarbageArgs)?;
+                self.revoke_credential(&id, None);
+                let mut e = Encoder::new();
+                e.put_u32(DiscfsRpcStatus::Ok as u32);
+                Ok(e.finish())
+            }
+            _ => Err(AcceptStat::ProcUnavail),
+        }
+    }
+
+    /// The DisCFS program/version pair served by [`Self::extension`].
+    pub fn control_program() -> (u32, u32) {
+        (DISCFS_PROGRAM, DISCFS_VERSION)
+    }
+}

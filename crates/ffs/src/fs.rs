@@ -1,0 +1,1197 @@
+//! Filesystem operations: allocation, block mapping, directories, and
+//! the inode-level API the NFS layer exposes.
+
+use parking_lot::Mutex;
+
+use crate::disk::{DiskModel, MemDisk, BLOCK_SIZE};
+use crate::inode::{FileKind, Inode, INODES_PER_BLOCK, INODE_SIZE, NDIRECT, PTRS_PER_BLOCK};
+use crate::FsError;
+
+/// An inode number. 0 is invalid; 1 is the root directory.
+pub type Ino = u32;
+
+/// Maximum file-name length in a directory entry.
+const MAX_NAME: usize = 255;
+
+/// Filesystem geometry parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FsConfig {
+    /// Total blocks on the device (8 KB each).
+    pub total_blocks: u64,
+    /// Number of inodes in the table.
+    pub inode_count: u32,
+}
+
+impl FsConfig {
+    /// 16 MB / 1024 inodes: quick unit tests.
+    pub fn small() -> FsConfig {
+        FsConfig {
+            total_blocks: 2048,
+            inode_count: 1024,
+        }
+    }
+
+    /// 256 MB / 8192 inodes: enough for the 100 MB Bonnie file.
+    pub fn standard() -> FsConfig {
+        FsConfig {
+            total_blocks: 32768,
+            inode_count: 8192,
+        }
+    }
+}
+
+/// Static block layout derived from an [`FsConfig`].
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    total_blocks: u64,
+    itable_start: u64,
+    data_start: u64,
+}
+
+impl Layout {
+    fn new(config: &FsConfig) -> Layout {
+        // Block 0: superblock (geometry only; bitmaps live in memory and
+        // are reconstructed by `check` from the inode table itself).
+        let itable_blocks = (config.inode_count as u64).div_ceil(INODES_PER_BLOCK as u64);
+        let itable_start = 1;
+        let data_start = itable_start + itable_blocks;
+        Layout {
+            total_blocks: config.total_blocks,
+            itable_start,
+            data_start,
+        }
+    }
+}
+
+/// Mutable allocation state (the "buffer cache" view of the bitmaps).
+struct FsInner {
+    inode_bitmap: Vec<bool>,
+    block_bitmap: Vec<bool>,
+    free_blocks: u64,
+    free_inodes: u32,
+    /// Monotonic tick used for atime/mtime/ctime (deterministic).
+    tick: u64,
+    /// Rotating allocation hint for data blocks.
+    alloc_hint: u64,
+}
+
+/// File attributes as reported by [`Ffs::getattr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attr {
+    /// Inode number.
+    pub ino: Ino,
+    /// File kind.
+    pub kind: FileKind,
+    /// Permission bits (low 12 bits).
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Access time (ticks).
+    pub atime: u64,
+    /// Modification time (ticks).
+    pub mtime: u64,
+    /// Change time (ticks).
+    pub ctime: u64,
+    /// Inode generation (for stale-handle detection).
+    pub generation: u32,
+}
+
+/// Attribute updates for [`Ffs::setattr`]; `None` leaves a field alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetAttr {
+    /// New permission bits.
+    pub mode: Option<u32>,
+    /// New owner uid.
+    pub uid: Option<u32>,
+    /// New owner gid.
+    pub gid: Option<u32>,
+    /// New size (truncate/extend).
+    pub size: Option<u64>,
+    /// New access time.
+    pub atime: Option<u64>,
+    /// New modification time.
+    pub mtime: Option<u64>,
+}
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name.
+    pub name: String,
+    /// Target inode.
+    pub ino: Ino,
+}
+
+/// Filesystem usage statistics ([`Ffs::statfs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsStats {
+    /// Block size in bytes.
+    pub block_size: u32,
+    /// Total data blocks.
+    pub total_blocks: u64,
+    /// Free data blocks.
+    pub free_blocks: u64,
+    /// Total inodes.
+    pub total_inodes: u32,
+    /// Free inodes.
+    pub free_inodes: u32,
+}
+
+/// The filesystem.
+pub struct Ffs {
+    pub(crate) disk: MemDisk,
+    pub(crate) inode_count: u32,
+    layout: Layout,
+    inner: Mutex<FsInner>,
+}
+
+/// Maximum file size supported by the pointer geometry.
+fn max_file_size() -> u64 {
+    ((NDIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK) as u64) * BLOCK_SIZE as u64
+}
+
+fn validate_name(name: &str) -> Result<(), FsError> {
+    if name.is_empty()
+        || name.len() > MAX_NAME
+        || name.contains('/')
+        || name.contains('\0')
+        || name == "."
+        || name == ".."
+    {
+        return Err(FsError::BadName);
+    }
+    Ok(())
+}
+
+impl Ffs {
+    /// Formats a fresh filesystem on `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the disk is too small for the requested inode table.
+    pub fn format(disk: MemDisk, config: FsConfig) -> Ffs {
+        let layout = Layout::new(&config);
+        assert!(
+            layout.data_start + 8 <= config.total_blocks,
+            "disk too small for inode table"
+        );
+        assert!(
+            disk.block_count() >= config.total_blocks,
+            "disk smaller than config"
+        );
+
+        let mut inner = FsInner {
+            inode_bitmap: vec![false; config.inode_count as usize],
+            block_bitmap: vec![false; config.total_blocks as usize],
+            free_blocks: config.total_blocks - layout.data_start,
+            free_inodes: config.inode_count - 2, // 0 reserved, 1 = root
+            tick: 1,
+            alloc_hint: layout.data_start,
+        };
+        // Metadata region is permanently allocated.
+        for b in 0..layout.data_start {
+            inner.block_bitmap[b as usize] = true;
+        }
+        // Inode 0 is reserved so that pointer value 0 can mean "none".
+        inner.inode_bitmap[0] = true;
+
+        let fs = Ffs {
+            disk,
+            inode_count: config.inode_count,
+            layout,
+            inner: Mutex::new(inner),
+        };
+
+        // Zero the inode table.
+        let zero = vec![0u8; BLOCK_SIZE];
+        for b in fs.layout.itable_start..fs.layout.data_start {
+            fs.disk.write_block_meta(b, &zero);
+        }
+
+        // Create the root directory (inode 1), with "." and ".." both
+        // pointing at itself.
+        {
+            let mut inner = fs.inner.lock();
+            inner.inode_bitmap[1] = true;
+            let tick = inner.tick;
+            let mut root = Inode::empty(1);
+            root.mode = FileKind::Directory.mode_bits() | 0o755;
+            root.nlink = 2;
+            root.atime = tick;
+            root.mtime = tick;
+            root.ctime = tick;
+            fs.write_inode(1, &root);
+            let entries = vec![
+                DirEntry {
+                    name: ".".into(),
+                    ino: 1,
+                },
+                DirEntry {
+                    name: "..".into(),
+                    ino: 1,
+                },
+            ];
+            fs.write_dir(&mut inner, 1, &entries)
+                .expect("fresh filesystem has space for the root directory");
+        }
+        fs
+    }
+
+    /// Formats a filesystem on a fresh untimed in-memory disk.
+    pub fn format_in_memory(config: FsConfig) -> Ffs {
+        let disk = MemDisk::untimed(config.total_blocks);
+        Ffs::format(disk, config)
+    }
+
+    /// Formats on a disk with the paper's timing models attached.
+    pub fn format_timed(clock: &netsim::SimClock, config: FsConfig) -> Ffs {
+        let disk = MemDisk::new(
+            clock,
+            DiskModel::quantum_fireball_ct10(),
+            config.total_blocks,
+        );
+        Ffs::format(disk, config)
+    }
+
+    /// The root directory inode (always 1).
+    pub fn root(&self) -> Ino {
+        1
+    }
+
+    /// Access to the underlying disk (I/O counters, clock).
+    pub fn disk(&self) -> &MemDisk {
+        &self.disk
+    }
+
+    // -- inode table ------------------------------------------------------
+
+    pub(crate) fn read_inode(&self, ino: Ino) -> Inode {
+        let block = self.layout.itable_start + (ino as u64) / INODES_PER_BLOCK as u64;
+        let offset = (ino as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        let data = self.disk.read_block_meta(block);
+        Inode::from_bytes(&data[offset..offset + INODE_SIZE])
+    }
+
+    pub(crate) fn write_inode(&self, ino: Ino, inode: &Inode) {
+        let block = self.layout.itable_start + (ino as u64) / INODES_PER_BLOCK as u64;
+        let offset = (ino as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        let mut data = self.disk.read_block_meta(block);
+        data[offset..offset + INODE_SIZE].copy_from_slice(&inode.to_bytes());
+        self.disk.write_block_meta(block, &data);
+    }
+
+    /// Loads an inode, verifying it is allocated.
+    fn load(&self, ino: Ino) -> Result<Inode, FsError> {
+        if ino == 0 || ino >= self.inode_count {
+            return Err(FsError::BadInode);
+        }
+        let inode = self.read_inode(ino);
+        if !inode.is_allocated() {
+            return Err(FsError::BadInode);
+        }
+        Ok(inode)
+    }
+
+    fn alloc_inode(&self, inner: &mut FsInner) -> Result<Ino, FsError> {
+        let start = 2; // skip reserved 0 and root 1
+        for ino in start..self.inode_count {
+            if !inner.inode_bitmap[ino as usize] {
+                inner.inode_bitmap[ino as usize] = true;
+                inner.free_inodes -= 1;
+                // Bump the generation on reuse.
+                let mut inode = self.read_inode(ino);
+                inode = Inode::empty(inode.generation.wrapping_add(1));
+                self.write_inode(ino, &inode);
+                return Ok(ino);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn free_inode(&self, inner: &mut FsInner, ino: Ino) {
+        let generation = self.read_inode(ino).generation;
+        self.write_inode(ino, &Inode::empty(generation));
+        inner.inode_bitmap[ino as usize] = false;
+        inner.free_inodes += 1;
+    }
+
+    // -- block allocation ---------------------------------------------------
+
+    fn alloc_block(&self, inner: &mut FsInner) -> Result<u64, FsError> {
+        if inner.free_blocks == 0 {
+            return Err(FsError::NoSpace);
+        }
+        let total = self.layout.total_blocks;
+        let mut idx = inner.alloc_hint.max(self.layout.data_start);
+        for _ in 0..total {
+            if idx >= total {
+                idx = self.layout.data_start;
+            }
+            if !inner.block_bitmap[idx as usize] {
+                inner.block_bitmap[idx as usize] = true;
+                inner.free_blocks -= 1;
+                inner.alloc_hint = idx + 1;
+                // Zero the block so stale data never leaks into reads.
+                self.disk.write_block_meta(idx, &vec![0u8; BLOCK_SIZE]);
+                return Ok(idx);
+            }
+            idx += 1;
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn free_block(&self, inner: &mut FsInner, idx: u64) {
+        debug_assert!(idx >= self.layout.data_start);
+        debug_assert!(
+            inner.block_bitmap[idx as usize],
+            "double free of block {idx}"
+        );
+        inner.block_bitmap[idx as usize] = false;
+        inner.free_blocks += 1;
+    }
+
+    // -- block mapping ------------------------------------------------------
+
+    fn read_ptr_block(&self, block: u64) -> Vec<u32> {
+        let data = self.disk.read_block_meta(block);
+        data.chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().expect("4 bytes")))
+            .collect()
+    }
+
+    fn write_ptr(&self, block: u64, index: usize, value: u32) {
+        let mut data = self.disk.read_block_meta(block);
+        data[index * 4..index * 4 + 4].copy_from_slice(&value.to_be_bytes());
+        self.disk.write_block_meta(block, &data);
+    }
+
+    /// Maps file block `fbn` to a disk block, allocating if requested.
+    fn bmap(
+        &self,
+        inner: &mut FsInner,
+        inode: &mut Inode,
+        fbn: u64,
+        allocate: bool,
+    ) -> Result<Option<u64>, FsError> {
+        let ptrs = PTRS_PER_BLOCK as u64;
+        if fbn < NDIRECT as u64 {
+            let slot = fbn as usize;
+            if inode.direct[slot] == 0 {
+                if !allocate {
+                    return Ok(None);
+                }
+                inode.direct[slot] = self.alloc_block(inner)? as u32;
+            }
+            return Ok(Some(inode.direct[slot] as u64));
+        }
+        let fbn = fbn - NDIRECT as u64;
+        if fbn < ptrs {
+            if inode.indirect == 0 {
+                if !allocate {
+                    return Ok(None);
+                }
+                inode.indirect = self.alloc_block(inner)? as u32;
+            }
+            let table = self.read_ptr_block(inode.indirect as u64);
+            let mut entry = table[fbn as usize];
+            if entry == 0 {
+                if !allocate {
+                    return Ok(None);
+                }
+                entry = self.alloc_block(inner)? as u32;
+                self.write_ptr(inode.indirect as u64, fbn as usize, entry);
+            }
+            return Ok(Some(entry as u64));
+        }
+        let fbn = fbn - ptrs;
+        if fbn < ptrs * ptrs {
+            if inode.double_indirect == 0 {
+                if !allocate {
+                    return Ok(None);
+                }
+                inode.double_indirect = self.alloc_block(inner)? as u32;
+            }
+            let outer_idx = (fbn / ptrs) as usize;
+            let inner_idx = (fbn % ptrs) as usize;
+            let outer = self.read_ptr_block(inode.double_indirect as u64);
+            let mut mid = outer[outer_idx];
+            if mid == 0 {
+                if !allocate {
+                    return Ok(None);
+                }
+                mid = self.alloc_block(inner)? as u32;
+                self.write_ptr(inode.double_indirect as u64, outer_idx, mid);
+            }
+            let table = self.read_ptr_block(mid as u64);
+            let mut entry = table[inner_idx];
+            if entry == 0 {
+                if !allocate {
+                    return Ok(None);
+                }
+                entry = self.alloc_block(inner)? as u32;
+                self.write_ptr(mid as u64, inner_idx, entry);
+            }
+            return Ok(Some(entry as u64));
+        }
+        Err(FsError::TooBig)
+    }
+
+    /// Frees every data/indirect block at or beyond file block `from_fbn`.
+    fn free_blocks_from(&self, inner: &mut FsInner, inode: &mut Inode, from_fbn: u64) {
+        let ptrs = PTRS_PER_BLOCK as u64;
+        for slot in 0..NDIRECT {
+            if (slot as u64) >= from_fbn && inode.direct[slot] != 0 {
+                self.free_block(inner, inode.direct[slot] as u64);
+                inode.direct[slot] = 0;
+            }
+        }
+        if inode.indirect != 0 {
+            let base = NDIRECT as u64;
+            let table = self.read_ptr_block(inode.indirect as u64);
+            let mut any_left = false;
+            for (i, &entry) in table.iter().enumerate() {
+                if entry == 0 {
+                    continue;
+                }
+                if base + i as u64 >= from_fbn {
+                    self.free_block(inner, entry as u64);
+                    self.write_ptr(inode.indirect as u64, i, 0);
+                } else {
+                    any_left = true;
+                }
+            }
+            if !any_left {
+                self.free_block(inner, inode.indirect as u64);
+                inode.indirect = 0;
+            }
+        }
+        if inode.double_indirect != 0 {
+            let base = NDIRECT as u64 + ptrs;
+            let outer = self.read_ptr_block(inode.double_indirect as u64);
+            let mut any_outer_left = false;
+            for (o, &mid) in outer.iter().enumerate() {
+                if mid == 0 {
+                    continue;
+                }
+                let mid_base = base + o as u64 * ptrs;
+                let table = self.read_ptr_block(mid as u64);
+                let mut any_left = false;
+                for (i, &entry) in table.iter().enumerate() {
+                    if entry == 0 {
+                        continue;
+                    }
+                    if mid_base + i as u64 >= from_fbn {
+                        self.free_block(inner, entry as u64);
+                        self.write_ptr(mid as u64, i, 0);
+                    } else {
+                        any_left = true;
+                    }
+                }
+                if !any_left {
+                    self.free_block(inner, mid as u64);
+                    self.write_ptr(inode.double_indirect as u64, o, 0);
+                } else {
+                    any_outer_left = true;
+                }
+            }
+            if !any_outer_left {
+                self.free_block(inner, inode.double_indirect as u64);
+                inode.double_indirect = 0;
+            }
+        }
+    }
+
+    // -- data I/O -----------------------------------------------------------
+
+    fn read_inode_data(
+        &self,
+        inner: &mut FsInner,
+        inode: &mut Inode,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, FsError> {
+        if offset >= inode.size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((inode.size - offset) as usize);
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let fbn = pos / BLOCK_SIZE as u64;
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let take = (BLOCK_SIZE - in_block).min((end - pos) as usize);
+            match self.bmap(inner, inode, fbn, false)? {
+                Some(block) => {
+                    let data = self.disk.read_block(block);
+                    out.extend_from_slice(&data[in_block..in_block + take]);
+                }
+                None => out.extend(std::iter::repeat_n(0u8, take)),
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    fn write_inode_data(
+        &self,
+        inner: &mut FsInner,
+        inode: &mut Inode,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), FsError> {
+        let end = offset + data.len() as u64;
+        if end > max_file_size() {
+            return Err(FsError::TooBig);
+        }
+        let mut pos = offset;
+        let mut src = 0usize;
+        while pos < end {
+            let fbn = pos / BLOCK_SIZE as u64;
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let take = (BLOCK_SIZE - in_block).min((end - pos) as usize);
+            let block = self
+                .bmap(inner, inode, fbn, true)?
+                .expect("bmap with allocate=true returns a block");
+            if take == BLOCK_SIZE {
+                self.disk.write_block(block, &data[src..src + take]);
+            } else {
+                let mut buf = self.disk.read_block(block);
+                buf[in_block..in_block + take].copy_from_slice(&data[src..src + take]);
+                self.disk.write_block(block, &buf);
+            }
+            pos += take as u64;
+            src += take;
+        }
+        if end > inode.size {
+            inode.size = end;
+        }
+        Ok(())
+    }
+
+    // -- directories ----------------------------------------------------------
+
+    fn parse_dir(data: &[u8]) -> Vec<DirEntry> {
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        while pos + 5 <= data.len() {
+            let ino = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+            let name_len = data[pos + 4] as usize;
+            pos += 5;
+            if pos + name_len > data.len() {
+                break;
+            }
+            let name = String::from_utf8_lossy(&data[pos..pos + name_len]).into_owned();
+            pos += name_len;
+            if ino != 0 {
+                entries.push(DirEntry { name, ino });
+            }
+        }
+        entries
+    }
+
+    fn serialize_dir(entries: &[DirEntry]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for e in entries {
+            out.extend_from_slice(&e.ino.to_be_bytes());
+            out.push(e.name.len() as u8);
+            out.extend_from_slice(e.name.as_bytes());
+        }
+        out
+    }
+
+    fn read_dir(&self, inner: &mut FsInner, ino: Ino) -> Result<Vec<DirEntry>, FsError> {
+        let mut inode = self.load(ino)?;
+        if inode.kind() != FileKind::Directory {
+            return Err(FsError::NotDir);
+        }
+        let size = inode.size;
+        let data = self.read_inode_data(inner, &mut inode, 0, size as usize)?;
+        Ok(Self::parse_dir(&data))
+    }
+
+    fn write_dir(
+        &self,
+        inner: &mut FsInner,
+        ino: Ino,
+        entries: &[DirEntry],
+    ) -> Result<(), FsError> {
+        let mut inode = self.load(ino).or_else(|e| {
+            // During format the root inode is written just before this call.
+            if ino == 1 {
+                Ok(self.read_inode(1))
+            } else {
+                Err(e)
+            }
+        })?;
+        let data = Self::serialize_dir(entries);
+        // Shrink then rewrite.
+        let new_blocks = (data.len() as u64).div_ceil(BLOCK_SIZE as u64);
+        self.free_blocks_from(inner, &mut inode, new_blocks.max(1));
+        inode.size = 0;
+        self.write_inode_data(inner, &mut inode, 0, &data)?;
+        inode.size = data.len() as u64;
+        inode.mtime = inner.tick;
+        inode.ctime = inner.tick;
+        self.write_inode(ino, &inode);
+        Ok(())
+    }
+
+    // -- public API -----------------------------------------------------------
+
+    /// Looks up `name` in directory `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoEnt`] if absent, [`FsError::NotDir`] if `dir` is not
+    /// a directory.
+    pub fn lookup(&self, dir: Ino, name: &str) -> Result<Ino, FsError> {
+        let mut inner = self.inner.lock();
+        let entries = self.read_dir(&mut inner, dir)?;
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.ino)
+            .ok_or(FsError::NoEnt)
+    }
+
+    /// Creates a regular file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`], [`FsError::BadName`], [`FsError::NoSpace`],
+    /// [`FsError::NotDir`].
+    pub fn create(
+        &self,
+        dir: Ino,
+        name: &str,
+        mode: u32,
+        uid: u32,
+        gid: u32,
+    ) -> Result<Ino, FsError> {
+        validate_name(name)?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut entries = self.read_dir(&mut inner, dir)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(FsError::Exists);
+        }
+        let ino = self.alloc_inode(&mut inner)?;
+        let tick = inner.tick;
+        let mut inode = self.read_inode(ino);
+        inode.mode = FileKind::Regular.mode_bits() | (mode & 0o7777);
+        inode.uid = uid;
+        inode.gid = gid;
+        inode.nlink = 1;
+        inode.atime = tick;
+        inode.mtime = tick;
+        inode.ctime = tick;
+        self.write_inode(ino, &inode);
+        entries.push(DirEntry {
+            name: name.to_string(),
+            ino,
+        });
+        self.write_dir(&mut inner, dir, &entries)?;
+        Ok(ino)
+    }
+
+    /// Creates a directory (with `.` and `..` entries).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ffs::create`].
+    pub fn mkdir(
+        &self,
+        dir: Ino,
+        name: &str,
+        mode: u32,
+        uid: u32,
+        gid: u32,
+    ) -> Result<Ino, FsError> {
+        validate_name(name)?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut entries = self.read_dir(&mut inner, dir)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(FsError::Exists);
+        }
+        let ino = self.alloc_inode(&mut inner)?;
+        let tick = inner.tick;
+        let mut inode = self.read_inode(ino);
+        inode.mode = FileKind::Directory.mode_bits() | (mode & 0o7777);
+        inode.uid = uid;
+        inode.gid = gid;
+        inode.nlink = 2;
+        inode.atime = tick;
+        inode.mtime = tick;
+        inode.ctime = tick;
+        self.write_inode(ino, &inode);
+        let child_entries = vec![
+            DirEntry {
+                name: ".".into(),
+                ino,
+            },
+            DirEntry {
+                name: "..".into(),
+                ino: dir,
+            },
+        ];
+        self.write_dir(&mut inner, ino, &child_entries)?;
+        entries.push(DirEntry {
+            name: name.to_string(),
+            ino,
+        });
+        self.write_dir(&mut inner, dir, &entries)?;
+        // The child's ".." references the parent.
+        let mut parent = self.load(dir)?;
+        parent.nlink += 1;
+        self.write_inode(dir, &parent);
+        Ok(ino)
+    }
+
+    /// Creates a symbolic link containing `target`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ffs::create`]; also [`FsError::TooBig`] for an
+    /// oversized target.
+    pub fn symlink(
+        &self,
+        dir: Ino,
+        name: &str,
+        target: &str,
+        uid: u32,
+        gid: u32,
+    ) -> Result<Ino, FsError> {
+        validate_name(name)?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut entries = self.read_dir(&mut inner, dir)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(FsError::Exists);
+        }
+        let ino = self.alloc_inode(&mut inner)?;
+        let tick = inner.tick;
+        let mut inode = self.read_inode(ino);
+        inode.mode = FileKind::Symlink.mode_bits() | 0o777;
+        inode.uid = uid;
+        inode.gid = gid;
+        inode.nlink = 1;
+        inode.atime = tick;
+        inode.mtime = tick;
+        inode.ctime = tick;
+        self.write_inode_data(&mut inner, &mut inode, 0, target.as_bytes())?;
+        self.write_inode(ino, &inode);
+        entries.push(DirEntry {
+            name: name.to_string(),
+            ino,
+        });
+        self.write_dir(&mut inner, dir, &entries)?;
+        Ok(ino)
+    }
+
+    /// Reads a symlink's target.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadType`] when `ino` is not a symlink.
+    pub fn readlink(&self, ino: Ino) -> Result<String, FsError> {
+        let mut inner = self.inner.lock();
+        let mut inode = self.load(ino)?;
+        if inode.kind() != FileKind::Symlink {
+            return Err(FsError::BadType);
+        }
+        let size = inode.size;
+        let data = self.read_inode_data(&mut inner, &mut inode, 0, size as usize)?;
+        Ok(String::from_utf8_lossy(&data).into_owned())
+    }
+
+    /// Creates a hard link to a regular file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsDir`] for directories, plus the usual name errors.
+    pub fn link(&self, ino: Ino, dir: Ino, name: &str) -> Result<(), FsError> {
+        validate_name(name)?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut target = self.load(ino)?;
+        if target.kind() == FileKind::Directory {
+            return Err(FsError::IsDir);
+        }
+        let mut entries = self.read_dir(&mut inner, dir)?;
+        if entries.iter().any(|e| e.name == name) {
+            return Err(FsError::Exists);
+        }
+        entries.push(DirEntry {
+            name: name.to_string(),
+            ino,
+        });
+        self.write_dir(&mut inner, dir, &entries)?;
+        target.nlink += 1;
+        target.ctime = inner.tick;
+        self.write_inode(ino, &target);
+        Ok(())
+    }
+
+    /// Removes a non-directory entry, freeing the inode when its link
+    /// count reaches zero.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsDir`] for directories, [`FsError::NoEnt`] if absent.
+    pub fn unlink(&self, dir: Ino, name: &str) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut entries = self.read_dir(&mut inner, dir)?;
+        let idx = entries
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or(FsError::NoEnt)?;
+        let ino = entries[idx].ino;
+        let mut inode = self.load(ino)?;
+        if inode.kind() == FileKind::Directory {
+            return Err(FsError::IsDir);
+        }
+        entries.remove(idx);
+        self.write_dir(&mut inner, dir, &entries)?;
+        inode.nlink -= 1;
+        if inode.nlink == 0 {
+            self.free_blocks_from(&mut inner, &mut inode, 0);
+            self.write_inode(ino, &inode);
+            self.free_inode(&mut inner, ino);
+        } else {
+            inode.ctime = inner.tick;
+            self.write_inode(ino, &inode);
+        }
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotEmpty`], [`FsError::NotDir`], [`FsError::NoEnt`].
+    pub fn rmdir(&self, dir: Ino, name: &str) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut entries = self.read_dir(&mut inner, dir)?;
+        let idx = entries
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or(FsError::NoEnt)?;
+        let ino = entries[idx].ino;
+        let mut inode = self.load(ino)?;
+        if inode.kind() != FileKind::Directory {
+            return Err(FsError::NotDir);
+        }
+        let children = self.read_dir(&mut inner, ino)?;
+        if children.iter().any(|e| e.name != "." && e.name != "..") {
+            return Err(FsError::NotEmpty);
+        }
+        entries.remove(idx);
+        self.write_dir(&mut inner, dir, &entries)?;
+        // Free the directory's data and inode.
+        self.free_blocks_from(&mut inner, &mut inode, 0);
+        self.write_inode(ino, &inode);
+        self.free_inode(&mut inner, ino);
+        // The child's ".." no longer references the parent.
+        let mut parent = self.load(dir)?;
+        parent.nlink -= 1;
+        parent.ctime = inner.tick;
+        self.write_inode(dir, &parent);
+        Ok(())
+    }
+
+    /// Renames `src_name` in `src_dir` to `dst_name` in `dst_dir`,
+    /// replacing a compatible existing target.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidMove`] when moving a directory under itself;
+    /// [`FsError::Exists`]/[`FsError::NotEmpty`] for incompatible
+    /// targets; the usual lookup errors.
+    pub fn rename(
+        &self,
+        src_dir: Ino,
+        src_name: &str,
+        dst_dir: Ino,
+        dst_name: &str,
+    ) -> Result<(), FsError> {
+        validate_name(dst_name)?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+
+        let src_entries = self.read_dir(&mut inner, src_dir)?;
+        let src_entry = src_entries
+            .iter()
+            .find(|e| e.name == src_name)
+            .ok_or(FsError::NoEnt)?
+            .clone();
+        let moving = self.load(src_entry.ino)?;
+        let moving_is_dir = moving.kind() == FileKind::Directory;
+
+        if src_dir == dst_dir && src_name == dst_name {
+            return Ok(());
+        }
+
+        // A directory must not move into its own subtree.
+        if moving_is_dir && src_dir != dst_dir {
+            let mut cursor = dst_dir;
+            loop {
+                if cursor == src_entry.ino {
+                    return Err(FsError::InvalidMove);
+                }
+                if cursor == 1 {
+                    break;
+                }
+                let entries = self.read_dir(&mut inner, cursor)?;
+                cursor = entries
+                    .iter()
+                    .find(|e| e.name == "..")
+                    .map(|e| e.ino)
+                    .ok_or(FsError::NoEnt)?;
+            }
+        }
+
+        // Handle an existing destination.
+        let dst_entries = self.read_dir(&mut inner, dst_dir)?;
+        if let Some(existing) = dst_entries.iter().find(|e| e.name == dst_name) {
+            let existing_inode = self.load(existing.ino)?;
+            let existing_is_dir = existing_inode.kind() == FileKind::Directory;
+            match (moving_is_dir, existing_is_dir) {
+                (false, false) => {
+                    drop(inner);
+                    self.unlink(dst_dir, dst_name)?;
+                    inner = self.inner.lock();
+                }
+                (true, true) => {
+                    drop(inner);
+                    self.rmdir(dst_dir, dst_name)?;
+                    inner = self.inner.lock();
+                }
+                _ => return Err(FsError::Exists),
+            }
+        }
+
+        // Remove from source, add to destination.
+        let mut src_entries = self.read_dir(&mut inner, src_dir)?;
+        let idx = src_entries
+            .iter()
+            .position(|e| e.name == src_name)
+            .ok_or(FsError::NoEnt)?;
+        src_entries.remove(idx);
+        self.write_dir(&mut inner, src_dir, &src_entries)?;
+
+        let mut dst_entries = self.read_dir(&mut inner, dst_dir)?;
+        dst_entries.push(DirEntry {
+            name: dst_name.to_string(),
+            ino: src_entry.ino,
+        });
+        self.write_dir(&mut inner, dst_dir, &dst_entries)?;
+
+        // Fix ".." and parent link counts for moved directories.
+        if moving_is_dir && src_dir != dst_dir {
+            let mut child_entries = self.read_dir(&mut inner, src_entry.ino)?;
+            for e in child_entries.iter_mut() {
+                if e.name == ".." {
+                    e.ino = dst_dir;
+                }
+            }
+            self.write_dir(&mut inner, src_entry.ino, &child_entries)?;
+            let mut old_parent = self.load(src_dir)?;
+            old_parent.nlink -= 1;
+            self.write_inode(src_dir, &old_parent);
+            let mut new_parent = self.load(dst_dir)?;
+            new_parent.nlink += 1;
+            self.write_inode(dst_dir, &new_parent);
+        }
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsDir`] when reading a directory.
+    pub fn read(&self, ino: Ino, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let mut inner = self.inner.lock();
+        let mut inode = self.load(ino)?;
+        if inode.kind() == FileKind::Directory {
+            return Err(FsError::IsDir);
+        }
+        let data = self.read_inode_data(&mut inner, &mut inode, offset, len)?;
+        inner.tick += 1;
+        inode.atime = inner.tick;
+        self.write_inode(ino, &inode);
+        Ok(data)
+    }
+
+    /// Writes `data` at `offset`, extending the file as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IsDir`], [`FsError::NoSpace`], [`FsError::TooBig`].
+    pub fn write(&self, ino: Ino, offset: u64, data: &[u8]) -> Result<usize, FsError> {
+        let mut inner = self.inner.lock();
+        let mut inode = self.load(ino)?;
+        if inode.kind() == FileKind::Directory {
+            return Err(FsError::IsDir);
+        }
+        self.write_inode_data(&mut inner, &mut inode, offset, data)?;
+        inner.tick += 1;
+        inode.mtime = inner.tick;
+        inode.ctime = inner.tick;
+        self.write_inode(ino, &inode);
+        Ok(data.len())
+    }
+
+    /// Returns the attributes of `ino`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadInode`] for free or out-of-range inodes.
+    pub fn getattr(&self, ino: Ino) -> Result<Attr, FsError> {
+        let inode = self.load(ino)?;
+        Ok(Attr {
+            ino,
+            kind: inode.kind(),
+            mode: inode.mode & 0o7777,
+            uid: inode.uid,
+            gid: inode.gid,
+            nlink: inode.nlink,
+            size: inode.size,
+            atime: inode.atime,
+            mtime: inode.mtime,
+            ctime: inode.ctime,
+            generation: inode.generation,
+        })
+    }
+
+    /// Applies attribute changes (chmod/chown/truncate/utimes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Ffs::getattr`] errors; size changes can hit
+    /// [`FsError::NoSpace`].
+    pub fn setattr(&self, ino: Ino, set: SetAttr) -> Result<Attr, FsError> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut inode = self.load(ino)?;
+        if let Some(mode) = set.mode {
+            inode.mode = (inode.mode & 0o170000) | (mode & 0o7777);
+        }
+        if let Some(uid) = set.uid {
+            inode.uid = uid;
+        }
+        if let Some(gid) = set.gid {
+            inode.gid = gid;
+        }
+        if let Some(size) = set.size {
+            if inode.kind() == FileKind::Directory {
+                return Err(FsError::IsDir);
+            }
+            if size < inode.size {
+                let keep_blocks = size.div_ceil(BLOCK_SIZE as u64);
+                self.free_blocks_from(&mut inner, &mut inode, keep_blocks);
+                // Zero the tail of the boundary block.
+                let in_block = (size % BLOCK_SIZE as u64) as usize;
+                if in_block != 0 {
+                    if let Some(block) =
+                        self.bmap(&mut inner, &mut inode, size / BLOCK_SIZE as u64, false)?
+                    {
+                        let mut buf = self.disk.read_block(block);
+                        for b in buf[in_block..].iter_mut() {
+                            *b = 0;
+                        }
+                        self.disk.write_block(block, &buf);
+                    }
+                }
+            }
+            inode.size = size;
+            inode.mtime = inner.tick;
+        }
+        if let Some(atime) = set.atime {
+            inode.atime = atime;
+        }
+        if let Some(mtime) = set.mtime {
+            inode.mtime = mtime;
+        }
+        inode.ctime = inner.tick;
+        self.write_inode(ino, &inode);
+        drop(inner);
+        self.getattr(ino)
+    }
+
+    /// Lists a directory (including `.` and `..`).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotDir`] for non-directories.
+    pub fn readdir(&self, ino: Ino) -> Result<Vec<DirEntry>, FsError> {
+        let mut inner = self.inner.lock();
+        self.read_dir(&mut inner, ino)
+    }
+
+    /// Filesystem usage statistics.
+    pub fn statfs(&self) -> FsStats {
+        let inner = self.inner.lock();
+        FsStats {
+            block_size: BLOCK_SIZE as u32,
+            total_blocks: self.layout.total_blocks - self.layout.data_start,
+            free_blocks: inner.free_blocks,
+            total_inodes: self.inode_count,
+            free_inodes: inner.free_inodes,
+        }
+    }
+
+    /// Validates a `(ino, generation)` handle pair.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Stale`] when the generation does not match (the inode
+    /// was recycled), [`FsError::BadInode`] when unallocated.
+    pub fn validate_handle(&self, ino: Ino, generation: u32) -> Result<(), FsError> {
+        let inode = self.load(ino)?;
+        if inode.generation != generation {
+            return Err(FsError::Stale);
+        }
+        Ok(())
+    }
+
+    /// Walks a `/`-separated path from the root (convenience for tests
+    /// and examples).
+    ///
+    /// # Errors
+    ///
+    /// The usual lookup errors.
+    pub fn resolve_path(&self, path: &str) -> Result<Ino, FsError> {
+        let mut cur = self.root();
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            cur = self.lookup(cur, part)?;
+        }
+        Ok(cur)
+    }
+
+    /// Snapshot of internal bitmaps for the consistency checker.
+    pub(crate) fn bitmaps(&self) -> (Vec<bool>, Vec<bool>, u64, u32) {
+        let inner = self.inner.lock();
+        (
+            inner.inode_bitmap.clone(),
+            inner.block_bitmap.clone(),
+            inner.free_blocks,
+            inner.free_inodes,
+        )
+    }
+
+    /// The first data block number (metadata lives below this).
+    pub(crate) fn data_start(&self) -> u64 {
+        self.layout.data_start
+    }
+}

@@ -1,0 +1,98 @@
+//! `ffs` — an inode-based Unix filesystem over a simulated block device.
+//!
+//! This crate plays two roles in the DisCFS reproduction:
+//!
+//! 1. **The `FFS` baseline** of the paper's Figures 7–12: benchmarks run
+//!    directly against this filesystem to obtain the "local file
+//!    system" series.
+//! 2. **The backing store** for the user-level NFS servers (CFS-NE and
+//!    DisCFS) — the paper's prototype stored files in the server's
+//!    local filesystem, identified by inode numbers; our `discfs` crate
+//!    does the same, with the generation numbers the paper lists as
+//!    future work.
+//!
+//! The design is a deliberately classic Berkeley-style layout on 8 KB
+//! blocks: superblock, inode/block bitmaps, a fixed inode table, then
+//! data blocks. Files grow through 12 direct pointers, one single- and
+//! one double-indirect block. Directories store real `.`/`..` entries.
+//! An [`fsck`][Ffs::check]-style invariant checker backs the property
+//! tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ffs::{Ffs, FsConfig};
+//!
+//! let fs = Ffs::format_in_memory(FsConfig::small());
+//! let root = fs.root();
+//! let ino = fs.create(root, "hello.txt", 0o644, 0, 0).unwrap();
+//! fs.write(ino, 0, b"hello world").unwrap();
+//! assert_eq!(fs.read(ino, 0, 5).unwrap(), b"hello");
+//! fs.check().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+pub mod disk;
+mod fs;
+mod inode;
+#[cfg(test)]
+mod tests;
+
+pub use disk::{DiskModel, MemDisk, BLOCK_SIZE};
+pub use fs::{Attr, DirEntry, Ffs, FsConfig, FsStats, Ino, SetAttr};
+pub use inode::FileKind;
+
+/// Errors returned by filesystem operations (errno-flavored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file or directory.
+    NoEnt,
+    /// Entry already exists.
+    Exists,
+    /// Operation requires a directory.
+    NotDir,
+    /// Operation cannot apply to a directory.
+    IsDir,
+    /// Directory not empty.
+    NotEmpty,
+    /// Out of data blocks or inodes.
+    NoSpace,
+    /// Name too long or contains `/` or NUL.
+    BadName,
+    /// The handle's generation number is outdated (file was deleted and
+    /// the inode reused) — NFS `ESTALE`.
+    Stale,
+    /// Inode number out of range or not allocated.
+    BadInode,
+    /// File too large for the pointer geometry.
+    TooBig,
+    /// Operation not supported on this file type.
+    BadType,
+    /// Cannot move a directory into its own subtree.
+    InvalidMove,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsError::NoEnt => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NotDir => "not a directory",
+            FsError::IsDir => "is a directory",
+            FsError::NotEmpty => "directory not empty",
+            FsError::NoSpace => "no space left on device",
+            FsError::BadName => "invalid file name",
+            FsError::Stale => "stale file handle",
+            FsError::BadInode => "invalid inode",
+            FsError::TooBig => "file too large",
+            FsError::BadType => "inappropriate file type",
+            FsError::InvalidMove => "invalid directory move",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for FsError {}

@@ -1,0 +1,500 @@
+//! Unit tests for the filesystem layer.
+
+use crate::fs::SetAttr;
+use crate::{Ffs, FileKind, FsConfig, FsError, BLOCK_SIZE};
+
+fn fs() -> Ffs {
+    Ffs::format_in_memory(FsConfig::small())
+}
+
+#[test]
+fn fresh_filesystem_checks_clean() {
+    fs().check().unwrap();
+}
+
+#[test]
+fn create_and_lookup() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "a.txt", 0o644, 10, 20).unwrap();
+    assert_eq!(fs.lookup(fs.root(), "a.txt").unwrap(), ino);
+    let attr = fs.getattr(ino).unwrap();
+    assert_eq!(attr.kind, FileKind::Regular);
+    assert_eq!(attr.mode, 0o644);
+    assert_eq!(attr.uid, 10);
+    assert_eq!(attr.gid, 20);
+    assert_eq!(attr.size, 0);
+    assert_eq!(attr.nlink, 1);
+    fs.check().unwrap();
+}
+
+#[test]
+fn duplicate_create_rejected() {
+    let fs = fs();
+    fs.create(fs.root(), "a", 0o644, 0, 0).unwrap();
+    assert_eq!(fs.create(fs.root(), "a", 0o644, 0, 0), Err(FsError::Exists));
+}
+
+#[test]
+fn bad_names_rejected() {
+    let fs = fs();
+    for name in ["", ".", "..", "a/b", "nul\0byte"] {
+        assert_eq!(
+            fs.create(fs.root(), name, 0o644, 0, 0),
+            Err(FsError::BadName),
+            "name {name:?}"
+        );
+    }
+    let long = "x".repeat(256);
+    assert_eq!(
+        fs.create(fs.root(), &long, 0o644, 0, 0),
+        Err(FsError::BadName)
+    );
+    let ok = "x".repeat(255);
+    fs.create(fs.root(), &ok, 0o644, 0, 0).unwrap();
+}
+
+#[test]
+fn write_read_small() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    fs.write(ino, 0, b"hello world").unwrap();
+    assert_eq!(fs.read(ino, 0, 100).unwrap(), b"hello world");
+    assert_eq!(fs.read(ino, 6, 5).unwrap(), b"world");
+    assert_eq!(fs.getattr(ino).unwrap().size, 11);
+    fs.check().unwrap();
+}
+
+#[test]
+fn overwrite_middle() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    fs.write(ino, 0, b"aaaaaaaaaa").unwrap();
+    fs.write(ino, 3, b"BBB").unwrap();
+    assert_eq!(fs.read(ino, 0, 10).unwrap(), b"aaaBBBaaaa");
+    assert_eq!(fs.getattr(ino).unwrap().size, 10);
+}
+
+#[test]
+fn write_across_block_boundaries() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    let data: Vec<u8> = (0..3 * BLOCK_SIZE + 100).map(|i| (i % 251) as u8).collect();
+    fs.write(ino, 0, &data).unwrap();
+    assert_eq!(fs.read(ino, 0, data.len()).unwrap(), data);
+    // Unaligned read spanning blocks.
+    assert_eq!(
+        fs.read(ino, BLOCK_SIZE as u64 - 10, 20).unwrap(),
+        &data[BLOCK_SIZE - 10..BLOCK_SIZE + 10]
+    );
+    fs.check().unwrap();
+}
+
+#[test]
+fn sparse_file_reads_zeros() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    fs.write(ino, 5 * BLOCK_SIZE as u64, b"end").unwrap();
+    assert_eq!(fs.getattr(ino).unwrap().size, 5 * BLOCK_SIZE as u64 + 3);
+    let hole = fs.read(ino, 0, BLOCK_SIZE).unwrap();
+    assert!(hole.iter().all(|&b| b == 0));
+    assert_eq!(fs.read(ino, 5 * BLOCK_SIZE as u64, 3).unwrap(), b"end");
+    fs.check().unwrap();
+}
+
+#[test]
+fn large_file_uses_indirect_blocks() {
+    // > 12 direct blocks (96 KB) and into the single-indirect range.
+    let fs = fs();
+    let ino = fs.create(fs.root(), "big", 0o644, 0, 0).unwrap();
+    let chunk = vec![0xabu8; BLOCK_SIZE];
+    let blocks = 20;
+    for i in 0..blocks {
+        fs.write(ino, (i * BLOCK_SIZE) as u64, &chunk).unwrap();
+    }
+    assert_eq!(fs.getattr(ino).unwrap().size, (blocks * BLOCK_SIZE) as u64);
+    let back = fs.read(ino, (15 * BLOCK_SIZE) as u64, BLOCK_SIZE).unwrap();
+    assert_eq!(back, chunk);
+    fs.check().unwrap();
+    // Deleting reclaims everything.
+    let free_before = fs.statfs().free_blocks;
+    fs.unlink(fs.root(), "big").unwrap();
+    assert!(fs.statfs().free_blocks > free_before);
+    fs.check().unwrap();
+}
+
+#[test]
+fn double_indirect_range() {
+    // Write a block beyond 12 + 2048 blocks to hit the double-indirect
+    // path (sparse, so only a few blocks allocate).
+    let fs = fs();
+    let ino = fs.create(fs.root(), "huge", 0o644, 0, 0).unwrap();
+    let fbn = (12 + 2048 + 5) as u64;
+    fs.write(ino, fbn * BLOCK_SIZE as u64, b"deep").unwrap();
+    assert_eq!(fs.read(ino, fbn * BLOCK_SIZE as u64, 4).unwrap(), b"deep");
+    fs.check().unwrap();
+    fs.unlink(fs.root(), "huge").unwrap();
+    fs.check().unwrap();
+}
+
+#[test]
+fn unlink_frees_space() {
+    let fs = fs();
+    let before = fs.statfs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    fs.write(ino, 0, &vec![1u8; 4 * BLOCK_SIZE]).unwrap();
+    assert!(fs.statfs().free_blocks < before.free_blocks);
+    fs.unlink(fs.root(), "f").unwrap();
+    assert_eq!(fs.statfs().free_blocks, before.free_blocks);
+    assert_eq!(fs.statfs().free_inodes, before.free_inodes);
+    assert_eq!(fs.lookup(fs.root(), "f"), Err(FsError::NoEnt));
+    fs.check().unwrap();
+}
+
+#[test]
+fn mkdir_and_nested_paths() {
+    let fs = fs();
+    let a = fs.mkdir(fs.root(), "a", 0o755, 0, 0).unwrap();
+    let b = fs.mkdir(a, "b", 0o755, 0, 0).unwrap();
+    let f = fs.create(b, "file", 0o644, 0, 0).unwrap();
+    assert_eq!(fs.resolve_path("/a/b/file").unwrap(), f);
+    assert_eq!(fs.getattr(a).unwrap().nlink, 3); // ".", parent entry, b's ".."
+    assert_eq!(fs.getattr(fs.root()).unwrap().nlink, 3);
+    fs.check().unwrap();
+}
+
+#[test]
+fn rmdir_requires_empty() {
+    let fs = fs();
+    let a = fs.mkdir(fs.root(), "a", 0o755, 0, 0).unwrap();
+    fs.create(a, "f", 0o644, 0, 0).unwrap();
+    assert_eq!(fs.rmdir(fs.root(), "a"), Err(FsError::NotEmpty));
+    fs.unlink(a, "f").unwrap();
+    fs.rmdir(fs.root(), "a").unwrap();
+    assert_eq!(fs.lookup(fs.root(), "a"), Err(FsError::NoEnt));
+    assert_eq!(fs.getattr(fs.root()).unwrap().nlink, 2);
+    fs.check().unwrap();
+}
+
+#[test]
+fn unlink_directory_rejected() {
+    let fs = fs();
+    fs.mkdir(fs.root(), "d", 0o755, 0, 0).unwrap();
+    assert_eq!(fs.unlink(fs.root(), "d"), Err(FsError::IsDir));
+}
+
+#[test]
+fn rmdir_file_rejected() {
+    let fs = fs();
+    fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    assert_eq!(fs.rmdir(fs.root(), "f"), Err(FsError::NotDir));
+}
+
+#[test]
+fn hard_links() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "orig", 0o644, 0, 0).unwrap();
+    fs.write(ino, 0, b"shared").unwrap();
+    fs.link(ino, fs.root(), "alias").unwrap();
+    assert_eq!(fs.getattr(ino).unwrap().nlink, 2);
+    assert_eq!(fs.lookup(fs.root(), "alias").unwrap(), ino);
+    fs.unlink(fs.root(), "orig").unwrap();
+    // Data still reachable through the alias.
+    assert_eq!(fs.read(ino, 0, 6).unwrap(), b"shared");
+    assert_eq!(fs.getattr(ino).unwrap().nlink, 1);
+    fs.unlink(fs.root(), "alias").unwrap();
+    assert_eq!(fs.getattr(ino), Err(FsError::BadInode));
+    fs.check().unwrap();
+}
+
+#[test]
+fn link_to_directory_rejected() {
+    let fs = fs();
+    let d = fs.mkdir(fs.root(), "d", 0o755, 0, 0).unwrap();
+    assert_eq!(fs.link(d, fs.root(), "dlink"), Err(FsError::IsDir));
+}
+
+#[test]
+fn symlinks() {
+    let fs = fs();
+    let ino = fs.symlink(fs.root(), "ln", "/a/b/target", 0, 0).unwrap();
+    assert_eq!(fs.readlink(ino).unwrap(), "/a/b/target");
+    assert_eq!(fs.getattr(ino).unwrap().kind, FileKind::Symlink);
+    // readlink on a regular file fails.
+    let f = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    assert_eq!(fs.readlink(f), Err(FsError::BadType));
+    fs.check().unwrap();
+}
+
+#[test]
+fn rename_within_directory() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "old", 0o644, 0, 0).unwrap();
+    fs.rename(fs.root(), "old", fs.root(), "new").unwrap();
+    assert_eq!(fs.lookup(fs.root(), "new").unwrap(), ino);
+    assert_eq!(fs.lookup(fs.root(), "old"), Err(FsError::NoEnt));
+    fs.check().unwrap();
+}
+
+#[test]
+fn rename_across_directories() {
+    let fs = fs();
+    let a = fs.mkdir(fs.root(), "a", 0o755, 0, 0).unwrap();
+    let b = fs.mkdir(fs.root(), "b", 0o755, 0, 0).unwrap();
+    let f = fs.create(a, "f", 0o644, 0, 0).unwrap();
+    fs.write(f, 0, b"moved").unwrap();
+    fs.rename(a, "f", b, "g").unwrap();
+    assert_eq!(fs.lookup(b, "g").unwrap(), f);
+    assert_eq!(fs.read(f, 0, 5).unwrap(), b"moved");
+    fs.check().unwrap();
+}
+
+#[test]
+fn rename_directory_updates_dotdot() {
+    let fs = fs();
+    let a = fs.mkdir(fs.root(), "a", 0o755, 0, 0).unwrap();
+    let b = fs.mkdir(fs.root(), "b", 0o755, 0, 0).unwrap();
+    let sub = fs.mkdir(a, "sub", 0o755, 0, 0).unwrap();
+    fs.rename(a, "sub", b, "sub").unwrap();
+    let entries = fs.readdir(sub).unwrap();
+    let dotdot = entries.iter().find(|e| e.name == "..").unwrap();
+    assert_eq!(dotdot.ino, b);
+    assert_eq!(fs.getattr(a).unwrap().nlink, 2);
+    assert_eq!(fs.getattr(b).unwrap().nlink, 3);
+    fs.check().unwrap();
+}
+
+#[test]
+fn rename_into_own_subtree_rejected() {
+    let fs = fs();
+    let a = fs.mkdir(fs.root(), "a", 0o755, 0, 0).unwrap();
+    let sub = fs.mkdir(a, "sub", 0o755, 0, 0).unwrap();
+    assert_eq!(
+        fs.rename(fs.root(), "a", sub, "inside"),
+        Err(FsError::InvalidMove)
+    );
+    fs.check().unwrap();
+}
+
+#[test]
+fn rename_replaces_file() {
+    let fs = fs();
+    let src = fs.create(fs.root(), "src", 0o644, 0, 0).unwrap();
+    let dst = fs.create(fs.root(), "dst", 0o644, 0, 0).unwrap();
+    fs.write(dst, 0, &vec![9u8; BLOCK_SIZE * 2]).unwrap();
+    fs.rename(fs.root(), "src", fs.root(), "dst").unwrap();
+    assert_eq!(fs.lookup(fs.root(), "dst").unwrap(), src);
+    assert_eq!(fs.getattr(dst), Err(FsError::BadInode)); // old dst freed
+    fs.check().unwrap();
+}
+
+#[test]
+fn rename_dir_over_nonempty_dir_rejected() {
+    let fs = fs();
+    fs.mkdir(fs.root(), "a", 0o755, 0, 0).unwrap();
+    let b = fs.mkdir(fs.root(), "b", 0o755, 0, 0).unwrap();
+    fs.create(b, "f", 0o644, 0, 0).unwrap();
+    assert_eq!(
+        fs.rename(fs.root(), "a", fs.root(), "b"),
+        Err(FsError::NotEmpty)
+    );
+}
+
+#[test]
+fn rename_noop_same_name() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    fs.rename(fs.root(), "f", fs.root(), "f").unwrap();
+    assert_eq!(fs.lookup(fs.root(), "f").unwrap(), ino);
+    fs.check().unwrap();
+}
+
+#[test]
+fn truncate_shrink_and_grow() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    fs.write(ino, 0, &vec![7u8; BLOCK_SIZE * 3]).unwrap();
+    let free_full = fs.statfs().free_blocks;
+
+    let attr = fs
+        .setattr(
+            ino,
+            SetAttr {
+                size: Some(100),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(attr.size, 100);
+    assert!(fs.statfs().free_blocks > free_full);
+    assert_eq!(fs.read(ino, 0, 100).unwrap(), vec![7u8; 100]);
+
+    // Growing exposes zeros, not stale data.
+    fs.setattr(
+        ino,
+        SetAttr {
+            size: Some(BLOCK_SIZE as u64),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let data = fs.read(ino, 0, BLOCK_SIZE).unwrap();
+    assert_eq!(&data[..100], &vec![7u8; 100][..]);
+    assert!(
+        data[100..].iter().all(|&b| b == 0),
+        "stale bytes after grow"
+    );
+    fs.check().unwrap();
+}
+
+#[test]
+fn setattr_chmod_chown() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    let attr = fs
+        .setattr(
+            ino,
+            SetAttr {
+                mode: Some(0o600),
+                uid: Some(42),
+                gid: Some(43),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(attr.mode, 0o600);
+    assert_eq!(attr.uid, 42);
+    assert_eq!(attr.gid, 43);
+    assert_eq!(
+        attr.kind,
+        FileKind::Regular,
+        "chmod must not change the type"
+    );
+}
+
+#[test]
+fn readdir_lists_dot_entries() {
+    let fs = fs();
+    fs.create(fs.root(), "x", 0o644, 0, 0).unwrap();
+    let names: Vec<String> = fs
+        .readdir(fs.root())
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(names.contains(&".".to_string()));
+    assert!(names.contains(&"..".to_string()));
+    assert!(names.contains(&"x".to_string()));
+}
+
+#[test]
+fn generation_numbers_detect_stale_handles() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    let generation = fs.getattr(ino).unwrap().generation;
+    fs.validate_handle(ino, generation).unwrap();
+    fs.unlink(fs.root(), "f").unwrap();
+
+    // Recreate files until the inode number is reused.
+    let mut reused = None;
+    for i in 0..1000 {
+        let newino = fs.create(fs.root(), &format!("g{i}"), 0o644, 0, 0).unwrap();
+        if newino == ino {
+            reused = Some(newino);
+            break;
+        }
+    }
+    let reused = reused.expect("inode should be recycled");
+    assert_eq!(fs.validate_handle(reused, generation), Err(FsError::Stale));
+    let new_generation = fs.getattr(reused).unwrap().generation;
+    assert_ne!(new_generation, generation);
+    fs.validate_handle(reused, new_generation).unwrap();
+}
+
+#[test]
+fn out_of_space_reported_and_recoverable() {
+    let fs = Ffs::format_in_memory(FsConfig {
+        total_blocks: 64,
+        inode_count: 64,
+    });
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    let chunk = vec![1u8; BLOCK_SIZE];
+    let mut written = 0u64;
+    let err = loop {
+        match fs.write(ino, written, &chunk) {
+            Ok(_) => written += BLOCK_SIZE as u64,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, FsError::NoSpace);
+    assert!(written > 0);
+    // Deleting recovers the space and the filesystem stays consistent.
+    fs.unlink(fs.root(), "f").unwrap();
+    fs.check().unwrap();
+    let ino2 = fs.create(fs.root(), "g", 0o644, 0, 0).unwrap();
+    fs.write(ino2, 0, &chunk).unwrap();
+    fs.check().unwrap();
+}
+
+#[test]
+fn out_of_inodes() {
+    let fs = Ffs::format_in_memory(FsConfig {
+        total_blocks: 256,
+        inode_count: 8,
+    });
+    let mut made = 0;
+    for i in 0..16 {
+        match fs.create(fs.root(), &format!("f{i}"), 0o644, 0, 0) {
+            Ok(_) => made += 1,
+            Err(FsError::NoSpace) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert_eq!(made, 6, "8 inodes minus reserved 0 and root 1");
+    fs.check().unwrap();
+}
+
+#[test]
+fn many_files_in_directory() {
+    let fs = fs();
+    for i in 0..300 {
+        fs.create(fs.root(), &format!("file{i:04}"), 0o644, 0, 0)
+            .unwrap();
+    }
+    assert_eq!(fs.readdir(fs.root()).unwrap().len(), 302);
+    assert!(fs.lookup(fs.root(), "file0299").is_ok());
+    fs.check().unwrap();
+    for i in (0..300).step_by(2) {
+        fs.unlink(fs.root(), &format!("file{i:04}")).unwrap();
+    }
+    assert_eq!(fs.readdir(fs.root()).unwrap().len(), 152);
+    fs.check().unwrap();
+}
+
+#[test]
+fn timestamps_advance() {
+    let fs = fs();
+    let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+    let t0 = fs.getattr(ino).unwrap();
+    fs.write(ino, 0, b"x").unwrap();
+    let t1 = fs.getattr(ino).unwrap();
+    assert!(t1.mtime > t0.mtime);
+    fs.read(ino, 0, 1).unwrap();
+    let t2 = fs.getattr(ino).unwrap();
+    assert!(t2.atime > t1.atime);
+}
+
+#[test]
+fn read_of_directory_rejected() {
+    let fs = fs();
+    assert_eq!(fs.read(fs.root(), 0, 10), Err(FsError::IsDir));
+    assert_eq!(fs.write(fs.root(), 0, b"x"), Err(FsError::IsDir));
+}
+
+#[test]
+fn statfs_reports_consistent_numbers() {
+    let fs = fs();
+    let s = fs.statfs();
+    assert_eq!(s.block_size, BLOCK_SIZE as u32);
+    assert!(s.free_blocks < s.total_blocks); // root dir uses one block
+    assert_eq!(s.free_inodes, s.total_inodes - 2);
+}

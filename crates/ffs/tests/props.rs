@@ -1,0 +1,182 @@
+//! Property tests: after ANY random sequence of filesystem operations,
+//! the fsck-style checker must pass, data must read back, and space
+//! accounting must balance.
+
+use ffs::{Ffs, FsConfig, FsError, SetAttr};
+use proptest::prelude::*;
+
+/// A randomly generated filesystem operation. Targets are small indexes
+/// into a rolling name pool so that operations frequently collide
+/// (exercising Exists/NoEnt paths).
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Mkdir(u8),
+    Write { name: u8, offset: u16, len: u16 },
+    Truncate { name: u8, size: u16 },
+    Unlink(u8),
+    Rmdir(u8),
+    Rename(u8, u8),
+    Link(u8, u8),
+    Symlink(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12).prop_map(Op::Create),
+        (0u8..6).prop_map(Op::Mkdir),
+        ((0u8..12), any::<u16>(), (0u16..2048)).prop_map(|(name, offset, len)| Op::Write {
+            name,
+            offset,
+            len
+        }),
+        ((0u8..12), any::<u16>()).prop_map(|(name, size)| Op::Truncate { name, size }),
+        (0u8..12).prop_map(Op::Unlink),
+        (0u8..6).prop_map(Op::Rmdir),
+        ((0u8..12), (0u8..12)).prop_map(|(a, b)| Op::Rename(a, b)),
+        ((0u8..12), (0u8..12)).prop_map(|(a, b)| Op::Link(a, b)),
+        (0u8..12).prop_map(Op::Symlink),
+    ]
+}
+
+fn fname(i: u8) -> String {
+    format!("file{i}")
+}
+
+fn dname(i: u8) -> String {
+    format!("dir{i}")
+}
+
+fn apply(fs: &Ffs, op: &Op) {
+    let root = fs.root();
+    // Every error here is an *expected* failure mode (Exists, NoEnt,
+    // NotEmpty, ...); panics and inconsistency are what we hunt.
+    let _ = match op {
+        Op::Create(i) => fs.create(root, &fname(*i), 0o644, 0, 0).map(|_| ()),
+        Op::Mkdir(i) => fs.mkdir(root, &dname(*i), 0o755, 0, 0).map(|_| ()),
+        Op::Write { name, offset, len } => fs.lookup(root, &fname(*name)).and_then(|ino| {
+            let data = vec![*name; *len as usize];
+            fs.write(ino, *offset as u64, &data).map(|_| ())
+        }),
+        Op::Truncate { name, size } => fs.lookup(root, &fname(*name)).and_then(|ino| {
+            fs.setattr(
+                ino,
+                SetAttr {
+                    size: Some(*size as u64),
+                    ..Default::default()
+                },
+            )
+            .map(|_| ())
+        }),
+        Op::Unlink(i) => fs.unlink(root, &fname(*i)),
+        Op::Rmdir(i) => fs.rmdir(root, &dname(*i)),
+        Op::Rename(a, b) => fs.rename(root, &fname(*a), root, &fname(*b)),
+        Op::Link(a, b) => fs
+            .lookup(root, &fname(*a))
+            .and_then(|ino| fs.link(ino, root, &fname(*b))),
+        Op::Symlink(i) => fs
+            .symlink(root, &format!("link{i}"), "/some/target", 0, 0)
+            .map(|_| ()),
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The one invariant to rule them all: any op sequence leaves a
+    /// filesystem that fsck finds consistent.
+    #[test]
+    fn random_ops_stay_consistent(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let fs = Ffs::format_in_memory(FsConfig::small());
+        for op in &ops {
+            apply(&fs, op);
+        }
+        if let Err(problems) = fs.check() {
+            panic!("inconsistent after {ops:?}:\n{}", problems.join("\n"));
+        }
+    }
+
+    /// Written data always reads back, regardless of chunking.
+    #[test]
+    fn write_read_round_trip(
+        chunks in proptest::collection::vec((any::<u16>(), 0u16..3000), 1..12)
+    ) {
+        let fs = Ffs::format_in_memory(FsConfig::small());
+        let ino = fs.create(fs.root(), "f", 0o644, 0, 0).unwrap();
+        // Shadow model: a simple Vec<u8>.
+        let mut model: Vec<u8> = Vec::new();
+        for (offset, len) in &chunks {
+            let offset = *offset as u64 % (1 << 18);
+            let data = vec![(*len % 251) as u8; *len as usize];
+            match fs.write(ino, offset, &data) {
+                Ok(_) => {
+                    let end = offset as usize + data.len();
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[offset as usize..end].copy_from_slice(&data);
+                }
+                Err(FsError::NoSpace) => break,
+                Err(e) => panic!("unexpected write error: {e}"),
+            }
+        }
+        let size = fs.getattr(ino).unwrap().size;
+        prop_assert_eq!(size, model.len() as u64);
+        let back = fs.read(ino, 0, model.len()).unwrap();
+        prop_assert_eq!(back, model);
+        fs.check().unwrap();
+    }
+
+    /// Deleting everything returns the filesystem to its initial free
+    /// counts (no leaked blocks or inodes).
+    #[test]
+    fn space_fully_reclaimed(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let fs = Ffs::format_in_memory(FsConfig::small());
+        let initial = fs.statfs();
+        for op in &ops {
+            apply(&fs, op);
+        }
+        // Delete everything that exists.
+        loop {
+            let entries: Vec<_> = fs
+                .readdir(fs.root())
+                .unwrap()
+                .into_iter()
+                .filter(|e| e.name != "." && e.name != "..")
+                .collect();
+            if entries.is_empty() {
+                break;
+            }
+            for e in entries {
+                let _ = fs.unlink(fs.root(), &e.name);
+                let _ = fs.rmdir(fs.root(), &e.name);
+            }
+        }
+        let end = fs.statfs();
+        prop_assert_eq!(initial.free_blocks, end.free_blocks);
+        prop_assert_eq!(initial.free_inodes, end.free_inodes);
+        fs.check().unwrap();
+    }
+
+    /// Handles with an old generation are reliably detected as stale.
+    #[test]
+    fn stale_handles_detected(rounds in 1usize..20) {
+        let fs = Ffs::format_in_memory(FsConfig { total_blocks: 256, inode_count: 16 });
+        let mut old_handles = Vec::new();
+        for round in 0..rounds {
+            let name = format!("f{round}");
+            let ino = fs.create(fs.root(), &name, 0o644, 0, 0).unwrap();
+            let generation = fs.getattr(ino).unwrap().generation;
+            fs.validate_handle(ino, generation).unwrap();
+            fs.unlink(fs.root(), &name).unwrap();
+            old_handles.push((ino, generation));
+        }
+        // Allocate a fresh file; all prior handles must now fail.
+        let live = fs.create(fs.root(), "live", 0o644, 0, 0).unwrap();
+        let live_generation = fs.getattr(live).unwrap().generation;
+        for (ino, generation) in old_handles {
+            prop_assert!(fs.validate_handle(ino, generation).is_err());
+        }
+        fs.validate_handle(live, live_generation).unwrap();
+    }
+}

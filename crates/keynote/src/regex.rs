@@ -1,0 +1,428 @@
+//! A small backtracking regular-expression engine.
+//!
+//! KeyNote's `~=` operator performs POSIX-style regex *search* (a match
+//! anywhere in the subject unless anchored). To keep the workspace
+//! dependency-free this module implements the subset of POSIX extended
+//! regexps that trust-management policies actually use:
+//!
+//! * literals, `.` (any char), escaped metacharacters
+//! * `*`, `+`, `?` postfix repetition (greedy)
+//! * `[...]` / `[^...]` character classes with ranges
+//! * `(...)` grouping and `|` alternation
+//! * `^` / `$` anchors
+//!
+//! The matcher is a straightforward recursive backtracker; policy
+//! patterns are short and written by trusted issuers, so worst-case
+//! exponential inputs are not a practical concern, and a depth cap
+//! turns pathological cases into a clean non-match.
+
+use std::cell::Cell;
+
+/// Backtracking step budget; pathological patterns fail to match rather
+/// than hang.
+const MAX_STEPS: usize = 1_000_000;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    alt: Alt,
+}
+
+/// Alternation: any branch may match.
+#[derive(Debug, Clone)]
+struct Alt(Vec<Seq>);
+
+/// A sequence of repeated atoms.
+#[derive(Debug, Clone)]
+struct Seq(Vec<Rep>);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RepKind {
+    One,
+    Star,
+    Plus,
+    Opt,
+}
+
+#[derive(Debug, Clone)]
+struct Rep {
+    atom: Atom,
+    kind: RepKind,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Char(char),
+    Any,
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+    Group(Alt),
+    Start,
+    End,
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+/// Errors from pattern compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// The pattern ended unexpectedly (e.g. unclosed group or class).
+    UnexpectedEnd,
+    /// A repetition operator had nothing to repeat.
+    DanglingRepeat,
+    /// An unmatched closing parenthesis was found.
+    UnbalancedParen,
+}
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegexError::UnexpectedEnd => write!(f, "pattern ended unexpectedly"),
+            RegexError::DanglingRepeat => write!(f, "repetition operator with no operand"),
+            RegexError::UnbalancedParen => write!(f, "unbalanced parenthesis"),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_alt(&mut self, in_group: bool) -> Result<Alt, RegexError> {
+        let mut branches = vec![self.parse_seq(in_group)?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_seq(in_group)?);
+        }
+        Ok(Alt(branches))
+    }
+
+    fn parse_seq(&mut self, in_group: bool) -> Result<Seq, RegexError> {
+        let mut items = Vec::new();
+        loop {
+            match self.chars.peek().copied() {
+                None => break,
+                Some('|') => break,
+                Some(')') => {
+                    if in_group {
+                        break;
+                    }
+                    return Err(RegexError::UnbalancedParen);
+                }
+                Some(_) => {
+                    let atom = self.parse_atom()?;
+                    let kind = match self.chars.peek().copied() {
+                        Some('*') => {
+                            self.chars.next();
+                            RepKind::Star
+                        }
+                        Some('+') => {
+                            self.chars.next();
+                            RepKind::Plus
+                        }
+                        Some('?') => {
+                            self.chars.next();
+                            RepKind::Opt
+                        }
+                        _ => RepKind::One,
+                    };
+                    items.push(Rep { atom, kind });
+                }
+            }
+        }
+        Ok(Seq(items))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, RegexError> {
+        let c = self.chars.next().ok_or(RegexError::UnexpectedEnd)?;
+        match c {
+            '.' => Ok(Atom::Any),
+            '^' => Ok(Atom::Start),
+            '$' => Ok(Atom::End),
+            '(' => {
+                let inner = self.parse_alt(true)?;
+                match self.chars.next() {
+                    Some(')') => Ok(Atom::Group(inner)),
+                    _ => Err(RegexError::UnexpectedEnd),
+                }
+            }
+            '[' => self.parse_class(),
+            '\\' => {
+                let esc = self.chars.next().ok_or(RegexError::UnexpectedEnd)?;
+                Ok(Atom::Char(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }))
+            }
+            '*' | '+' | '?' => Err(RegexError::DanglingRepeat),
+            other => Ok(Atom::Char(other)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Atom, RegexError> {
+        let mut negated = false;
+        if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            negated = true;
+        }
+        let mut items = Vec::new();
+        let mut first = true;
+        loop {
+            let c = self.chars.next().ok_or(RegexError::UnexpectedEnd)?;
+            if c == ']' && !first {
+                break;
+            }
+            first = false;
+            let c = if c == '\\' {
+                self.chars.next().ok_or(RegexError::UnexpectedEnd)?
+            } else {
+                c
+            };
+            // Range if followed by '-' and a char that is not ']'.
+            if self.chars.peek() == Some(&'-') {
+                let mut look_ahead = self.chars.clone();
+                look_ahead.next();
+                if let Some(&end) = look_ahead.peek() {
+                    if end != ']' {
+                        self.chars.next(); // consume '-'
+                        let end = self.chars.next().ok_or(RegexError::UnexpectedEnd)?;
+                        items.push(ClassItem::Range(c, end));
+                        continue;
+                    }
+                }
+            }
+            items.push(ClassItem::Single(c));
+        }
+        Ok(Atom::Class { negated, items })
+    }
+}
+
+/// Shared matcher state: the subject text plus a step budget.
+struct Ctx<'t> {
+    text: &'t [char],
+    steps: Cell<usize>,
+}
+
+impl<'t> Ctx<'t> {
+    /// Accounts one backtracking step; false when the budget is spent.
+    fn tick(&self) -> bool {
+        let n = self.steps.get() + 1;
+        self.steps.set(n);
+        n <= MAX_STEPS
+    }
+}
+
+type Cont<'c> = &'c dyn Fn(usize) -> bool;
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegexError`] describing the first syntax problem.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let mut parser = Parser {
+            chars: pattern.chars().peekable(),
+        };
+        let alt = parser.parse_alt(false)?;
+        if parser.chars.next().is_some() {
+            return Err(RegexError::UnbalancedParen);
+        }
+        Ok(Regex { alt })
+    }
+
+    /// Returns true when the pattern matches anywhere in `text`
+    /// (POSIX search semantics; use `^`/`$` to anchor).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let ctx = Ctx {
+            text: &chars,
+            steps: Cell::new(0),
+        };
+        (0..=chars.len()).any(|start| match_alt(&self.alt, &ctx, start, &|_| true))
+    }
+}
+
+fn match_alt(alt: &Alt, ctx: &Ctx, pos: usize, cont: Cont) -> bool {
+    if !ctx.tick() {
+        return false;
+    }
+    alt.0.iter().any(|seq| match_seq(&seq.0, 0, ctx, pos, cont))
+}
+
+fn match_seq(items: &[Rep], idx: usize, ctx: &Ctx, pos: usize, cont: Cont) -> bool {
+    if !ctx.tick() {
+        return false;
+    }
+    if idx == items.len() {
+        return cont(pos);
+    }
+    let item = &items[idx];
+    let next = |p: usize| match_seq(items, idx + 1, ctx, p, cont);
+    match item.kind {
+        RepKind::One => match_atom(&item.atom, ctx, pos, &next),
+        RepKind::Opt => match_atom(&item.atom, ctx, pos, &next) || next(pos),
+        RepKind::Star => match_star(&item.atom, items, idx, ctx, pos, cont),
+        RepKind::Plus => match_atom(&item.atom, ctx, pos, &|p| {
+            match_star(&item.atom, items, idx, ctx, p, cont)
+        }),
+    }
+}
+
+/// Greedy star: try one more repetition first (requiring progress so
+/// nullable atoms terminate), then fall back to the sequence tail.
+fn match_star(atom: &Atom, items: &[Rep], idx: usize, ctx: &Ctx, pos: usize, cont: Cont) -> bool {
+    if !ctx.tick() {
+        return false;
+    }
+    let more = match_atom(atom, ctx, pos, &|p| {
+        p != pos && match_star(atom, items, idx, ctx, p, cont)
+    });
+    more || match_seq(items, idx + 1, ctx, pos, cont)
+}
+
+fn match_atom(atom: &Atom, ctx: &Ctx, pos: usize, cont: Cont) -> bool {
+    if !ctx.tick() {
+        return false;
+    }
+    let text = ctx.text;
+    match atom {
+        Atom::Char(c) => pos < text.len() && text[pos] == *c && cont(pos + 1),
+        Atom::Any => pos < text.len() && cont(pos + 1),
+        Atom::Class { negated, items } => {
+            if pos >= text.len() {
+                return false;
+            }
+            let ch = text[pos];
+            let in_class = items.iter().any(|item| match item {
+                ClassItem::Single(c) => ch == *c,
+                ClassItem::Range(a, b) => ch >= *a && ch <= *b,
+            });
+            (in_class != *negated) && cont(pos + 1)
+        }
+        Atom::Start => pos == 0 && cont(pos),
+        Atom::End => pos == text.len() && cont(pos),
+        Atom::Group(alt) => match_alt(alt, ctx, pos, cont),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        Regex::new(pattern).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_search_anywhere() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "ab"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^abc", "abcdef"));
+        assert!(!m("^abc", "xabc"));
+        assert!(m("def$", "abcdef"));
+        assert!(!m("def$", "defx"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn dot_and_star() {
+        assert!(m("a.c", "abc"));
+        assert!(m("a.*c", "a-------c"));
+        assert!(m("a.*c", "ac"));
+        assert!(!m("a.c", "ac"));
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        assert!(m("ab+c", "abbbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]+", "cab"));
+        assert!(m("[a-z0-9]+", "hello42"));
+        assert!(!m("^[a-z]+$", "Hello"));
+        assert!(m("[^0-9]", "a"));
+        assert!(!m("^[^0-9]+$", "a1"));
+        // ']' as the first class member is a literal.
+        assert!(m("[]a]", "]"));
+        // '-' at the end is a literal.
+        assert!(m("[a-]", "-"));
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert!(m("^(ab|cd)+$", "abcdab"));
+        assert!(!m("^(ab|cd)+$", "abc"));
+        assert!(m("cat|dog", "hotdog"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("a\\.b", "a.b"));
+        assert!(!m("^a\\.b$", "axb"));
+        assert!(m("\\$100", "$100"));
+        assert!(m("a\\\\b", "a\\b"));
+    }
+
+    #[test]
+    fn keynote_style_email_pattern() {
+        // The RFC 2704 example pattern shape.
+        let pattern = ".*@keynote\\.research\\.att\\.com$";
+        assert!(m(pattern, "angelos@keynote.research.att.com"));
+        assert!(!m(pattern, "angelos@research.att.com"));
+        assert!(!m(pattern, "angelos@keynote.research.att.com.evil.org"));
+    }
+
+    #[test]
+    fn path_prefix_pattern() {
+        // DisCFS-style: grant over a directory subtree.
+        let pattern = "^/discfs/projects/.*";
+        assert!(m(pattern, "/discfs/projects/paper.tex"));
+        assert!(!m(pattern, "/discfs/private/secret"));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert_eq!(Regex::new("a)b").unwrap_err(), RegexError::UnbalancedParen);
+        assert_eq!(Regex::new("(ab").unwrap_err(), RegexError::UnexpectedEnd);
+        assert_eq!(Regex::new("*a").unwrap_err(), RegexError::DanglingRepeat);
+        assert_eq!(Regex::new("[abc").unwrap_err(), RegexError::UnexpectedEnd);
+        assert_eq!(Regex::new("a\\").unwrap_err(), RegexError::UnexpectedEnd);
+    }
+
+    #[test]
+    fn nested_repetition_terminates() {
+        // Nullable inner star must not loop forever.
+        assert!(m("^(a*)*$", "aaaa"));
+        assert!(m("(x?)*y", "y"));
+    }
+
+    #[test]
+    fn unicode_subject() {
+        assert!(m("naïve", "a naïve approach"));
+        assert!(m("^é+$", "ééé"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Edge cases of the conditions expression language: operator
+//! precedence, numeric corner values, string/number typing rules.
+
+use keynote::{AssertionBuilder, Principal, Session};
+
+/// Evaluates a conditions program against attributes, boolean result.
+fn holds(conditions: &str, attrs: &[(&str, &str)]) -> bool {
+    let policy = AssertionBuilder::new()
+        .licensee("tester")
+        .conditions(conditions)
+        .policy();
+    let mut session = Session::new(&["false", "true"]);
+    session.add_policy(&policy).unwrap();
+    for (k, v) in attrs {
+        session.set_attribute(k, v);
+    }
+    session.add_requester(Principal::Opaque("tester".into()));
+    session.query().unwrap().as_str() == "true"
+}
+
+#[test]
+fn precedence_and_binds_tighter_than_or() {
+    // a || b && c  ≡  a || (b && c)
+    assert!(holds("x == \"1\" || x == \"2\" && x == \"3\"", &[("x", "1")]));
+    assert!(!holds("x == \"9\" || x == \"2\" && x == \"3\"", &[("x", "2")]));
+}
+
+#[test]
+fn arithmetic_precedence() {
+    assert!(holds("2 + 3 * 4 == 14", &[]));
+    assert!(holds("(2 + 3) * 4 == 20", &[]));
+    assert!(holds("2 ^ 3 ^ 2 == 512", &[])); // right-associative: 2^(3^2)
+    assert!(holds("10 - 4 - 3 == 3", &[])); // left-associative
+    assert!(holds("-2 + 5 == 3", &[]));
+}
+
+#[test]
+fn float_and_integer_mixing() {
+    assert!(holds("1.5 * 2 == 3", &[]));
+    assert!(holds("7 / 2 == 3.5", &[]));
+    assert!(holds("0.1 + 0.2 < 0.31", &[]));
+}
+
+#[test]
+fn division_and_modulo_by_zero_fail_closed() {
+    assert!(!holds("1 / 0 == 0", &[]));
+    assert!(!holds("1 % 0 == 0", &[]));
+    // And do not poison sibling clauses combined with ||.
+    assert!(holds("(1 / 0 == 0) || true", &[]));
+}
+
+#[test]
+fn string_vs_numeric_comparison_rules() {
+    // Two attributes: string comparison (lexicographic).
+    assert!(holds("a < b", &[("a", "10"), ("b", "9")]));
+    // One numeric literal forces numeric comparison.
+    assert!(holds("a > 9", &[("a", "10")]));
+    // Arithmetic forces numeric even with attributes on both sides.
+    assert!(holds("a + 0 > b - 0", &[("a", "10"), ("b", "9")]));
+}
+
+#[test]
+fn comparison_chains_of_same_attribute() {
+    assert!(holds("n >= 5 && n <= 10", &[("n", "7")]));
+    assert!(!holds("n >= 5 && n <= 10", &[("n", "11")]));
+}
+
+#[test]
+fn string_concat_in_comparisons() {
+    assert!(holds(
+        "(prefix . \"/\" . name) == \"data/file\"",
+        &[("prefix", "data"), ("name", "file")]
+    ));
+    // Concat binds looser than arithmetic: "1" . 2+3 is "1" . 5 = "15".
+    assert!(holds("(\"1\" . 2 + 3) == \"15\"", &[]));
+}
+
+#[test]
+fn not_operator_and_double_negation() {
+    assert!(holds("!(x == \"1\")", &[("x", "2")]));
+    assert!(holds("!!(x == \"1\")", &[("x", "1")]));
+}
+
+#[test]
+fn missing_attribute_comparisons() {
+    // Missing attributes read as "" — equality with "" holds, numeric
+    // coercion of "" fails closed.
+    assert!(holds("ghost == \"\"", &[]));
+    assert!(!holds("ghost > 0", &[]));
+    assert!(!holds("ghost < 0", &[]));
+}
+
+#[test]
+fn regex_alternation_and_classes_in_conditions() {
+    assert!(holds(
+        "file ~= \"\\\\.(c|h)$\"",
+        &[("file", "kern/sched.c")]
+    ));
+    assert!(!holds(
+        "file ~= \"\\\\.(c|h)$\"",
+        &[("file", "README.md")]
+    ));
+    assert!(holds("id ~= \"^[a-f0-9]+$\"", &[("id", "deadbeef42")]));
+}
+
+#[test]
+fn large_numbers_and_negatives() {
+    assert!(holds("n == 4294967296", &[("n", "4294967296")]));
+    assert!(holds("t - 100 < 0", &[("t", "50")]));
+    assert!(holds("-5 < -4", &[]));
+}
+
+#[test]
+fn indirection_chain() {
+    assert!(holds(
+        "$($which) == \"target-value\"",
+        &[
+            ("which", "pointer"),
+            ("pointer", "final"),
+            ("final", "target-value")
+        ]
+    ));
+}
+
+#[test]
+fn whitespace_and_newlines_in_conditions() {
+    assert!(holds("  x   ==\t\"1\"  ", &[("x", "1")]));
+}
+
+#[test]
+fn empty_string_literals() {
+    assert!(holds("\"\" == \"\"", &[]));
+    assert!(holds("(\"\" . \"a\") == \"a\"", &[]));
+}

@@ -1,0 +1,152 @@
+//! Property tests for the KeyNote engine.
+//!
+//! The two critical properties:
+//! 1. **No panic, ever** — assertions and conditions arrive over the
+//!    network from strangers; parsing and evaluation must fail closed,
+//!    not crash the server.
+//! 2. **Delegation monotonicity** — a chain can only narrow rights; no
+//!    combination of credentials grants more than the weakest link.
+
+use discfs_crypto::ed25519::SigningKey;
+use keynote::{Assertion, AssertionBuilder, Session};
+use proptest::prelude::*;
+
+const PERMS: [&str; 8] = ["false", "X", "W", "WX", "R", "RX", "RW", "RWX"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic the assertion parser.
+    #[test]
+    fn parser_never_panics(input in ".{0,500}") {
+        let _ = Assertion::parse(&input);
+    }
+
+    /// Structured-looking garbage never panics either.
+    #[test]
+    fn structured_garbage_never_panics(
+        field in "[A-Za-z-]{1,20}",
+        body in ".{0,200}"
+    ) {
+        let text = format!("{field}: {body}\nAuthorizer: \"POLICY\"\n");
+        let _ = Assertion::parse(&text);
+    }
+
+    /// Arbitrary conditions bodies never panic parse or evaluation.
+    #[test]
+    fn conditions_never_panic(body in ".{0,300}") {
+        let text = format!("Authorizer: \"POLICY\"\nLicensees: \"user\"\nConditions: {body}\n");
+        if let Ok(_assertion) = Assertion::parse(&text) {
+            let mut session = Session::new(&PERMS);
+            if session.add_policy(&text).is_ok() {
+                session.set_attribute("app_domain", "DisCFS");
+                session.add_requester(keynote::Principal::Opaque("user".into()));
+                // Whatever happens, it must be a value or a clean error.
+                let _ = session.query();
+            }
+        }
+    }
+
+    /// Builder output always reparses and verifies.
+    #[test]
+    fn builder_round_trip(
+        seed in 1u8..255,
+        holder_seed in 1u8..255,
+        handle in "[0-9]{1,8}\\.[0-9]{1,4}",
+        perm_idx in 1usize..8,
+        comment in "[ -~]{0,60}",
+    ) {
+        let issuer = SigningKey::from_seed(&[seed; 32]);
+        let holder = SigningKey::from_seed(&[holder_seed; 32]);
+        let text = AssertionBuilder::new()
+            .comment(&comment)
+            .licensee_key(&holder.public())
+            .conditions(&format!(
+                "(app_domain == \"DisCFS\") && (HANDLE == \"{handle}\") -> \"{}\";",
+                PERMS[perm_idx]
+            ))
+            .sign(&issuer);
+        let assertion = Assertion::parse(&text).expect("builder output parses");
+        assertion.verify().expect("builder output verifies");
+    }
+
+    /// Any single-byte corruption of the SIGNED PORTION of a credential
+    /// is caught (either it stops parsing or the signature fails).
+    /// Corruption inside the Signature field itself may be semantically
+    /// inert (hex is case-insensitive), but then the authorized content
+    /// is untouched — which is exactly the guarantee that matters.
+    #[test]
+    fn corruption_detected(pos_fraction in 0.0f64..1.0, delta in 1u8..255) {
+        let issuer = SigningKey::from_seed(&[1; 32]);
+        let holder = SigningKey::from_seed(&[2; 32]);
+        let text = AssertionBuilder::new()
+            .licensee_key(&holder.public())
+            .conditions("(HANDLE == \"42.1\") -> \"RW\";")
+            .sign(&issuer);
+        let signed_prefix_len = text.find("Signature:").expect("signed credential");
+        let mut bytes = text.clone().into_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_fraction) as usize;
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(assertion) = Assertion::parse(&corrupted) {
+            if assertion.verify().is_ok() {
+                // Verification can only still succeed when the signed
+                // portion is byte-identical — i.e. the flip landed in
+                // the Signature field and decoded to the same bytes.
+                prop_assert!(pos >= signed_prefix_len, "flip at {pos} inside signed portion passed verify");
+                prop_assert_eq!(&corrupted[..signed_prefix_len], &text[..signed_prefix_len]);
+            }
+        }
+    }
+
+    /// Delegation monotonicity: the value granted to the end of a chain
+    /// never exceeds the minimum link grant.
+    #[test]
+    fn chain_never_amplifies(grants in proptest::collection::vec(0usize..8, 1..6)) {
+        let admin = SigningKey::from_seed(&[1; 32]);
+        let policy = AssertionBuilder::new().licensee_key(&admin.public()).policy();
+        let mut keys = vec![admin];
+        for i in 0..grants.len() {
+            keys.push(SigningKey::from_seed(&[10 + i as u8; 32]));
+        }
+        let mut session = Session::new(&PERMS);
+        session.add_policy(&policy).unwrap();
+        for (i, pair) in keys.windows(2).enumerate() {
+            let cred = AssertionBuilder::new()
+                .licensee_key(&pair[1].public())
+                .conditions(&format!(
+                    "(app_domain == \"DisCFS\") -> \"{}\";",
+                    PERMS[grants[i]]
+                ))
+                .sign(&pair[0]);
+            session.add_credential(&cred).unwrap();
+        }
+        session.set_attribute("app_domain", "DisCFS");
+        session.add_requester_key(&keys.last().unwrap().public());
+        let value = session.query().unwrap();
+        let min_grant = *grants.iter().min().expect("non-empty");
+        prop_assert!(
+            value.index() <= min_grant,
+            "chain yielded {} but weakest link grants {}",
+            value.as_str(),
+            PERMS[min_grant]
+        );
+        // And with all links present it is exactly the minimum.
+        prop_assert_eq!(value.index(), min_grant);
+    }
+
+    /// Regex engine: never panics, and literal self-match always holds.
+    #[test]
+    fn regex_never_panics(pattern in ".{0,40}", subject in ".{0,80}") {
+        if let Ok(re) = keynote::regex::Regex::new(&pattern) {
+            let _ = re.is_match(&subject);
+        }
+    }
+
+    /// Literal strings (no metacharacters) always match themselves.
+    #[test]
+    fn regex_literal_self_match(subject in "[a-zA-Z0-9 ]{1,40}") {
+        let re = keynote::regex::Regex::new(&subject).expect("literal compiles");
+        prop_assert!(re.is_match(&subject));
+    }
+}

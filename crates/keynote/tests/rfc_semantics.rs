@@ -1,0 +1,221 @@
+//! RFC 2704 semantic details beyond the core delegation tests: special
+//! attributes, opaque principals, conditions-free assertions, and
+//! Local-Constants in signed credentials.
+
+use discfs_crypto::ed25519::SigningKey;
+use keynote::{key_principal, Assertion, AssertionBuilder, Principal, Session};
+
+const PERMS: [&str; 8] = ["false", "X", "W", "WX", "R", "RX", "RW", "RWX"];
+
+fn admin() -> SigningKey {
+    SigningKey::from_seed(&[1; 32])
+}
+fn bob() -> SigningKey {
+    SigningKey::from_seed(&[2; 32])
+}
+
+#[test]
+fn special_attributes_visible_to_conditions() {
+    // _MIN_TRUST, _MAX_TRUST and _VALUES are implicit action attributes
+    // (RFC 2704 §3).
+    let mut session = Session::new(&PERMS);
+    let policy = AssertionBuilder::new()
+        .licensee_key(&bob().public())
+        .conditions(
+            "(_MIN_TRUST == \"false\") && (_MAX_TRUST == \"RWX\") && \
+             (_VALUES == \"false,X,W,WX,R,RX,RW,RWX\") -> \"R\";",
+        )
+        .policy();
+    session.add_policy(&policy).unwrap();
+    session.add_requester_key(&bob().public());
+    assert_eq!(session.query().unwrap().as_str(), "R");
+}
+
+#[test]
+fn action_authorizers_lists_requesters() {
+    let mut session = Session::new(&["false", "true"]);
+    let policy = AssertionBuilder::new()
+        .licensee_key(&bob().public())
+        .conditions("(_ACTION_AUTHORIZERS ~= \"ed25519-hex:\") -> \"true\";")
+        .policy();
+    session.add_policy(&policy).unwrap();
+    session.add_requester_key(&bob().public());
+    assert_eq!(session.query().unwrap().as_str(), "true");
+}
+
+#[test]
+fn opaque_principals_can_request() {
+    // RFC 2704 allows non-cryptographic principals; they cannot sign
+    // credentials but can appear as requesters (e.g. IP-address
+    // principals vouched for by the transport).
+    let mut session = Session::new(&["false", "true"]);
+    let policy = "Authorizer: \"POLICY\"\nLicensees: \"gateway-7\"\n";
+    session.add_policy(policy).unwrap();
+    session.add_requester(Principal::Opaque("gateway-7".into()));
+    assert_eq!(session.query().unwrap().as_str(), "true");
+
+    // A different opaque name gets nothing.
+    session.clear_requesters();
+    session.add_requester(Principal::Opaque("gateway-8".into()));
+    assert_eq!(session.query().unwrap().as_str(), "false");
+}
+
+#[test]
+fn assertion_without_conditions_grants_max() {
+    // RFC 2704: a missing Conditions field places no restrictions.
+    let mut session = Session::new(&PERMS);
+    let policy = format!(
+        "Authorizer: \"POLICY\"\nLicensees: \"{}\"\n",
+        key_principal(&bob().public())
+    );
+    session.add_policy(&policy).unwrap();
+    session.add_requester_key(&bob().public());
+    assert_eq!(session.query().unwrap().as_str(), "RWX");
+}
+
+#[test]
+fn multiple_policy_assertions_combine_by_max() {
+    let mut session = Session::new(&PERMS);
+    let p1 = AssertionBuilder::new()
+        .licensee_key(&bob().public())
+        .conditions("true -> \"R\";")
+        .policy();
+    let p2 = AssertionBuilder::new()
+        .licensee_key(&bob().public())
+        .conditions("true -> \"W\";")
+        .policy();
+    session.add_policy(&p1).unwrap();
+    session.add_policy(&p2).unwrap();
+    session.add_requester_key(&bob().public());
+    // max(R, W) in the linear order is R (index 4 > 2).
+    assert_eq!(session.query().unwrap().as_str(), "R");
+}
+
+#[test]
+fn local_constants_in_signed_credential() {
+    let bob_principal = key_principal(&bob().public());
+    let credential = AssertionBuilder::new()
+        .local_constant("BOB", &bob_principal)
+        .licensees_expr("BOB")
+        .conditions("(app_domain == \"DisCFS\") -> \"RW\";")
+        .sign(&admin());
+    let assertion = Assertion::parse(&credential).unwrap();
+    assertion.verify().unwrap();
+    assert_eq!(
+        assertion.licensees().unwrap().principals(),
+        vec![&Principal::Key(bob().public())]
+    );
+
+    // And the chain works through a session.
+    let mut session = Session::new(&PERMS);
+    let policy = format!(
+        "Authorizer: \"POLICY\"\nLicensees: \"{}\"\n",
+        key_principal(&admin().public())
+    );
+    session.add_policy(&policy).unwrap();
+    session.add_credential(&credential).unwrap();
+    session.set_attribute("app_domain", "DisCFS");
+    session.add_requester_key(&bob().public());
+    assert_eq!(session.query().unwrap().as_str(), "RW");
+}
+
+#[test]
+fn sub_clause_values_cap_at_their_branch() {
+    // A nested program's value flows up through the clause that guards
+    // it; other clauses still compete by max.
+    let mut session = Session::new(&PERMS);
+    let policy = AssertionBuilder::new()
+        .licensee_key(&bob().public())
+        .conditions(
+            "(dir == \"shared\") -> { (op == \"read\") -> \"R\"; true -> \"X\"; }; \
+             (dir == \"public\") -> \"RX\";",
+        )
+        .policy();
+    session.add_policy(&policy).unwrap();
+    session.add_requester_key(&bob().public());
+
+    session.set_attribute("dir", "shared");
+    session.set_attribute("op", "read");
+    assert_eq!(session.query().unwrap().as_str(), "R");
+
+    session.set_attribute("op", "write");
+    assert_eq!(session.query().unwrap().as_str(), "X");
+
+    session.set_attribute("dir", "public");
+    assert_eq!(session.query().unwrap().as_str(), "RX");
+
+    session.set_attribute("dir", "private");
+    assert_eq!(session.query().unwrap().as_str(), "false");
+}
+
+#[test]
+fn and_licensees_weakest_branch_governs() {
+    // (A && B): the assertion's support is min(support(A), support(B)).
+    // B is not a requester, but B has its own credential chain with a
+    // weaker grant — the conjunction is capped by it.
+    let carol = SigningKey::from_seed(&[3; 32]);
+    let mut session = Session::new(&PERMS);
+    let policy = format!(
+        "Authorizer: \"POLICY\"\nLicensees: \"{}\"\n",
+        key_principal(&admin().public())
+    );
+    session.add_policy(&policy).unwrap();
+
+    // admin → (bob && carol) : RWX
+    let conj = AssertionBuilder::new()
+        .licensees_expr(&format!(
+            "\"{}\" && \"{}\"",
+            key_principal(&bob().public()),
+            key_principal(&carol.public())
+        ))
+        .conditions("true -> \"RWX\";")
+        .sign(&admin());
+    session.add_credential(&conj).unwrap();
+
+    // Only bob signs the request: carol's support is MIN_TRUST, so the
+    // conjunction contributes nothing.
+    session.add_requester_key(&bob().public());
+    assert!(session.query().unwrap().is_min());
+
+    // Both sign: full grant.
+    session.add_requester_key(&carol.public());
+    assert_eq!(session.query().unwrap().as_str(), "RWX");
+}
+
+#[test]
+fn comment_does_not_affect_semantics() {
+    let c1 = AssertionBuilder::new()
+        .comment("for the weekly report")
+        .licensee_key(&bob().public())
+        .conditions("true -> \"R\";")
+        .sign(&admin());
+    let a = Assertion::parse(&c1).unwrap();
+    assert_eq!(a.comment(), Some("for the weekly report"));
+
+    let mut session = Session::new(&PERMS);
+    let policy = format!(
+        "Authorizer: \"POLICY\"\nLicensees: \"{}\"\n",
+        key_principal(&admin().public())
+    );
+    session.add_policy(&policy).unwrap();
+    session.add_credential(&c1).unwrap();
+    session.add_requester_key(&bob().public());
+    assert_eq!(session.query().unwrap().as_str(), "R");
+}
+
+#[test]
+fn keynote_version_field_accepted() {
+    let text = "KeyNote-Version: 2\nAuthorizer: \"POLICY\"\nLicensees: \"x\"\n";
+    let a = Assertion::parse(text).unwrap();
+    assert_eq!(a.version(), Some("2"));
+}
+
+#[test]
+fn empty_licensees_assertion_grants_nothing() {
+    let mut session = Session::new(&PERMS);
+    session
+        .add_policy("Authorizer: \"POLICY\"\nLicensees:\n")
+        .unwrap();
+    session.add_requester_key(&bob().public());
+    assert!(session.query().unwrap().is_min());
+}

@@ -1,0 +1,358 @@
+//! Simulated network substrate for the DisCFS reproduction.
+//!
+//! The paper's testbed was two x86 hosts ("Alice" the server, "Bob" the
+//! client) on 100 Mbps Ethernet. This crate substitutes an in-process
+//! message-passing network whose *virtual clock* charges each message
+//! the latency and serialization delay the real wire would have cost:
+//!
+//! * [`SimClock`] — a shared monotonic virtual clock (nanoseconds).
+//! * [`LinkConfig`] — latency/bandwidth parameters
+//!   ([`LinkConfig::ethernet_100mbps`] matches the paper's testbed).
+//! * [`Link::pair`] — a duplex connection: two [`Endpoint`]s that can be
+//!   moved to different threads (client thread / server thread, exactly
+//!   like the two hosts in the paper's Figure 6).
+//! * [`Transport`] — the byte-message interface the RPC and IPsec layers
+//!   build on.
+//!
+//! Virtual time accounting is deliberately simple: every message
+//! advances the shared clock by `latency + len/bandwidth`. Benchmarks in
+//! this workspace issue RPCs sequentially (as Bonnie does), so the
+//! sequential charge model matches the real serialization of
+//! request/response traffic on a single TCP/UDP flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Errors from the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer endpoint was dropped.
+    Disconnected,
+    /// A receive with a timeout expired.
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A shared monotonic virtual clock.
+///
+/// All simulated resources (network links, disk models) advance the same
+/// clock, so `now()` reflects the modeled elapsed time of the whole
+/// experiment.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Resets the clock to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Latency/bandwidth parameters of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// One-way propagation + protocol-stack latency per message.
+    pub latency: Duration,
+    /// Serialization bandwidth in bytes per second.
+    pub bandwidth: u64,
+}
+
+impl LinkConfig {
+    /// The paper's testbed: 100 Mbps Ethernet.
+    ///
+    /// 120 µs one-way message latency models interrupt + protocol stack
+    /// costs on ~2001 hardware (a 450 MHz PIII server); 100 Mbps =
+    /// 12.5 MB/s serialization rate.
+    pub fn ethernet_100mbps() -> LinkConfig {
+        LinkConfig {
+            latency: Duration::from_micros(120),
+            bandwidth: 12_500_000,
+        }
+    }
+
+    /// A zero-cost link for tests that do not measure time.
+    pub fn instant() -> LinkConfig {
+        LinkConfig {
+            latency: Duration::ZERO,
+            bandwidth: u64::MAX,
+        }
+    }
+
+    /// The virtual-time cost of transmitting `len` bytes.
+    pub fn transfer_time(&self, len: usize) -> Duration {
+        if self.bandwidth == u64::MAX {
+            return self.latency;
+        }
+        self.latency
+            + Duration::from_nanos((len as u64).saturating_mul(1_000_000_000) / self.bandwidth)
+    }
+}
+
+/// Byte-message transport: the interface RPC and IPsec layers build on.
+pub trait Transport: Send {
+    /// Sends one message.
+    fn send(&self, msg: Vec<u8>) -> Result<(), NetError>;
+    /// Receives one message, blocking until available.
+    fn recv(&self) -> Result<Vec<u8>, NetError>;
+    /// Receives with a timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError>;
+}
+
+/// Traffic counters for one endpoint.
+#[derive(Debug, Default)]
+struct Stats {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// One side of a duplex [`Link`].
+pub struct Endpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    clock: SimClock,
+    config: LinkConfig,
+    stats: Arc<Stats>,
+}
+
+/// Constructor namespace for link pairs.
+pub struct Link;
+
+impl Link {
+    /// Creates a connected pair of endpoints sharing `clock`.
+    pub fn pair(clock: &SimClock, config: LinkConfig) -> (Endpoint, Endpoint) {
+        let (tx_a, rx_b) = unbounded();
+        let (tx_b, rx_a) = unbounded();
+        (
+            Endpoint {
+                tx: tx_a,
+                rx: rx_a,
+                clock: clock.clone(),
+                config,
+                stats: Arc::new(Stats::default()),
+            },
+            Endpoint {
+                tx: tx_b,
+                rx: rx_b,
+                clock: clock.clone(),
+                config,
+                stats: Arc::new(Stats::default()),
+            },
+        )
+    }
+
+    /// A zero-latency loopback pair (local filesystem comparisons).
+    pub fn loopback(clock: &SimClock) -> (Endpoint, Endpoint) {
+        Link::pair(clock, LinkConfig::instant())
+    }
+}
+
+impl Endpoint {
+    /// Messages sent through this endpoint.
+    pub fn messages_sent(&self) -> u64 {
+        self.stats.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent through this endpoint.
+    pub fn bytes_sent(&self) -> u64 {
+        self.stats.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// The clock this endpoint charges.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+impl Transport for Endpoint {
+    fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
+        self.clock.advance(self.config.transfer_time(msg.len()));
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        self.tx.send(msg).map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_between_threads() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        let server = std::thread::spawn(move || {
+            let msg = b.recv().unwrap();
+            b.send([&msg[..], b" world"].concat()).unwrap();
+        });
+        a.send(b"hello".to_vec()).unwrap();
+        assert_eq!(a.recv().unwrap(), b"hello world");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn clock_charges_latency_and_bandwidth() {
+        let clock = SimClock::new();
+        let config = LinkConfig {
+            latency: Duration::from_micros(100),
+            bandwidth: 1_000_000, // 1 MB/s
+        };
+        let (a, _b) = Link::pair(&clock, config);
+        a.send(vec![0u8; 1_000_000]).unwrap();
+        // 100 µs latency + 1 s transfer.
+        let now = clock.now();
+        assert!(now >= Duration::from_millis(1000), "clock = {now:?}");
+        assert!(now <= Duration::from_millis(1001), "clock = {now:?}");
+    }
+
+    #[test]
+    fn ethernet_preset_transfer_time() {
+        let cfg = LinkConfig::ethernet_100mbps();
+        // An 8 KB NFS block at 12.5 MB/s is ~655 µs + 120 µs latency.
+        let t = cfg.transfer_time(8192);
+        assert!(
+            t > Duration::from_micros(700) && t < Duration::from_micros(850),
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        drop(b);
+        assert_eq!(a.send(vec![1]), Err(NetError::Disconnected));
+        assert_eq!(a.recv(), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout() {
+        let clock = SimClock::new();
+        let (a, _b) = Link::pair(&clock, LinkConfig::instant());
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        a.send(vec![0; 10]).unwrap();
+        a.send(vec![0; 20]).unwrap();
+        assert_eq!(a.messages_sent(), 2);
+        assert_eq!(a.bytes_sent(), 30);
+        assert_eq!(b.messages_sent(), 0);
+        // Messages are waiting for b.
+        assert_eq!(b.recv().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn clock_reset() {
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(clock.now(), Duration::from_secs(5));
+        clock.reset();
+        assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn messages_preserve_order() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        for i in 0..100u8 {
+            a.send(vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b.recv().unwrap(), vec![i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Clock accounting is exact: each message charges
+        /// latency + ceil-free bytes/bandwidth, accumulated.
+        #[test]
+        fn clock_accounting_exact(sizes in proptest::collection::vec(0usize..100_000, 1..20)) {
+            let clock = SimClock::new();
+            let config = LinkConfig {
+                latency: Duration::from_micros(50),
+                bandwidth: 1_000_000,
+            };
+            let (a, _b) = Link::pair(&clock, config);
+            let mut expected = Duration::ZERO;
+            for size in &sizes {
+                a.send(vec![0u8; *size]).unwrap();
+                expected += Duration::from_micros(50)
+                    + Duration::from_nanos((*size as u64) * 1_000_000_000 / 1_000_000);
+            }
+            prop_assert_eq!(clock.now(), expected);
+        }
+
+        /// FIFO order holds for any message sequence.
+        #[test]
+        fn fifo_order(payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..50), 1..30
+        )) {
+            let clock = SimClock::new();
+            let (a, b) = Link::pair(&clock, LinkConfig::instant());
+            for p in &payloads {
+                a.send(p.clone()).unwrap();
+            }
+            for p in &payloads {
+                prop_assert_eq!(&b.recv().unwrap(), p);
+            }
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The NFSv2 client library.
+//!
+//! The paper's client was the OpenBSD kernel NFS client plus the
+//! modified CFS `cattach` utility. In this reproduction [`NfsClient`]
+//! provides typed stubs for every NFSv2/MOUNT procedure over a
+//! [`SecureTransport`], and [`RemoteFs`] offers path-level helpers
+//! (resolve/read/write whole files) that examples and benchmarks use as
+//! their "mounted filesystem".
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use ipsec::{IpsecError, SecureTransport};
+use onc_rpc::{AcceptStat, AuthSys, Decoder, Encoder, ReplyBody, RpcCall, RpcReply, XdrError};
+
+use crate::proto::{
+    proc_mount, proc_nfs, DirOpArgs, FHandle, Fattr, NfsStat, ReaddirEntry, Sattr, StatfsRes,
+    MAX_DATA, MOUNT_PROGRAM, MOUNT_VERSION, NFS_PROGRAM, NFS_VERSION,
+};
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport failure.
+    Net(IpsecError),
+    /// Reply failed to decode.
+    Xdr(XdrError),
+    /// Server accepted the call but reported an RPC-level error.
+    Rpc(AcceptStat),
+    /// Server denied the call.
+    Denied,
+    /// The NFS procedure returned a non-OK status.
+    Status(NfsStat),
+    /// Reply transaction id did not match the call.
+    XidMismatch,
+}
+
+impl From<IpsecError> for ClientError {
+    fn from(e: IpsecError) -> Self {
+        ClientError::Net(e)
+    }
+}
+
+impl From<XdrError> for ClientError {
+    fn from(e: XdrError) -> Self {
+        ClientError::Xdr(e)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Net(e) => write!(f, "transport: {e}"),
+            ClientError::Xdr(e) => write!(f, "reply decode: {e}"),
+            ClientError::Rpc(s) => write!(f, "rpc error: {s:?}"),
+            ClientError::Denied => write!(f, "rpc denied"),
+            ClientError::Status(s) => write!(f, "nfs status: {s}"),
+            ClientError::XidMismatch => write!(f, "reply xid mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A typed NFSv2 client over one connection.
+pub struct NfsClient {
+    chan: Box<dyn SecureTransport>,
+    xid: AtomicU32,
+    auth: Option<AuthSys>,
+}
+
+impl NfsClient {
+    /// Wraps a transport (plain for CFS-NE, IPsec for DisCFS).
+    pub fn new(chan: Box<dyn SecureTransport>) -> NfsClient {
+        NfsClient {
+            chan,
+            xid: AtomicU32::new(1),
+            auth: None,
+        }
+    }
+
+    /// Attaches `AUTH_SYS` credentials to subsequent calls.
+    pub fn set_auth(&mut self, auth: AuthSys) {
+        self.auth = Some(auth);
+    }
+
+    /// Issues a raw RPC and returns the result bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] except `Status` (status handling is the
+    /// typed stubs' job).
+    pub fn call_raw(
+        &self,
+        prog: u32,
+        vers: u32,
+        proc_num: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, ClientError> {
+        let xid = self.xid.fetch_add(1, Ordering::Relaxed);
+        let mut call = RpcCall::new(xid, prog, vers, proc_num, args);
+        if let Some(auth) = &self.auth {
+            call.cred = auth.to_opaque();
+        }
+        self.chan.send(call.encode())?;
+        let reply_bytes = self.chan.recv()?;
+        let reply = RpcReply::decode(&reply_bytes)?;
+        if reply.xid != xid {
+            return Err(ClientError::XidMismatch);
+        }
+        match reply.body {
+            ReplyBody::Success(results) => Ok(results),
+            ReplyBody::Error(stat) => Err(ClientError::Rpc(stat)),
+            ReplyBody::Denied(_) => Err(ClientError::Denied),
+        }
+    }
+
+    fn call_nfs(&self, proc_num: u32, args: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        self.call_raw(NFS_PROGRAM, NFS_VERSION, proc_num, args)
+    }
+
+    /// Decodes `stat` and returns the remaining decoder on success.
+    fn status<'a>(&self, results: &'a [u8]) -> Result<Decoder<'a>, ClientError> {
+        let mut d = Decoder::new(results);
+        let stat = NfsStat::from_u32(d.get_u32()?)?;
+        if stat != NfsStat::Ok {
+            return Err(ClientError::Status(stat));
+        }
+        Ok(d)
+    }
+
+    /// MOUNT MNT: obtain the root handle for an export path.
+    pub fn mount(&self, path: &str) -> Result<FHandle, ClientError> {
+        let mut e = Encoder::new();
+        e.put_string(path);
+        let results = self.call_raw(MOUNT_PROGRAM, MOUNT_VERSION, proc_mount::MNT, e.finish())?;
+        let mut d = Decoder::new(&results);
+        let stat = d.get_u32()?;
+        if stat != 0 {
+            return Err(ClientError::Status(NfsStat::from_u32(stat)?));
+        }
+        let bytes = d.get_opaque_fixed(32)?;
+        Ok(FHandle(bytes.try_into().expect("32 bytes")))
+    }
+
+    /// NULL: protocol ping.
+    pub fn null(&self) -> Result<(), ClientError> {
+        self.call_nfs(proc_nfs::NULL, Vec::new()).map(|_| ())
+    }
+
+    /// GETATTR.
+    pub fn getattr(&self, fh: &FHandle) -> Result<Fattr, ClientError> {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&fh.0);
+        let results = self.call_nfs(proc_nfs::GETATTR, e.finish())?;
+        let mut d = self.status(&results)?;
+        Ok(Fattr::decode(&mut d)?)
+    }
+
+    /// SETATTR.
+    pub fn setattr(&self, fh: &FHandle, sattr: &Sattr) -> Result<Fattr, ClientError> {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&fh.0);
+        sattr.encode(&mut e);
+        let results = self.call_nfs(proc_nfs::SETATTR, e.finish())?;
+        let mut d = self.status(&results)?;
+        Ok(Fattr::decode(&mut d)?)
+    }
+
+    /// LOOKUP.
+    pub fn lookup(&self, dir: &FHandle, name: &str) -> Result<(FHandle, Fattr), ClientError> {
+        let mut e = Encoder::new();
+        DirOpArgs {
+            dir: *dir,
+            name: name.to_string(),
+        }
+        .encode(&mut e);
+        let results = self.call_nfs(proc_nfs::LOOKUP, e.finish())?;
+        let mut d = self.status(&results)?;
+        let fh = FHandle(d.get_opaque_fixed(32)?.try_into().expect("32-byte handle"));
+        Ok((fh, Fattr::decode(&mut d)?))
+    }
+
+    /// READLINK.
+    pub fn readlink(&self, fh: &FHandle) -> Result<String, ClientError> {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&fh.0);
+        let results = self.call_nfs(proc_nfs::READLINK, e.finish())?;
+        let mut d = self.status(&results)?;
+        Ok(d.get_string()?)
+    }
+
+    /// READ (single call; at most [`MAX_DATA`] bytes).
+    pub fn read(
+        &self,
+        fh: &FHandle,
+        offset: u32,
+        count: u32,
+    ) -> Result<(Fattr, Vec<u8>), ClientError> {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&fh.0);
+        e.put_u32(offset);
+        e.put_u32(count);
+        e.put_u32(count); // totalcount (unused)
+        let results = self.call_nfs(proc_nfs::READ, e.finish())?;
+        let mut d = self.status(&results)?;
+        let attr = Fattr::decode(&mut d)?;
+        Ok((attr, d.get_opaque()?))
+    }
+
+    /// WRITE (single call; at most [`MAX_DATA`] bytes).
+    pub fn write(&self, fh: &FHandle, offset: u32, data: &[u8]) -> Result<Fattr, ClientError> {
+        debug_assert!(data.len() <= MAX_DATA);
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&fh.0);
+        e.put_u32(0); // beginoffset (unused)
+        e.put_u32(offset);
+        e.put_u32(data.len() as u32); // totalcount (unused)
+        e.put_opaque(data);
+        let results = self.call_nfs(proc_nfs::WRITE, e.finish())?;
+        let mut d = self.status(&results)?;
+        Ok(Fattr::decode(&mut d)?)
+    }
+
+    /// CREATE.
+    pub fn create(
+        &self,
+        dir: &FHandle,
+        name: &str,
+        sattr: &Sattr,
+    ) -> Result<(FHandle, Fattr), ClientError> {
+        self.diropres_call(proc_nfs::CREATE, dir, name, sattr)
+    }
+
+    /// MKDIR.
+    pub fn mkdir(
+        &self,
+        dir: &FHandle,
+        name: &str,
+        sattr: &Sattr,
+    ) -> Result<(FHandle, Fattr), ClientError> {
+        self.diropres_call(proc_nfs::MKDIR, dir, name, sattr)
+    }
+
+    fn diropres_call(
+        &self,
+        proc_num: u32,
+        dir: &FHandle,
+        name: &str,
+        sattr: &Sattr,
+    ) -> Result<(FHandle, Fattr), ClientError> {
+        let mut e = Encoder::new();
+        DirOpArgs {
+            dir: *dir,
+            name: name.to_string(),
+        }
+        .encode(&mut e);
+        sattr.encode(&mut e);
+        let results = self.call_nfs(proc_num, e.finish())?;
+        let mut d = self.status(&results)?;
+        let fh = FHandle(d.get_opaque_fixed(32)?.try_into().expect("32-byte handle"));
+        Ok((fh, Fattr::decode(&mut d)?))
+    }
+
+    /// REMOVE.
+    pub fn remove(&self, dir: &FHandle, name: &str) -> Result<(), ClientError> {
+        self.name_only_call(proc_nfs::REMOVE, dir, name)
+    }
+
+    /// RMDIR.
+    pub fn rmdir(&self, dir: &FHandle, name: &str) -> Result<(), ClientError> {
+        self.name_only_call(proc_nfs::RMDIR, dir, name)
+    }
+
+    fn name_only_call(&self, proc_num: u32, dir: &FHandle, name: &str) -> Result<(), ClientError> {
+        let mut e = Encoder::new();
+        DirOpArgs {
+            dir: *dir,
+            name: name.to_string(),
+        }
+        .encode(&mut e);
+        let results = self.call_nfs(proc_num, e.finish())?;
+        self.status(&results)?;
+        Ok(())
+    }
+
+    /// RENAME.
+    pub fn rename(
+        &self,
+        from_dir: &FHandle,
+        from_name: &str,
+        to_dir: &FHandle,
+        to_name: &str,
+    ) -> Result<(), ClientError> {
+        let mut e = Encoder::new();
+        DirOpArgs {
+            dir: *from_dir,
+            name: from_name.to_string(),
+        }
+        .encode(&mut e);
+        DirOpArgs {
+            dir: *to_dir,
+            name: to_name.to_string(),
+        }
+        .encode(&mut e);
+        let results = self.call_nfs(proc_nfs::RENAME, e.finish())?;
+        self.status(&results)?;
+        Ok(())
+    }
+
+    /// LINK.
+    pub fn link(&self, from: &FHandle, to_dir: &FHandle, to_name: &str) -> Result<(), ClientError> {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&from.0);
+        DirOpArgs {
+            dir: *to_dir,
+            name: to_name.to_string(),
+        }
+        .encode(&mut e);
+        let results = self.call_nfs(proc_nfs::LINK, e.finish())?;
+        self.status(&results)?;
+        Ok(())
+    }
+
+    /// SYMLINK.
+    pub fn symlink(
+        &self,
+        dir: &FHandle,
+        name: &str,
+        target: &str,
+        sattr: &Sattr,
+    ) -> Result<(), ClientError> {
+        let mut e = Encoder::new();
+        DirOpArgs {
+            dir: *dir,
+            name: name.to_string(),
+        }
+        .encode(&mut e);
+        e.put_string(target);
+        sattr.encode(&mut e);
+        let results = self.call_nfs(proc_nfs::SYMLINK, e.finish())?;
+        self.status(&results)?;
+        Ok(())
+    }
+
+    /// One READDIR call from `cookie`.
+    pub fn readdir(
+        &self,
+        fh: &FHandle,
+        cookie: u32,
+        count: u32,
+    ) -> Result<(Vec<ReaddirEntry>, bool), ClientError> {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&fh.0);
+        e.put_u32(cookie);
+        e.put_u32(count);
+        let results = self.call_nfs(proc_nfs::READDIR, e.finish())?;
+        let mut d = self.status(&results)?;
+        let mut entries = Vec::new();
+        while d.get_bool()? {
+            entries.push(ReaddirEntry {
+                fileid: d.get_u32()?,
+                name: d.get_string()?,
+                cookie: d.get_u32()?,
+            });
+        }
+        let eof = d.get_bool()?;
+        Ok((entries, eof))
+    }
+
+    /// Reads a whole directory (following cookies to EOF).
+    pub fn readdir_all(&self, fh: &FHandle) -> Result<Vec<ReaddirEntry>, ClientError> {
+        let mut all = Vec::new();
+        let mut cookie = 0;
+        loop {
+            let (entries, eof) = self.readdir(fh, cookie, 4096)?;
+            if let Some(last) = entries.last() {
+                cookie = last.cookie;
+            }
+            let empty = entries.is_empty();
+            all.extend(entries);
+            if eof || empty {
+                break;
+            }
+        }
+        Ok(all)
+    }
+
+    /// STATFS.
+    pub fn statfs(&self, fh: &FHandle) -> Result<StatfsRes, ClientError> {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&fh.0);
+        let results = self.call_nfs(proc_nfs::STATFS, e.finish())?;
+        let mut d = self.status(&results)?;
+        Ok(StatfsRes::decode(&mut d)?)
+    }
+
+    // -- multi-call helpers -------------------------------------------------
+
+    /// Reads an arbitrary range, issuing as many READs as needed.
+    pub fn read_all(&self, fh: &FHandle, offset: u64, len: usize) -> Result<Vec<u8>, ClientError> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let chunk = (end - pos).min(MAX_DATA as u64) as u32;
+            let (_, data) = self.read(fh, pos as u32, chunk)?;
+            if data.is_empty() {
+                break; // EOF
+            }
+            pos += data.len() as u64;
+            out.extend(data);
+        }
+        Ok(out)
+    }
+
+    /// Writes an arbitrary range, issuing as many WRITEs as needed.
+    pub fn write_all(&self, fh: &FHandle, offset: u64, data: &[u8]) -> Result<(), ClientError> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let chunk = (data.len() - pos).min(MAX_DATA);
+            self.write(fh, (offset + pos as u64) as u32, &data[pos..pos + chunk])?;
+            pos += chunk;
+        }
+        Ok(())
+    }
+}
+
+/// Path-level convenience layer: the client's view of the mount point.
+pub struct RemoteFs {
+    client: NfsClient,
+    root: FHandle,
+}
+
+impl RemoteFs {
+    /// Mounts the export at `path` ("" or "/" for the root).
+    ///
+    /// # Errors
+    ///
+    /// Propagates client errors from the MOUNT call.
+    pub fn mount(client: NfsClient, path: &str) -> Result<RemoteFs, ClientError> {
+        let root = client.mount(path)?;
+        Ok(RemoteFs { client, root })
+    }
+
+    /// The root handle.
+    pub fn root(&self) -> FHandle {
+        self.root
+    }
+
+    /// The underlying typed client.
+    pub fn client(&self) -> &NfsClient {
+        &self.client
+    }
+
+    /// Resolves a `/`-separated path to a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] with [`NfsStat::NoEnt`] on a missing
+    /// component.
+    pub fn resolve(&self, path: &str) -> Result<(FHandle, Fattr), ClientError> {
+        let mut fh = self.root;
+        let mut attr = self.client.getattr(&fh)?;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            let (next, next_attr) = self.client.lookup(&fh, part)?;
+            fh = next;
+            attr = next_attr;
+        }
+        Ok((fh, attr))
+    }
+
+    /// Creates (or truncates) a file at `path` and writes `data`.
+    ///
+    /// # Errors
+    ///
+    /// Lookup/create/write errors.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> Result<FHandle, ClientError> {
+        let (dir, name) = self.split_parent(path)?;
+        let fh = match self.client.lookup(&dir, &name) {
+            Ok((fh, _)) => {
+                let mut truncate = Sattr::unchanged();
+                truncate.size = 0;
+                self.client.setattr(&fh, &truncate)?;
+                fh
+            }
+            Err(ClientError::Status(NfsStat::NoEnt)) => {
+                let (fh, _) = self.client.create(&dir, &name, &Sattr::with_mode(0o644))?;
+                fh
+            }
+            Err(e) => return Err(e),
+        };
+        self.client.write_all(&fh, 0, data)?;
+        Ok(fh)
+    }
+
+    /// Reads the whole file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Lookup/read errors.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, ClientError> {
+        let (fh, attr) = self.resolve(path)?;
+        self.client.read_all(&fh, 0, attr.size as usize)
+    }
+
+    /// Creates a directory path component under its parent.
+    ///
+    /// # Errors
+    ///
+    /// Lookup/mkdir errors.
+    pub fn mkdir_path(&self, path: &str) -> Result<FHandle, ClientError> {
+        let (dir, name) = self.split_parent(path)?;
+        let (fh, _) = self.client.mkdir(&dir, &name, &Sattr::with_mode(0o755))?;
+        Ok(fh)
+    }
+
+    fn split_parent(&self, path: &str) -> Result<(FHandle, String), ClientError> {
+        let trimmed = path.trim_matches('/');
+        let (parent, name) = match trimmed.rsplit_once('/') {
+            Some((p, n)) => (p, n),
+            None => ("", trimmed),
+        };
+        let (dir, _) = self.resolve(parent)?;
+        Ok((dir, name.to_string()))
+    }
+}

@@ -1,0 +1,152 @@
+//! Server robustness: the RPC dispatch layer under malformed and
+//! hostile traffic. A user-level NFS daemon faces the raw network; no
+//! input may crash it or corrupt the volume.
+
+use std::sync::Arc;
+
+use ffs::{Ffs, FsConfig};
+use ipsec::{PlainChannel, SecureTransport};
+use netsim::{Link, SimClock, Transport};
+use nfsv2::{FfsService, NfsClient, RemoteFs};
+use onc_rpc::{AcceptStat, ReplyBody, RpcCall, RpcReply};
+use proptest::prelude::*;
+
+fn spawn_server() -> (netsim::Endpoint, Arc<Ffs>) {
+    let clock = SimClock::new();
+    let (client_end, server_end) = Link::loopback(&clock);
+    let fs = Arc::new(Ffs::format_in_memory(FsConfig::small()));
+    let service = Arc::new(FfsService::new(fs.clone(), 1));
+    nfsv2::server::spawn(service, Box::new(PlainChannel::new(server_end)));
+    (client_end, fs)
+}
+
+#[test]
+fn unknown_program_rejected() {
+    let (endpoint, _) = spawn_server();
+    let call = RpcCall::new(1, 424242, 1, 0, vec![]);
+    endpoint.send(call.encode()).unwrap();
+    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    assert_eq!(reply.body, ReplyBody::Error(AcceptStat::ProgUnavail));
+}
+
+#[test]
+fn wrong_nfs_version_rejected() {
+    let (endpoint, _) = spawn_server();
+    let call = RpcCall::new(2, nfsv2::NFS_PROGRAM, 3, 0, vec![]);
+    endpoint.send(call.encode()).unwrap();
+    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    assert_eq!(reply.body, ReplyBody::Error(AcceptStat::ProgMismatch));
+}
+
+#[test]
+fn unknown_procedure_rejected() {
+    let (endpoint, _) = spawn_server();
+    let call = RpcCall::new(3, nfsv2::NFS_PROGRAM, 2, 99, vec![]);
+    endpoint.send(call.encode()).unwrap();
+    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    assert_eq!(reply.body, ReplyBody::Error(AcceptStat::ProcUnavail));
+}
+
+#[test]
+fn truncated_args_are_garbage() {
+    let (endpoint, _) = spawn_server();
+    // GETATTR with a 3-byte handle instead of 32.
+    let call = RpcCall::new(4, nfsv2::NFS_PROGRAM, 2, 1, vec![1, 2, 3]);
+    endpoint.send(call.encode()).unwrap();
+    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    assert_eq!(reply.body, ReplyBody::Error(AcceptStat::GarbageArgs));
+}
+
+#[test]
+fn non_rpc_bytes_ignored_connection_survives() {
+    let (endpoint, _) = spawn_server();
+    // Pure garbage frame: server must skip it, not die.
+    endpoint.send(vec![0xde, 0xad, 0xbe, 0xef]).unwrap();
+    // A valid NULL call afterwards still works.
+    let call = RpcCall::new(5, nfsv2::NFS_PROGRAM, 2, 0, vec![]);
+    endpoint.send(call.encode()).unwrap();
+    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    assert_eq!(reply.xid, 5);
+    assert!(matches!(reply.body, ReplyBody::Success(_)));
+}
+
+#[test]
+fn volume_intact_after_garbage_storm() {
+    let (endpoint, fs) = spawn_server();
+    // Write a real file first.
+    let client = NfsClient::new(Box::new(WrapEndpoint(endpoint)));
+    let remote = RemoteFs::mount(client, "/").unwrap();
+    remote.write_file("precious.txt", b"survives").unwrap();
+
+    // Storm the server with malformed calls on the same connection.
+    for i in 0..200u32 {
+        let junk = RpcCall::new(1000 + i, nfsv2::NFS_PROGRAM, 2, (i % 18) + 1, vec![i as u8; (i % 40) as usize]);
+        let _ = remote
+            .client()
+            .call_raw(nfsv2::NFS_PROGRAM, 2, (i % 18) + 1, junk.args.clone());
+    }
+
+    // The data and the filesystem invariants are untouched.
+    assert_eq!(remote.read_file("precious.txt").unwrap(), b"survives");
+    fs.check().expect("volume consistent after garbage storm");
+}
+
+/// Wraps a bare endpoint as a SecureTransport for the client side.
+struct WrapEndpoint(netsim::Endpoint);
+
+impl SecureTransport for WrapEndpoint {
+    fn send(&self, msg: Vec<u8>) -> Result<(), ipsec::IpsecError> {
+        Ok(self.0.send(msg)?)
+    }
+    fn recv(&self) -> Result<Vec<u8>, ipsec::IpsecError> {
+        Ok(self.0.recv()?)
+    }
+    fn peer_identity(&self) -> Option<discfs_crypto::ed25519::VerifyingKey> {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random byte frames never kill the connection: a valid NULL call
+    /// always succeeds afterwards.
+    #[test]
+    fn survives_random_frames(frames in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..200), 1..10
+    )) {
+        let (endpoint, _) = spawn_server();
+        for frame in frames {
+            endpoint.send(frame).unwrap();
+        }
+        let call = RpcCall::new(77, nfsv2::NFS_PROGRAM, 2, 0, vec![]);
+        endpoint.send(call.encode()).unwrap();
+        // Skip any replies the garbage may have provoked until xid 77.
+        loop {
+            let reply = RpcReply::decode(&endpoint.recv().unwrap());
+            match reply {
+                Ok(r) if r.xid == 77 => {
+                    prop_assert!(matches!(r.body, ReplyBody::Success(_)));
+                    break;
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Random args to every NFS procedure produce clean errors, never
+    /// hangs or panics.
+    #[test]
+    fn random_args_yield_clean_errors(
+        proc_num in 1u32..18,
+        args in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let (endpoint, fs) = spawn_server();
+        let call = RpcCall::new(9, nfsv2::NFS_PROGRAM, 2, proc_num, args);
+        endpoint.send(call.encode()).unwrap();
+        let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+        prop_assert_eq!(reply.xid, 9);
+        // Either an RPC-level error or an NFS status reply; both fine.
+        fs.check().expect("volume stays consistent");
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's own war story (§4.2): the authors' host had no Unix
+//! group covering all five of them, so the CVS repository had to be
+//! made world-writable. With DisCFS, the repository owner simply issues
+//! read-write credentials to each co-author.
+//!
+//! ```text
+//! cargo run --example cvs_repository
+//! ```
+
+use discfs::{CredentialIssuer, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+
+fn main() {
+    let bed = Testbed::instant();
+
+    // The repository owner (first author) sets up the CVS tree.
+    let owner = SigningKey::from_seed(&[0x01; 32]);
+    let owner_grant = CredentialIssuer::new(bed.admin())
+        .holder(&owner.public())
+        .grant_handle_string("1.1", Perm::RWX)
+        .comment("home tree for the repository owner")
+        .issue();
+    let mut owner_client = bed.connect(&owner).expect("owner attaches");
+    owner_client.submit_credential(&owner_grant).unwrap();
+
+    let root = owner_client.remote().root();
+    let repo = owner_client
+        .mkdir_with_credential(&root, "cvsroot", 0o755)
+        .expect("mkdir cvsroot");
+    let paper = owner_client
+        .create_with_credential(&repo.fh, "paper.tex,v", 0o644)
+        .expect("create paper");
+    owner_client
+        .client()
+        .write_all(
+            &paper.fh,
+            0,
+            b"head 1.1;\n\n1.1\nlog\n@initial import@\ntext\n@\\section{Intro}@\n",
+        )
+        .expect("write rcs file");
+    println!("Owner created cvsroot/ with paper.tex,v");
+
+    // The four co-authors, each with their own key.
+    let coauthors: Vec<(&str, SigningKey)> = vec![
+        ("vassilis", SigningKey::from_seed(&[0x02; 32])),
+        ("sotiris", SigningKey::from_seed(&[0x03; 32])),
+        ("angelos", SigningKey::from_seed(&[0x04; 32])),
+        ("jms", SigningKey::from_seed(&[0x05; 32])),
+    ];
+
+    // "The owner of the repository would simply need to issue
+    // read-write certificates to all the other authors."
+    for (name, key) in &coauthors {
+        let rw = CredentialIssuer::new(&owner)
+            .holder(&key.public())
+            .grant(&repo.fh, Perm::RWX)
+            .grant(&paper.fh, Perm::RW)
+            .comment(&format!("cvs access for {name}"))
+            .issue();
+
+        let client = bed.connect(key).expect("coauthor attaches");
+        client.submit_credential(&repo.credential).unwrap();
+        client.submit_credential(&paper.credential).unwrap();
+        client.submit_credential(&rw).unwrap();
+
+        // Each co-author appends a revision (read-modify-write, the CVS
+        // pattern).
+        let current = client
+            .client()
+            .read_all(&paper.fh, 0, 4096)
+            .expect("checkout");
+        let mut next = current.clone();
+        next.extend_from_slice(format!("% edited by {name}\n").as_bytes());
+        client
+            .client()
+            .write_all(&paper.fh, 0, &next)
+            .expect("commit");
+        println!("{name}: committed revision ({} bytes total)", next.len());
+    }
+
+    // Every edit landed; the file was never world-writable, and the
+    // host administrator was never involved.
+    let mut owner_view_client = bed.connect(&owner).expect("owner re-attaches");
+    owner_view_client.submit_credential(&owner_grant).unwrap();
+    owner_view_client
+        .submit_credential(&paper.credential)
+        .unwrap();
+    let final_text = owner_view_client
+        .client()
+        .read_all(&paper.fh, 0, 4096)
+        .expect("owner reads final");
+    let text = String::from_utf8_lossy(&final_text);
+    for (name, _) in &coauthors {
+        assert!(
+            text.contains(&format!("% edited by {name}")),
+            "{name}'s edit missing"
+        );
+    }
+    println!(
+        "\nFinal file contains all {} co-author edits.",
+        coauthors.len()
+    );
+
+    // A random user on the same server still cannot read the repository.
+    let stranger = SigningKey::from_seed(&[0x66; 32]);
+    let stranger_client = bed.connect(&stranger).expect("stranger attaches");
+    assert!(stranger_client.client().read(&paper.fh, 0, 10).is_err());
+    println!("Strangers remain locked out — no world-writable workaround needed.");
+}

@@ -1,0 +1,110 @@
+//! The paper's §2 motivating scenario: Bob the salesman shares advance
+//! product literature with designated external clients — no accounts,
+//! no administrator intervention, one credential per client batch.
+//!
+//! ```text
+//! cargo run --example sales_clients
+//! ```
+
+use discfs::{CredentialIssuer, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+
+fn main() {
+    let bed = Testbed::instant();
+
+    // Bob, the salesman, holds the product-literature directory.
+    let bob = SigningKey::from_seed(&[0xB0; 32]);
+    let bob_grant = CredentialIssuer::new(bed.admin())
+        .holder(&bob.public())
+        .grant_handle_string("1.1", Perm::RWX)
+        .comment("corporate web tree for bob")
+        .issue();
+    let mut bob_client = bed.connect(&bob).expect("bob attaches");
+    bob_client.submit_credential(&bob_grant).unwrap();
+
+    // Bob uploads the restricted literature.
+    let root = bob_client.remote().root();
+    let dir = bob_client
+        .mkdir_with_credential(&root, "advance-info", 0o755)
+        .expect("mkdir");
+    let mut document_handles = Vec::new();
+    for (name, body) in [
+        ("roadmap.txt", "Q3: the new widget ships."),
+        ("pricing.txt", "Volume tier: $99/unit."),
+        ("specs.txt", "Widget v2: 42 gigaflops."),
+    ] {
+        let created = bob_client
+            .create_with_credential(&dir.fh, name, 0o644)
+            .expect("create");
+        bob_client
+            .client()
+            .write_all(&created.fh, 0, body.as_bytes())
+            .expect("write");
+        document_handles.push((name, created));
+    }
+    println!(
+        "Bob uploaded {} documents under advance-info/.",
+        document_handles.len()
+    );
+
+    // The designated clients: external users with nothing but keypairs.
+    let clients: Vec<(&str, SigningKey)> = vec![
+        ("acme-corp", SigningKey::from_seed(&[0xC1; 32])),
+        ("globex", SigningKey::from_seed(&[0xC2; 32])),
+        ("initech", SigningKey::from_seed(&[0xC3; 32])),
+    ];
+
+    // ONE credential per client covers the whole document set (plus
+    // read+traverse on the directory so ls works). Compare the paper's
+    // account-per-client, ACL-per-file alternative.
+    for (client_name, client_key) in &clients {
+        let mut issuer = CredentialIssuer::new(&bob)
+            .holder(&client_key.public())
+            .comment(&format!("advance literature for {client_name}"))
+            .grant(&dir.fh, Perm::RX);
+        for (_, created) in &document_handles {
+            issuer = issuer.grant(&created.fh, Perm::R);
+        }
+        let credential = issuer.issue();
+
+        // The client attaches and presents the chain: admin→bob links
+        // come from Bob's create-credentials; bob→client is the new one.
+        let client = bed.connect(client_key).expect("client attaches");
+        client.submit_credential(&dir.credential).unwrap();
+        for (_, created) in &document_handles {
+            client.submit_credential(&created.credential).unwrap();
+        }
+        client.submit_credential(&credential).unwrap();
+
+        // Browse and read.
+        let listing = client
+            .client()
+            .readdir_all(&dir.fh)
+            .expect("client lists advance-info");
+        let names: Vec<&str> = listing
+            .iter()
+            .filter(|e| e.name != "." && e.name != "..")
+            .map(|e| e.name.as_str())
+            .collect();
+        let roadmap = client
+            .client()
+            .read_all(&document_handles[0].1.fh, 0, 100)
+            .expect("client reads roadmap");
+        println!(
+            "{client_name}: sees {names:?}; roadmap says {:?}",
+            String::from_utf8_lossy(&roadmap)
+        );
+
+        // Clients cannot modify the documents…
+        let write_attempt = client
+            .client()
+            .write(&document_handles[0].1.fh, 0, b"forged");
+        assert!(write_attempt.is_err());
+        // …and a non-designated competitor sees nothing at all.
+    }
+
+    let outsider = SigningKey::from_seed(&[0xEE; 32]);
+    let outsider_client = bed.connect(&outsider).expect("outsider attaches");
+    let denied = outsider_client.client().readdir_all(&dir.fh);
+    println!("Competitor without a credential: {denied:?} (denied)");
+}

@@ -1,0 +1,81 @@
+//! Time-of-day access conditions (§3.1): "the access policy can
+//! consider factors such as time-of-day, so that, for example,
+//! leisure-related files may not be available during office hours."
+//!
+//! ```text
+//! cargo run --example time_of_day
+//! ```
+
+use discfs::{CredentialIssuer, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+
+fn main() {
+    let bed = Testbed::instant();
+
+    // Bob owns his home tree and stores a leisure file.
+    let bob = SigningKey::from_seed(&[0xB0; 32]);
+    let bob_grant = CredentialIssuer::new(bed.admin())
+        .holder(&bob.public())
+        .grant_handle_string("1.1", Perm::RWX)
+        .issue();
+    let mut bob_client = bed.connect(&bob).expect("bob attaches");
+    bob_client.submit_credential(&bob_grant).unwrap();
+    let root = bob_client.remote().root();
+    let game = bob_client
+        .create_with_credential(&root, "adventure.sav", 0o644)
+        .expect("create");
+    bob_client
+        .client()
+        .write_all(&game.fh, 0, b"you are in a maze of twisty little passages")
+        .expect("write");
+
+    // Bob lets his colleague Carol read the save file — but only
+    // OUTSIDE office hours (before 9, or 17 and later), and only until
+    // the project deadline at virtual time 10_000.
+    let carol = SigningKey::from_seed(&[0xCA; 32]);
+    let evening = CredentialIssuer::new(&bob)
+        .holder(&carol.public())
+        .grant(&game.fh, Perm::R)
+        .valid_hours(17, 24)
+        .expires_at(10_000)
+        .comment("evening-only game access for carol")
+        .issue();
+    let morning = CredentialIssuer::new(&bob)
+        .holder(&carol.public())
+        .grant(&game.fh, Perm::R)
+        .valid_hours(0, 9)
+        .expires_at(10_000)
+        .comment("early-morning game access for carol")
+        .issue();
+
+    let carol_client = bed.connect(&carol).expect("carol attaches");
+    carol_client.submit_credential(&game.credential).unwrap();
+    carol_client.submit_credential(&evening).unwrap();
+    carol_client.submit_credential(&morning).unwrap();
+
+    for hour in [8u32, 11, 14, 16, 17, 22] {
+        bed.service().set_hour(hour);
+        let result = carol_client.client().read(&game.fh, 0, 16);
+        println!(
+            "{hour:02}:00 — carol reads adventure.sav: {}",
+            match &result {
+                Ok(_) => "ALLOWED (off hours)",
+                Err(_) => "denied (office hours)",
+            }
+        );
+        let in_office_hours = (9..17).contains(&hour);
+        assert_eq!(result.is_err(), in_office_hours);
+    }
+
+    // After the expiry time, even the evening no longer works.
+    bed.service().set_time(20_000);
+    bed.service().set_hour(22);
+    let expired = carol_client.client().read(&game.fh, 0, 16);
+    println!("after deadline, 22:00 — carol reads: {expired:?} (credential expired)");
+    assert!(expired.is_err());
+
+    // Bob himself is unaffected by Carol's restrictions.
+    bed.service().set_hour(11);
+    assert!(bob_client.client().read(&game.fh, 0, 16).is_ok());
+    println!("Bob (the owner) still reads fine at 11:00.");
+}

@@ -1,0 +1,26 @@
+//! Top-level integration crate for the DisCFS reproduction.
+//!
+//! The real library surface lives in the workspace crates:
+//!
+//! * [`discfs`] — the paper's system (core crate),
+//! * [`keynote`] — the RFC 2704 trust-management engine,
+//! * [`nfsv2`], [`ffs`], [`ipsec`], [`netsim`], [`onc_rpc`] — substrates,
+//! * [`cfs`] — the CFS / CFS-NE baseline,
+//! * [`bonnie`] — the evaluation workloads.
+//!
+//! This crate hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). See README.md for the
+//! quickstart and DESIGN.md for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use bonnie;
+pub use cfs;
+pub use discfs;
+pub use discfs_crypto;
+pub use ffs;
+pub use ipsec;
+pub use keynote;
+pub use netsim;
+pub use nfsv2;
+pub use onc_rpc;

@@ -1,0 +1,135 @@
+//! Failure injection: connections dying mid-operation must never leave
+//! the server wedged or the volume inconsistent.
+
+use discfs::{CredentialIssuer, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+
+fn key(seed: u8) -> SigningKey {
+    SigningKey::from_seed(&[seed; 32])
+}
+
+fn grant_root(bed: &Testbed, holder: &SigningKey) -> String {
+    CredentialIssuer::new(bed.admin())
+        .holder(&holder.public())
+        .grant_handle_string("1.1", Perm::RWX)
+        .issue()
+}
+
+#[test]
+fn client_vanishes_mid_write_volume_stays_consistent() {
+    let bed = Testbed::instant();
+    let bob = key(2);
+    let mut client = bed.connect(&bob).unwrap();
+    client.submit_credential(&grant_root(&bed, &bob)).unwrap();
+    let root = client.remote().root();
+    let file = client
+        .create_with_credential(&root, "half-written", 0o644)
+        .unwrap();
+    // Write some blocks, then vanish without unmounting.
+    client
+        .client()
+        .write_all(&file.fh, 0, &vec![7u8; 64 * 1024])
+        .unwrap();
+    drop(client);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // The server survives; a fresh client sees the data; fsck is clean.
+    let carol = key(3);
+    let carol_client = bed.connect(&carol).unwrap();
+    let cred = CredentialIssuer::new(bed.admin())
+        .holder(&carol.public())
+        .grant(&file.fh, Perm::R)
+        .issue();
+    carol_client.submit_credential(&cred).unwrap();
+    let data = carol_client.client().read_all(&file.fh, 0, 64 * 1024).unwrap();
+    assert_eq!(data.len(), 64 * 1024);
+    bed.service().storage().fs().check().unwrap();
+}
+
+#[test]
+fn many_connect_disconnect_cycles_do_not_leak_sessions() {
+    let bed = Testbed::instant();
+    for round in 0..30u8 {
+        let user = key(100 + (round % 8));
+        let client = bed.connect(&user).unwrap();
+        client.submit_credential(&grant_root(&bed, &user)).unwrap();
+        assert!(client
+            .client()
+            .readdir_all(&client.remote().root())
+            .is_ok());
+        drop(client);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // The server's peer map holds at most the 8 distinct keys, and a
+    // new connection still works (no wedged locks anywhere).
+    let user = key(200);
+    let client = bed.connect(&user).unwrap();
+    client.submit_credential(&grant_root(&bed, &user)).unwrap();
+    assert!(client.client().readdir_all(&client.remote().root()).is_ok());
+}
+
+#[test]
+fn handshake_abandoned_midway_server_thread_exits() {
+    // A client that connects and sends a valid INIT but never completes
+    // the handshake: the responder must fail cleanly, not hang forever
+    // holding resources (the endpoint drop unblocks it).
+    use discfs_crypto::rng::DetRng;
+    use netsim::{Link, SimClock, Transport};
+
+    let clock = SimClock::new();
+    let (client_end, server_end) = Link::loopback(&clock);
+    let server_key = key(9);
+    let handle = std::thread::spawn(move || {
+        let mut rng = DetRng::new(1);
+        ipsec::ike::respond(server_end, &server_key, &mut rng)
+    });
+    // Valid-length INIT, then silence and disconnect.
+    let mut init = Vec::new();
+    init.extend_from_slice(&[0u8; 32]); // bogus ephemeral (valid length)
+    init.extend_from_slice(&[1u8; 32]); // nonce
+    init.extend_from_slice(&key(8).public().0); // real identity key
+    client_end.send(init).unwrap();
+    drop(client_end);
+    let result = handle.join().unwrap();
+    assert!(result.is_err(), "abandoned handshake must error out");
+}
+
+#[test]
+fn write_failure_no_space_reported_cleanly_over_wire() {
+    use ffs::FsConfig;
+    use netsim::LinkConfig;
+
+    // Tiny volume: force NoSpc mid-stream.
+    let bed = Testbed::with_config(
+        FsConfig {
+            total_blocks: 48,
+            inode_count: 32,
+        },
+        LinkConfig::instant(),
+        128,
+    );
+    let bob = key(2);
+    let mut client = bed.connect(&bob).unwrap();
+    client.submit_credential(&grant_root(&bed, &bob)).unwrap();
+    let root = client.remote().root();
+    let file = client.create_with_credential(&root, "big", 0o644).unwrap();
+
+    let mut wrote = 0u64;
+    let chunk = vec![1u8; 8192];
+    let err = loop {
+        match client.client().write(&file.fh, wrote as u32, &chunk) {
+            Ok(_) => wrote += 8192,
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(
+        err,
+        nfsv2::ClientError::Status(nfsv2::NfsStat::NoSpc)
+    ));
+    assert!(wrote > 0, "some writes succeeded before exhaustion");
+    // Connection still live, volume still consistent, space recoverable.
+    client.client().remove(&root, "big").unwrap();
+    bed.service().storage().fs().check().unwrap();
+    let file2 = client.create_with_credential(&root, "after", 0o644).unwrap();
+    client.client().write_all(&file2.fh, 0, &chunk).unwrap();
+}
