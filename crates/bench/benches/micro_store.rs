@@ -1,0 +1,127 @@
+//! Micro-benchmarks for the block-store subsystem: raw sequential and
+//! random block I/O per backend, plus dedup-store write throughput on
+//! duplicate-heavy streams — the perf baseline future storage PRs
+//! compare against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use netsim::SimClock;
+use store::{BlockStore, DedupStore, EncryptedStore, FileStore, SimStore, BLOCK_SIZE};
+
+const BLOCKS: u64 = 256;
+
+fn backends() -> Vec<(&'static str, Box<dyn BlockStore>)> {
+    let clock = SimClock::new();
+    let dir = std::env::temp_dir().join(format!("discfs-bench-store-{}", std::process::id()));
+    vec![
+        (
+            "sim-instant",
+            Box::new(SimStore::untimed(BLOCKS)) as Box<dyn BlockStore>,
+        ),
+        (
+            "sim-timed",
+            Box::new(SimStore::new(
+                &clock,
+                store::DiskModel::quantum_fireball_ct10(),
+                BLOCKS,
+            )),
+        ),
+        (
+            "file-journal",
+            Box::new(FileStore::open(&dir, BLOCKS).expect("temp file store")),
+        ),
+        ("dedup", Box::new(DedupStore::new(BLOCKS))),
+        (
+            "dedup-encrypted",
+            Box::new(EncryptedStore::new(DedupStore::new(BLOCKS), &[7; 32])),
+        ),
+    ]
+}
+
+fn unique_block(i: u64) -> Vec<u8> {
+    let mut block = vec![0u8; BLOCK_SIZE];
+    block[..8].copy_from_slice(&i.to_le_bytes());
+    block[8..16].copy_from_slice(&i.wrapping_mul(0x9E37_79B9).to_le_bytes());
+    block
+}
+
+fn bench_sequential_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_seq_write_64blk");
+    group.throughput(Throughput::Bytes(64 * BLOCK_SIZE as u64));
+    group.sample_size(20);
+    for (name, store) in backends() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
+            let mut round = 0u64;
+            b.iter(|| {
+                // Vary content per round so dedup cannot trivially absorb
+                // the whole stream.
+                round += 1;
+                for i in 0..64u64 {
+                    store.write_block(i, &unique_block(round.wrapping_mul(64) + i));
+                }
+            });
+        });
+        store.flush().unwrap();
+    }
+    group.finish();
+}
+
+fn bench_random_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_rand_read_64blk");
+    group.throughput(Throughput::Bytes(64 * BLOCK_SIZE as u64));
+    group.sample_size(20);
+    for (name, store) in backends() {
+        for i in 0..BLOCKS {
+            store.write_block(i, &unique_block(i));
+        }
+        store.flush().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
+            let mut x = 0xDEADBEEFu64;
+            b.iter(|| {
+                for _ in 0..64 {
+                    // xorshift64 walk over the block space.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    std::hint::black_box(store.read_block(x % BLOCKS));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dedup_absorption(c: &mut Criterion) {
+    // Duplicate-heavy write stream: 8 distinct contents over 256
+    // blocks. The dedup store should absorb ~97% of it.
+    let mut group = c.benchmark_group("store_dedup_hot_write_256blk");
+    group.throughput(Throughput::Bytes(BLOCKS * BLOCK_SIZE as u64));
+    group.sample_size(20);
+    for (name, store) in backends() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
+            b.iter(|| {
+                for i in 0..BLOCKS {
+                    store.write_block(i, &unique_block(i % 8));
+                }
+            });
+        });
+    }
+    // Print the ratio once so the baseline is visible in bench logs.
+    let dedup = DedupStore::new(BLOCKS);
+    for i in 0..BLOCKS {
+        dedup.write_block(i, &unique_block(i % 8));
+    }
+    println!(
+        "dedup hit ratio on 8-content stream: {:.3}",
+        dedup.stats().dedup_hit_ratio()
+    );
+    group.finish();
+}
+
+criterion_group!(
+    micro_store,
+    bench_sequential_write,
+    bench_random_read,
+    bench_dedup_absorption
+);
+criterion_main!(micro_store);

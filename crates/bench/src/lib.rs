@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use bonnie::{BenchFile, BenchFs};
 use discfs::{CredentialIssuer, DiscfsClient, Perm, Testbed};
 use discfs_crypto::ed25519::SigningKey;
-use ffs::{Ffs, FsConfig, Ino, SetAttr};
+use ffs::{Ffs, FsConfig, Ino, SetAttr, StoreBackend};
 use ipsec::PlainChannel;
 use netsim::{Link, LinkConfig, SimClock};
 use nfsv2::{FHandle, NfsClient, RemoteFs, Sattr};
@@ -420,12 +420,25 @@ pub struct World {
 }
 
 /// Builds a world for `kind` with the given volume geometry and cache
-/// size (cache size only affects DisCFS).
+/// size (cache size only affects DisCFS), on the paper's timing-model
+/// disk.
 pub fn build_world(kind: SystemKind, fs_config: FsConfig, cache_size: usize) -> World {
+    build_world_on(kind, fs_config, cache_size, &StoreBackend::SimTimed)
+}
+
+/// Builds a world for `kind` whose server volume lives on `backend` —
+/// the hook that lets figures compare storage backends (sim-timed vs
+/// journaled file vs content-addressed dedup) for the same system.
+pub fn build_world_on(
+    kind: SystemKind,
+    fs_config: FsConfig,
+    cache_size: usize,
+    backend: &StoreBackend,
+) -> World {
     match kind {
         SystemKind::Ffs => {
             let clock = SimClock::new();
-            let fs = Arc::new(Ffs::format_timed(&clock, fs_config));
+            let fs = Arc::new(Ffs::format_backend(backend, &clock, fs_config));
             World {
                 fs: Box::new(FfsBench::new(fs)),
                 clock,
@@ -434,7 +447,7 @@ pub fn build_world(kind: SystemKind, fs_config: FsConfig, cache_size: usize) -> 
         }
         SystemKind::CfsNe => {
             let clock = SimClock::new();
-            let fs = Arc::new(Ffs::format_timed(&clock, fs_config));
+            let fs = Arc::new(Ffs::format_backend(backend, &clock, fs_config));
             let service = Arc::new(cfs::CfsService::passthrough(fs, 1));
             let (client_end, server_end) = Link::pair(&clock, LinkConfig::ethernet_100mbps());
             nfsv2::server::spawn(service, Box::new(PlainChannel::new(server_end)));
@@ -447,7 +460,12 @@ pub fn build_world(kind: SystemKind, fs_config: FsConfig, cache_size: usize) -> 
             }
         }
         SystemKind::Discfs => {
-            let bed = Testbed::with_config(fs_config, LinkConfig::ethernet_100mbps(), cache_size);
+            let bed = Testbed::with_backend(
+                fs_config,
+                LinkConfig::ethernet_100mbps(),
+                cache_size,
+                backend,
+            );
             let clock = bed.clock().clone();
             let user = SigningKey::from_seed(&[0xB0; 32]);
             let client = bed.connect(&user).expect("connect DisCFS");
@@ -530,14 +548,26 @@ impl Figure {
     }
 }
 
-/// Runs one Bonnie figure against one system.
+/// Runs one Bonnie figure against one system (timing-model disk).
 pub fn run_bonnie_figure(
     kind: SystemKind,
     figure: Figure,
     file_size: u64,
     fs_config: FsConfig,
 ) -> Measurement {
-    let mut world = build_world(kind, fs_config, 128);
+    run_bonnie_figure_on(kind, figure, file_size, fs_config, &StoreBackend::SimTimed)
+}
+
+/// Runs one Bonnie figure against one system on a chosen storage
+/// backend.
+pub fn run_bonnie_figure_on(
+    kind: SystemKind,
+    figure: Figure,
+    file_size: u64,
+    fs_config: FsConfig,
+    backend: &StoreBackend,
+) -> Measurement {
+    let mut world = build_world_on(kind, fs_config, 128, backend);
     // Input and rewrite phases need a populated file (not measured).
     let needs_prefill = matches!(
         figure,
@@ -657,6 +687,55 @@ mod tests {
         assert_eq!(t_ffs, t_cfs);
         assert_eq!(t_ffs, t_dis);
         assert_eq!(t_ffs.files, 8);
+    }
+
+    #[test]
+    fn worlds_run_on_every_backend() {
+        // Backend selection must not change workload results — only
+        // the timing/stats profile. Exercise each backend through the
+        // full CFS-NE network stack.
+        let dir = store::temp_dir_for_tests("bench-world");
+        let backends = [
+            StoreBackend::SimInstant,
+            StoreBackend::FileJournal { dir: dir.clone() },
+            StoreBackend::Dedup,
+            StoreBackend::DedupEncrypted { key: [0xEE; 32] },
+        ];
+        for backend in &backends {
+            let mut world = build_world_on(SystemKind::CfsNe, FsConfig::small(), 128, backend);
+            world.fs.write_file("probe.dat", b"backend probe payload");
+            assert_eq!(
+                world.fs.read_file("probe.dat"),
+                b"backend probe payload",
+                "{}",
+                backend.label()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dedup_backend_reports_hit_ratio_through_stack() {
+        // A duplicate-heavy stream written through the filesystem on
+        // the dedup backend must surface a high hit ratio in stats.
+        let clock = SimClock::new();
+        let fs = Ffs::format_backend(&StoreBackend::Dedup, &clock, FsConfig::small());
+        let block = vec![0xABu8; 8192];
+        for i in 0..8 {
+            let ino = fs
+                .create(fs.root(), &format!("copy{i}.dat"), 0o644, 0, 0)
+                .unwrap();
+            fs.write(ino, 0, &block).unwrap();
+        }
+        let stats = fs.disk().stats();
+        // Seven of the eight identical data blocks must be absorbed
+        // as content hits (metadata blocks differ per file, so the
+        // overall ratio depends on layout; the hit count does not).
+        assert!(
+            stats.dedup_hits >= 7,
+            "8 identical files must dedup: {stats:?}"
+        );
+        assert!(stats.dedup_hit_ratio() > 0.0, "{stats:?}");
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn search(fs: &mut dyn BenchFs, root: &str) -> SearchTotals {
 mod tests {
     use super::*;
     use crate::srctree::{generate_tree, TreeSpec};
-    use crate::{BenchFs as _, MemFs};
+    use crate::MemFs;
 
     #[test]
     fn wc_counts() {

@@ -235,7 +235,14 @@ mod tests {
         Assertion::parse(&cred).unwrap().verify().unwrap();
         let policy = root_policy(&[admin().public()]);
         assert_eq!(
-            query(&policy, &[cred.clone()], &bob(), "666240.1", 12, 0),
+            query(
+                &policy,
+                std::slice::from_ref(&cred),
+                &bob(),
+                "666240.1",
+                12,
+                0
+            ),
             Perm::RWX
         );
         // Wrong handle: nothing.

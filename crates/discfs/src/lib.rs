@@ -25,6 +25,36 @@
 //!   policy-result [`cache`], [`revocation`] list, and [`audit`] log;
 //!   [`client::DiscfsClient`] is the `cattach` + wallet side.
 //!
+//! # Storage backends
+//!
+//! The server's volume is built on the pluggable block-store subsystem
+//! (the `store` crate): [`Testbed::with_backend`] selects where blocks
+//! live via `ffs::StoreBackend` —
+//!
+//! * `SimTimed` / `SimInstant` — the in-memory simulated disk, with or
+//!   without the paper's Quantum Fireball timing model (the default
+//!   everywhere, so figure reproduction is unchanged);
+//! * `FileJournal` — persistent file-backed storage with a write-ahead
+//!   journal for crash consistency;
+//! * `Dedup` — SHA-256 content-addressed deduplication, exposing a
+//!   dedup hit-ratio through [`Testbed::store_stats`];
+//! * `DedupEncrypted` — dedup wrapped in ChaCha20 encryption-at-rest.
+//!
+//! ```
+//! use discfs::Testbed;
+//! use ffs::{FsConfig, StoreBackend};
+//! use netsim::LinkConfig;
+//!
+//! let bed = Testbed::with_backend(
+//!     FsConfig::small(),
+//!     LinkConfig::instant(),
+//!     128,
+//!     &StoreBackend::Dedup,
+//! );
+//! // The volume formats and checks clean on the dedup backend.
+//! bed.fs().check().unwrap();
+//! ```
+//!
 //! # Quickstart
 //!
 //! ```
@@ -82,8 +112,8 @@ pub use cred::{root_policy, CredentialIssuer, Restrictions};
 pub use perm::Perm;
 pub use revocation::RevocationList;
 pub use server::{DiscfsConfig, DiscfsService, PolicyCharge};
-pub use wallet::{Wallet, WalletEntry};
 pub use testbed::Testbed;
+pub use wallet::{Wallet, WalletEntry};
 
 #[cfg(test)]
 mod tests {

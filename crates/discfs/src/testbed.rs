@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use discfs_crypto::ed25519::{SigningKey, VerifyingKey};
 use discfs_crypto::rng::DetRng;
-use ffs::{Ffs, FsConfig};
+use ffs::{Ffs, FsConfig, StoreBackend};
 use netsim::{Link, LinkConfig, SimClock};
 
 use crate::client::{DiscfsClient, DiscfsClientError};
@@ -37,10 +37,22 @@ impl Testbed {
         Testbed::with_config(FsConfig::small(), LinkConfig::instant(), 128)
     }
 
-    /// Full control over geometry, link model and cache size.
+    /// Full control over geometry, link model and cache size, on the
+    /// paper's timing-model disk.
     pub fn with_config(fs_config: FsConfig, link_config: LinkConfig, cache_size: usize) -> Testbed {
+        Testbed::with_backend(fs_config, link_config, cache_size, &StoreBackend::SimTimed)
+    }
+
+    /// Full control including the storage backend the server's volume
+    /// lives on (see [`StoreBackend`] for the options).
+    pub fn with_backend(
+        fs_config: FsConfig,
+        link_config: LinkConfig,
+        cache_size: usize,
+        backend: &StoreBackend,
+    ) -> Testbed {
         let clock = SimClock::new();
-        let fs = Arc::new(Ffs::format_timed(&clock, fs_config));
+        let fs = Arc::new(Ffs::format_backend(backend, &clock, fs_config));
         let admin = SigningKey::from_seed(&[0xAD; 32]);
         let server_key_seed = [0x5E; 32];
         let server_key = SigningKey::from_seed(&server_key_seed);
@@ -70,6 +82,17 @@ impl Testbed {
     /// The shared virtual clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// The server's backing volume (block-store stats, fsck).
+    pub fn fs(&self) -> &Arc<Ffs> {
+        self.service.storage().fs()
+    }
+
+    /// Counters of the volume's storage backend — e.g. the dedup hit
+    /// ratio when the testbed runs on [`StoreBackend::Dedup`].
+    pub fn store_stats(&self) -> ffs::StoreStats {
+        self.fs().disk().stats()
     }
 
     /// The server service (policy cache stats, audit log, env control).

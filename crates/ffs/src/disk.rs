@@ -1,224 +1,15 @@
-//! The simulated block device and its timing model.
+//! Block-device layer: re-exports of the pluggable [`store`]
+//! subsystem.
 //!
-//! The paper's server stored files on a Quantum Fireball CT10 (a 1999
-//! 5400 RPM IDE disk). [`DiskModel::quantum_fireball_ct10`] charges the
-//! shared [`SimClock`] a seek + rotational delay for non-sequential
-//! accesses and a media-rate transfer time per block, so virtual-time
-//! results have the right storage-bound shape.
+//! The simulated timing-model disk that used to live here (`MemDisk`)
+//! moved behind the [`store::BlockStore`] trait as
+//! [`store::SimStore`]; this module keeps the historical names alive
+//! so existing call sites (`MemDisk::untimed`,
+//! `DiskModel::quantum_fireball_ct10`, `BLOCK_SIZE`) keep compiling.
+//! New code should select a backend through [`store::StoreBackend`]
+//! and [`crate::Ffs::format_backend`].
 
-use std::time::Duration;
+pub use store::{BlockStore, DiskModel, StoreBackend, StoreStats, BLOCK_SIZE};
 
-use netsim::SimClock;
-use parking_lot::Mutex;
-
-/// Filesystem block size: 8 KB, the classic NFSv2 transfer size.
-pub const BLOCK_SIZE: usize = 8192;
-
-/// Timing model for the simulated disk.
-#[derive(Debug, Clone, Copy)]
-pub struct DiskModel {
-    /// Average seek time applied to non-sequential accesses.
-    pub avg_seek: Duration,
-    /// Average rotational delay (half a revolution).
-    pub rotational: Duration,
-    /// Sustained media transfer rate in bytes/second.
-    pub transfer_rate: u64,
-}
-
-impl DiskModel {
-    /// The paper's disk: Quantum Fireball CT10, 5400 RPM IDE.
-    ///
-    /// 8.5 ms average seek, 5.55 ms rotational latency (half of an
-    /// 11.1 ms revolution at 5400 RPM), ~15 MB/s media rate.
-    pub fn quantum_fireball_ct10() -> DiskModel {
-        DiskModel {
-            avg_seek: Duration::from_micros(8500),
-            rotational: Duration::from_micros(5550),
-            transfer_rate: 15_000_000,
-        }
-    }
-
-    /// A free disk for tests that do not measure time.
-    pub fn instant() -> DiskModel {
-        DiskModel {
-            avg_seek: Duration::ZERO,
-            rotational: Duration::ZERO,
-            transfer_rate: u64::MAX,
-        }
-    }
-
-    fn transfer_time(&self, bytes: usize) -> Duration {
-        if self.transfer_rate == u64::MAX {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos((bytes as u64).saturating_mul(1_000_000_000) / self.transfer_rate)
-    }
-}
-
-struct DiskState {
-    blocks: Vec<u8>,
-    last_block: Option<u64>,
-    reads: u64,
-    writes: u64,
-}
-
-/// An in-memory block device with virtual-time charging.
-pub struct MemDisk {
-    state: Mutex<DiskState>,
-    block_count: u64,
-    model: DiskModel,
-    clock: SimClock,
-}
-
-impl MemDisk {
-    /// Creates a disk of `block_count` blocks charging `clock`.
-    pub fn new(clock: &SimClock, model: DiskModel, block_count: u64) -> MemDisk {
-        MemDisk {
-            state: Mutex::new(DiskState {
-                blocks: vec![0u8; block_count as usize * BLOCK_SIZE],
-                last_block: None,
-                reads: 0,
-                writes: 0,
-            }),
-            block_count,
-            model,
-            clock: clock.clone(),
-        }
-    }
-
-    /// Creates an untimed disk (unit tests).
-    pub fn untimed(block_count: u64) -> MemDisk {
-        MemDisk::new(&SimClock::new(), DiskModel::instant(), block_count)
-    }
-
-    /// Number of blocks.
-    pub fn block_count(&self) -> u64 {
-        self.block_count
-    }
-
-    /// The clock charged by this disk.
-    pub fn clock(&self) -> &SimClock {
-        &self.clock
-    }
-
-    /// Total reads and writes so far.
-    pub fn io_counts(&self) -> (u64, u64) {
-        let s = self.state.lock();
-        (s.reads, s.writes)
-    }
-
-    fn charge(&self, state: &mut DiskState, block: u64) {
-        let sequential =
-            state.last_block == Some(block.wrapping_sub(1)) || state.last_block == Some(block);
-        if !sequential {
-            self.clock
-                .advance(self.model.avg_seek + self.model.rotational);
-        }
-        self.clock.advance(self.model.transfer_time(BLOCK_SIZE));
-        state.last_block = Some(block);
-    }
-
-    /// Reads block `idx` into a fresh buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `idx` is out of range — the filesystem validates block
-    /// numbers before issuing I/O, so this indicates an internal bug.
-    pub fn read_block(&self, idx: u64) -> Vec<u8> {
-        assert!(idx < self.block_count, "block {idx} out of range");
-        let mut s = self.state.lock();
-        self.charge(&mut s, idx);
-        s.reads += 1;
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].to_vec()
-    }
-
-    /// Writes block `idx`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `idx` is out of range or `data` is not exactly one
-    /// block (internal invariants of the filesystem layer).
-    pub fn write_block(&self, idx: u64, data: &[u8]) {
-        assert!(idx < self.block_count, "block {idx} out of range");
-        assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
-        let mut s = self.state.lock();
-        self.charge(&mut s, idx);
-        s.writes += 1;
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].copy_from_slice(data);
-    }
-
-    /// Reads a metadata block without charging the timing model.
-    ///
-    /// Real filesystems absorb hot metadata (bitmaps, inode table,
-    /// indirect blocks) in the buffer cache; charging a seek for every
-    /// inode update would badly distort the data-dominated Bonnie
-    /// workloads. Storage contents are identical to the charged path.
-    pub fn read_block_meta(&self, idx: u64) -> Vec<u8> {
-        assert!(idx < self.block_count, "block {idx} out of range");
-        let s = self.state.lock();
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].to_vec()
-    }
-
-    /// Writes a metadata block without charging the timing model (see
-    /// [`MemDisk::read_block_meta`]).
-    pub fn write_block_meta(&self, idx: u64, data: &[u8]) {
-        assert!(idx < self.block_count, "block {idx} out of range");
-        assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
-        let mut s = self.state.lock();
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].copy_from_slice(data);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn read_back_what_was_written() {
-        let disk = MemDisk::untimed(8);
-        let mut block = vec![0u8; BLOCK_SIZE];
-        block[0] = 0xab;
-        block[BLOCK_SIZE - 1] = 0xcd;
-        disk.write_block(3, &block);
-        assert_eq!(disk.read_block(3), block);
-        // Other blocks stay zero.
-        assert!(disk.read_block(2).iter().all(|&b| b == 0));
-    }
-
-    #[test]
-    fn sequential_access_is_cheaper() {
-        let clock = SimClock::new();
-        let disk = MemDisk::new(&clock, DiskModel::quantum_fireball_ct10(), 64);
-        let block = vec![0u8; BLOCK_SIZE];
-        disk.write_block(0, &block);
-        let after_first = clock.now();
-        disk.write_block(1, &block);
-        let sequential_cost = clock.now() - after_first;
-        disk.write_block(40, &block);
-        let seek_cost = clock.now() - after_first - sequential_cost;
-        assert!(
-            seek_cost > sequential_cost * 5,
-            "seek {seek_cost:?} vs sequential {sequential_cost:?}"
-        );
-    }
-
-    #[test]
-    fn io_counters() {
-        let disk = MemDisk::untimed(4);
-        let block = vec![0u8; BLOCK_SIZE];
-        disk.write_block(0, &block);
-        disk.read_block(0);
-        disk.read_block(1);
-        assert_eq!(disk.io_counts(), (2, 1));
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_read_panics() {
-        MemDisk::untimed(4).read_block(4);
-    }
-}
+/// The seed's name for the simulated timing-model disk.
+pub type MemDisk = store::SimStore;

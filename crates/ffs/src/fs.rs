@@ -1,9 +1,11 @@
 //! Filesystem operations: allocation, block mapping, directories, and
 //! the inode-level API the NFS layer exposes.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
-use crate::disk::{DiskModel, MemDisk, BLOCK_SIZE};
+use crate::disk::{BlockStore, MemDisk, StoreBackend, BLOCK_SIZE};
 use crate::inode::{FileKind, Inode, INODES_PER_BLOCK, INODE_SIZE, NDIRECT, PTRS_PER_BLOCK};
 use crate::FsError;
 
@@ -143,9 +145,11 @@ pub struct FsStats {
     pub free_inodes: u32,
 }
 
-/// The filesystem.
+/// The filesystem, generic over its storage backend via the
+/// [`BlockStore`] trait (dyn dispatch; block I/O dominates the call
+/// cost).
 pub struct Ffs {
-    pub(crate) disk: MemDisk,
+    pub(crate) disk: Arc<dyn BlockStore>,
     pub(crate) inode_count: u32,
     layout: Layout,
     inner: Mutex<FsInner>,
@@ -170,12 +174,23 @@ fn validate_name(name: &str) -> Result<(), FsError> {
 }
 
 impl Ffs {
-    /// Formats a fresh filesystem on `disk`.
+    /// Formats a fresh filesystem on the simulated disk `disk`
+    /// (compatibility shim over [`Ffs::format_on`]).
     ///
     /// # Panics
     ///
     /// Panics when the disk is too small for the requested inode table.
     pub fn format(disk: MemDisk, config: FsConfig) -> Ffs {
+        Ffs::format_on(Arc::new(disk), config)
+    }
+
+    /// Formats a fresh filesystem on any [`BlockStore`] backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store is too small for the requested inode
+    /// table.
+    pub fn format_on(disk: Arc<dyn BlockStore>, config: FsConfig) -> Ffs {
         let layout = Layout::new(&config);
         assert!(
             layout.data_start + 8 <= config.total_blocks,
@@ -251,12 +266,17 @@ impl Ffs {
 
     /// Formats on a disk with the paper's timing models attached.
     pub fn format_timed(clock: &netsim::SimClock, config: FsConfig) -> Ffs {
-        let disk = MemDisk::new(
-            clock,
-            DiskModel::quantum_fireball_ct10(),
-            config.total_blocks,
-        );
-        Ffs::format(disk, config)
+        Ffs::format_backend(&StoreBackend::SimTimed, clock, config)
+    }
+
+    /// Formats on the storage backend selected by `backend`; the
+    /// timing-model backends charge `clock`.
+    pub fn format_backend(
+        backend: &StoreBackend,
+        clock: &netsim::SimClock,
+        config: FsConfig,
+    ) -> Ffs {
+        Ffs::format_on(backend.build(clock, config.total_blocks), config)
     }
 
     /// The root directory inode (always 1).
@@ -264,9 +284,18 @@ impl Ffs {
         1
     }
 
-    /// Access to the underlying disk (I/O counters, clock).
-    pub fn disk(&self) -> &MemDisk {
-        &self.disk
+    /// Access to the underlying block store (I/O counters, stats).
+    pub fn disk(&self) -> &dyn BlockStore {
+        &*self.disk
+    }
+
+    /// Flushes the backing store (journaled backends apply their WAL).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the underlying medium.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.disk.flush()
     }
 
     // -- inode table ------------------------------------------------------

@@ -18,6 +18,24 @@
 //! An [`fsck`][Ffs::check]-style invariant checker backs the property
 //! tests.
 //!
+//! # Storage backends
+//!
+//! The filesystem is written against the [`BlockStore`] trait from the
+//! `store` crate rather than a concrete device. Pick a backend at
+//! format time:
+//!
+//! * [`Ffs::format_in_memory`] / [`Ffs::format_timed`] — the
+//!   historical constructors: an in-memory simulated disk, untimed or
+//!   charging the paper's Quantum Fireball timing model.
+//! * [`Ffs::format_backend`] — any [`StoreBackend`]: `SimTimed`,
+//!   `SimInstant`, `FileJournal` (persistent, write-ahead journaled;
+//!   call [`Ffs::sync`] to apply the WAL), `Dedup` (content-addressed,
+//!   SHA-256 deduplicated, reports a dedup hit ratio through
+//!   [`BlockStore::stats`]), or `DedupEncrypted` (dedup wrapped in
+//!   ChaCha20 encryption-at-rest).
+//! * [`Ffs::format_on`] — any hand-built `Arc<dyn BlockStore>`,
+//!   including custom wrappers like `store::EncryptedStore`.
+//!
 //! # Example
 //!
 //! ```
@@ -41,7 +59,7 @@ mod inode;
 #[cfg(test)]
 mod tests;
 
-pub use disk::{DiskModel, MemDisk, BLOCK_SIZE};
+pub use disk::{BlockStore, DiskModel, MemDisk, StoreBackend, StoreStats, BLOCK_SIZE};
 pub use fs::{Attr, DirEntry, Ffs, FsConfig, FsStats, Ino, SetAttr};
 pub use inode::FileKind;
 

@@ -70,30 +70,38 @@ fn concurrent_readers_while_writing() {
     fs.write(ino, 0, &vec![0u8; 8192]).unwrap();
 
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let read_count = Arc::new(std::sync::atomic::AtomicU32::new(0));
     let mut readers = Vec::new();
     for _ in 0..4 {
         let fs = fs.clone();
         let stop = stop.clone();
+        let read_count = read_count.clone();
         readers.push(std::thread::spawn(move || {
-            let mut reads = 0u32;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 let data = fs.read(ino, 0, 8192).expect("read");
                 // Writers fill uniformly, so any snapshot is uniform.
-                assert!(
-                    data.windows(2).all(|w| w[0] == w[1]),
-                    "torn read observed"
-                );
-                reads += 1;
+                assert!(data.windows(2).all(|w| w[0] == w[1]), "torn read observed");
+                read_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
-            reads
         }));
     }
     for value in 1..=50u8 {
         fs.write(ino, 0, &vec![value; 8192]).expect("write");
     }
+    // Don't stop until every reader thread had a chance to run at
+    // least once — the 50 writes above can finish before the OS even
+    // schedules the readers, which used to make this test flaky.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while read_count.load(std::sync::atomic::Ordering::Relaxed) < 4
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::yield_now();
+    }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
-    let total_reads: u32 = readers.into_iter().map(|h| h.join().unwrap()).sum();
-    assert!(total_reads > 0);
+    for h in readers {
+        h.join().unwrap();
+    }
+    assert!(read_count.load(std::sync::atomic::Ordering::Relaxed) > 0);
     fs.check().unwrap();
 }
 

@@ -21,8 +21,14 @@ fn holds(conditions: &str, attrs: &[(&str, &str)]) -> bool {
 #[test]
 fn precedence_and_binds_tighter_than_or() {
     // a || b && c  ≡  a || (b && c)
-    assert!(holds("x == \"1\" || x == \"2\" && x == \"3\"", &[("x", "1")]));
-    assert!(!holds("x == \"9\" || x == \"2\" && x == \"3\"", &[("x", "2")]));
+    assert!(holds(
+        "x == \"1\" || x == \"2\" && x == \"3\"",
+        &[("x", "1")]
+    ));
+    assert!(!holds(
+        "x == \"9\" || x == \"2\" && x == \"3\"",
+        &[("x", "2")]
+    ));
 }
 
 #[test]
@@ -96,10 +102,7 @@ fn regex_alternation_and_classes_in_conditions() {
         "file ~= \"\\\\.(c|h)$\"",
         &[("file", "kern/sched.c")]
     ));
-    assert!(!holds(
-        "file ~= \"\\\\.(c|h)$\"",
-        &[("file", "README.md")]
-    ));
+    assert!(!holds("file ~= \"\\\\.(c|h)$\"", &[("file", "README.md")]));
     assert!(holds("id ~= \"^[a-f0-9]+$\"", &[("id", "deadbeef42")]));
 }
 

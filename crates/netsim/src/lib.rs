@@ -51,9 +51,9 @@ impl std::error::Error for NetError {}
 
 /// A shared monotonic virtual clock.
 ///
-/// All simulated resources (network links, disk models) advance the same
-/// clock, so `now()` reflects the modeled elapsed time of the whole
-/// experiment.
+/// All simulated resources advance the same clock — network links here,
+/// disk timing models in the `store` crate's `SimStore` backend — so
+/// `now()` reflects the modeled elapsed time of the whole experiment.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
     nanos: Arc<AtomicU64>,

@@ -80,7 +80,13 @@ fn volume_intact_after_garbage_storm() {
 
     // Storm the server with malformed calls on the same connection.
     for i in 0..200u32 {
-        let junk = RpcCall::new(1000 + i, nfsv2::NFS_PROGRAM, 2, (i % 18) + 1, vec![i as u8; (i % 40) as usize]);
+        let junk = RpcCall::new(
+            1000 + i,
+            nfsv2::NFS_PROGRAM,
+            2,
+            (i % 18) + 1,
+            vec![i as u8; (i % 40) as usize],
+        );
         let _ = remote
             .client()
             .call_raw(nfsv2::NFS_PROGRAM, 2, (i % 18) + 1, junk.args.clone());

@@ -1,0 +1,292 @@
+//! `store` — the pluggable block-store subsystem.
+//!
+//! The paper's DisCFS prototype kept files on one local disk. This
+//! crate turns the storage layer into an abstraction the rest of the
+//! stack programs against: a [`BlockStore`] trait for 8 KB
+//! block-addressed devices, plus four backends spanning the design
+//! space the ROADMAP's production north-star needs:
+//!
+//! * [`SimStore`] — the original simulated timing-model disk
+//!   (seek/rotation/transfer charged to a shared [`netsim::SimClock`]);
+//!   the default for paper-figure reproduction.
+//! * [`FileStore`] — a persistent file-backed store with a write-ahead
+//!   journal: every write is appended (checksummed) to the journal
+//!   before the data file is touched, so a crash mid-update replays
+//!   cleanly on reopen.
+//! * [`DedupStore`] — a content-addressed deduplicating store: blocks
+//!   are keyed by their SHA-256, identical blocks share one stored
+//!   chunk, and the [`StoreStats::dedup_hit_ratio`] stat reports how
+//!   much of the write stream was absorbed.
+//! * [`EncryptedStore`] — an encrypted-at-rest wrapper over any other
+//!   backend, using the same ChaCha20 + HMAC-SHA256 key-derivation
+//!   construction as the CFS cipher.
+//!
+//! Backend choice is threaded through the stack as a [`StoreBackend`]
+//! value (`ffs::Ffs::format_backend`, `discfs::Testbed::with_backend`,
+//! `bench_harness::build_world_on`), so benchmarks can compare
+//! backends without touching filesystem code.
+//!
+//! # Example
+//!
+//! ```
+//! use store::{BlockStore, DedupStore, BLOCK_SIZE};
+//!
+//! let store = DedupStore::new(128);
+//! let block = vec![0xAB; BLOCK_SIZE];
+//! store.write_block(0, &block);
+//! store.write_block(1, &block); // identical content: deduplicated
+//! assert_eq!(store.read_block(1), block);
+//! let stats = store.stats();
+//! assert_eq!(stats.dedup_hits, 1);
+//! assert!(stats.dedup_hit_ratio() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dedup;
+mod encrypted;
+mod file;
+mod sim;
+
+pub use dedup::DedupStore;
+pub use encrypted::EncryptedStore;
+#[doc(hidden)]
+pub use file::temp_dir_for_tests;
+pub use file::FileStore;
+pub use sim::{DiskModel, SimStore};
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use netsim::SimClock;
+
+/// Block size shared by every backend: 8 KB, the classic NFSv2
+/// transfer size.
+pub const BLOCK_SIZE: usize = 8192;
+
+/// Counters every backend reports through [`BlockStore::stats`].
+///
+/// Fields irrelevant to a backend stay zero (e.g. `dedup_hits` on the
+/// sim store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Charged block reads.
+    pub reads: u64,
+    /// Charged block writes.
+    pub writes: u64,
+    /// Writes absorbed by deduplication (content already stored).
+    pub dedup_hits: u64,
+    /// All-zero block writes elided entirely (dedup backend). Tracked
+    /// apart from `dedup_hits`: the filesystem zeroes every block it
+    /// allocates, and counting those as hits would inflate the ratio.
+    pub zero_elisions: u64,
+    /// Distinct content chunks currently stored (dedup backend).
+    pub unique_blocks: u64,
+    /// Journal records written since the last flush (file backend).
+    pub journal_records: u64,
+    /// Completed [`BlockStore::flush`] calls.
+    pub flushes: u64,
+}
+
+impl StoreStats {
+    /// Fraction of writes absorbed by deduplication, in `[0, 1]`.
+    ///
+    /// Zero when the backend does not deduplicate or nothing was
+    /// written yet.
+    pub fn dedup_hit_ratio(&self) -> f64 {
+        let total = self.writes + self.dedup_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.dedup_hits as f64 / total as f64
+    }
+}
+
+/// A block-addressed storage device of fixed-size [`BLOCK_SIZE`]
+/// blocks.
+///
+/// The filesystem layer validates block numbers before issuing I/O, so
+/// out-of-range access is a bug and implementations panic on it —
+/// identical to the original `MemDisk` contract.
+///
+/// `*_meta` variants exist for hot metadata (bitmaps, inode table,
+/// indirect blocks) that real filesystems absorb in the buffer cache:
+/// timing-model backends skip the seek charge there. Content semantics
+/// are identical to the plain variants.
+pub trait BlockStore: Send + Sync {
+    /// Number of addressable blocks.
+    fn block_count(&self) -> u64;
+
+    /// Reads block `idx` into a fresh buffer.
+    fn read_block(&self, idx: u64) -> Vec<u8>;
+
+    /// Writes block `idx`; `data` must be exactly one block.
+    fn write_block(&self, idx: u64, data: &[u8]);
+
+    /// Reads a metadata block (no timing charge).
+    fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+        self.read_block(idx)
+    }
+
+    /// Writes a metadata block (no timing charge).
+    fn write_block_meta(&self, idx: u64, data: &[u8]) {
+        self.write_block(idx, data)
+    }
+
+    /// Makes completed writes durable (journaled backends apply and
+    /// truncate their journal here).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the underlying medium; in-memory backends never
+    /// fail.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Snapshot of this backend's counters.
+    fn stats(&self) -> StoreStats;
+
+    /// Short human-readable backend name (figure labels).
+    fn label(&self) -> &'static str;
+}
+
+macro_rules! forward_block_store {
+    ($($ty:ty),*) => {$(
+        impl<S: BlockStore + ?Sized> BlockStore for $ty {
+            fn block_count(&self) -> u64 {
+                (**self).block_count()
+            }
+            fn read_block(&self, idx: u64) -> Vec<u8> {
+                (**self).read_block(idx)
+            }
+            fn write_block(&self, idx: u64, data: &[u8]) {
+                (**self).write_block(idx, data)
+            }
+            fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+                (**self).read_block_meta(idx)
+            }
+            fn write_block_meta(&self, idx: u64, data: &[u8]) {
+                (**self).write_block_meta(idx, data)
+            }
+            fn flush(&self) -> std::io::Result<()> {
+                (**self).flush()
+            }
+            fn stats(&self) -> StoreStats {
+                (**self).stats()
+            }
+            fn label(&self) -> &'static str {
+                (**self).label()
+            }
+        }
+    )*};
+}
+
+forward_block_store!(Arc<S>, Box<S>, &'_ S);
+
+/// Declarative backend selection, threaded through `ffs`, `discfs`
+/// and the benchmark harness.
+#[derive(Debug, Clone)]
+pub enum StoreBackend {
+    /// In-memory store charging the paper's disk timing model to the
+    /// shared clock.
+    SimTimed,
+    /// In-memory store with no timing (fast unit tests).
+    SimInstant,
+    /// Persistent file-backed store with a write-ahead journal rooted
+    /// at the given directory.
+    ///
+    /// Block-level persistence: journaled writes survive a crash and
+    /// replay on the next open. Note that the filesystem layer only
+    /// has a *format* path today — `ffs::Ffs::format_backend` on a
+    /// previously used directory replays the journal, then formats
+    /// over the old volume. Mounting an existing volume (`Ffs::mount`)
+    /// is a ROADMAP item; until then, give each formatted volume a
+    /// fresh directory.
+    FileJournal {
+        /// Directory holding `blocks.dat` and `journal.wal`.
+        dir: PathBuf,
+    },
+    /// Content-addressed deduplicating store.
+    Dedup,
+    /// Dedup store wrapped in encryption-at-rest with this key.
+    DedupEncrypted {
+        /// Master key; per-purpose subkeys are derived from it.
+        key: [u8; 32],
+    },
+}
+
+impl StoreBackend {
+    /// Builds the backend, attaching timing-model backends to `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`StoreBackend::FileJournal`] directory cannot be
+    /// created or opened — backend construction happens at format time
+    /// where the caller cannot continue anyway.
+    pub fn build(&self, clock: &SimClock, block_count: u64) -> Arc<dyn BlockStore> {
+        match self {
+            StoreBackend::SimTimed => Arc::new(SimStore::new(
+                clock,
+                DiskModel::quantum_fireball_ct10(),
+                block_count,
+            )),
+            StoreBackend::SimInstant => {
+                Arc::new(SimStore::new(clock, DiskModel::instant(), block_count))
+            }
+            StoreBackend::FileJournal { dir } => {
+                Arc::new(FileStore::open(dir, block_count).expect("open file-backed block store"))
+            }
+            StoreBackend::Dedup => Arc::new(DedupStore::new(block_count)),
+            StoreBackend::DedupEncrypted { key } => {
+                Arc::new(EncryptedStore::new(DedupStore::new(block_count), key))
+            }
+        }
+    }
+
+    /// Backend label without building it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreBackend::SimTimed => "sim-timed",
+            StoreBackend::SimInstant => "sim-instant",
+            StoreBackend::FileJournal { .. } => "file-journal",
+            StoreBackend::Dedup => "dedup",
+            StoreBackend::DedupEncrypted { .. } => "dedup-encrypted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_builder_produces_working_stores() {
+        let clock = SimClock::new();
+        let dir = crate::file::temp_dir_for_tests("builder");
+        let backends = [
+            StoreBackend::SimTimed,
+            StoreBackend::SimInstant,
+            StoreBackend::FileJournal { dir: dir.clone() },
+            StoreBackend::Dedup,
+            StoreBackend::DedupEncrypted { key: [7; 32] },
+        ];
+        for spec in backends {
+            let store = spec.build(&clock, 16);
+            let mut block = vec![0u8; BLOCK_SIZE];
+            block[0] = 0x42;
+            store.write_block(3, &block);
+            assert_eq!(store.read_block(3), block, "{}", spec.label());
+            assert_eq!(store.block_count(), 16);
+            store.flush().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hit_ratio_zero_cases() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.dedup_hit_ratio(), 0.0);
+    }
+}

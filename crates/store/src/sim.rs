@@ -1,0 +1,230 @@
+//! The simulated timing-model store (the seed's `MemDisk`, moved
+//! behind the [`BlockStore`] trait).
+//!
+//! The paper's server stored files on a Quantum Fireball CT10 (a 1999
+//! 5400 RPM IDE disk). [`DiskModel::quantum_fireball_ct10`] charges the
+//! shared [`SimClock`] a seek + rotational delay for non-sequential
+//! accesses and a media-rate transfer time per block, so virtual-time
+//! results have the right storage-bound shape.
+
+use std::time::Duration;
+
+use netsim::SimClock;
+use parking_lot::Mutex;
+
+use crate::{BlockStore, StoreStats, BLOCK_SIZE};
+
+/// Timing model for the simulated disk.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Average seek time applied to non-sequential accesses.
+    pub avg_seek: Duration,
+    /// Average rotational delay (half a revolution).
+    pub rotational: Duration,
+    /// Sustained media transfer rate in bytes/second.
+    pub transfer_rate: u64,
+}
+
+impl DiskModel {
+    /// The paper's disk: Quantum Fireball CT10, 5400 RPM IDE.
+    ///
+    /// 8.5 ms average seek, 5.55 ms rotational latency (half of an
+    /// 11.1 ms revolution at 5400 RPM), ~15 MB/s media rate.
+    pub fn quantum_fireball_ct10() -> DiskModel {
+        DiskModel {
+            avg_seek: Duration::from_micros(8500),
+            rotational: Duration::from_micros(5550),
+            transfer_rate: 15_000_000,
+        }
+    }
+
+    /// A free disk for tests that do not measure time.
+    pub fn instant() -> DiskModel {
+        DiskModel {
+            avg_seek: Duration::ZERO,
+            rotational: Duration::ZERO,
+            transfer_rate: u64::MAX,
+        }
+    }
+
+    fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.transfer_rate == u64::MAX {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((bytes as u64).saturating_mul(1_000_000_000) / self.transfer_rate)
+    }
+}
+
+struct SimState {
+    blocks: Vec<u8>,
+    last_block: Option<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+/// An in-memory block device with virtual-time charging.
+pub struct SimStore {
+    state: Mutex<SimState>,
+    block_count: u64,
+    model: DiskModel,
+    clock: SimClock,
+}
+
+impl SimStore {
+    /// Creates a store of `block_count` blocks charging `clock`.
+    pub fn new(clock: &SimClock, model: DiskModel, block_count: u64) -> SimStore {
+        SimStore {
+            state: Mutex::new(SimState {
+                blocks: vec![0u8; block_count as usize * BLOCK_SIZE],
+                last_block: None,
+                reads: 0,
+                writes: 0,
+            }),
+            block_count,
+            model,
+            clock: clock.clone(),
+        }
+    }
+
+    /// Creates an untimed store (unit tests).
+    pub fn untimed(block_count: u64) -> SimStore {
+        SimStore::new(&SimClock::new(), DiskModel::instant(), block_count)
+    }
+
+    /// The clock charged by this store.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Total reads and writes so far (compatibility accessor; prefer
+    /// [`BlockStore::stats`]).
+    pub fn io_counts(&self) -> (u64, u64) {
+        let s = self.state.lock();
+        (s.reads, s.writes)
+    }
+
+    fn charge(&self, state: &mut SimState, block: u64) {
+        let sequential =
+            state.last_block == Some(block.wrapping_sub(1)) || state.last_block == Some(block);
+        if !sequential {
+            self.clock
+                .advance(self.model.avg_seek + self.model.rotational);
+        }
+        self.clock.advance(self.model.transfer_time(BLOCK_SIZE));
+        state.last_block = Some(block);
+    }
+}
+
+impl BlockStore for SimStore {
+    fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    fn read_block(&self, idx: u64) -> Vec<u8> {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        let mut s = self.state.lock();
+        self.charge(&mut s, idx);
+        s.reads += 1;
+        let off = idx as usize * BLOCK_SIZE;
+        s.blocks[off..off + BLOCK_SIZE].to_vec()
+    }
+
+    fn write_block(&self, idx: u64, data: &[u8]) {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+        let mut s = self.state.lock();
+        self.charge(&mut s, idx);
+        s.writes += 1;
+        let off = idx as usize * BLOCK_SIZE;
+        s.blocks[off..off + BLOCK_SIZE].copy_from_slice(data);
+    }
+
+    fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        let s = self.state.lock();
+        let off = idx as usize * BLOCK_SIZE;
+        s.blocks[off..off + BLOCK_SIZE].to_vec()
+    }
+
+    fn write_block_meta(&self, idx: u64, data: &[u8]) {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+        let mut s = self.state.lock();
+        let off = idx as usize * BLOCK_SIZE;
+        s.blocks[off..off + BLOCK_SIZE].copy_from_slice(data);
+    }
+
+    fn stats(&self) -> StoreStats {
+        let s = self.state.lock();
+        StoreStats {
+            reads: s.reads,
+            writes: s.writes,
+            ..StoreStats::default()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_what_was_written() {
+        let disk = SimStore::untimed(8);
+        let mut block = vec![0u8; BLOCK_SIZE];
+        block[0] = 0xab;
+        block[BLOCK_SIZE - 1] = 0xcd;
+        disk.write_block(3, &block);
+        assert_eq!(disk.read_block(3), block);
+        // Other blocks stay zero.
+        assert!(disk.read_block(2).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sequential_access_is_cheaper() {
+        let clock = SimClock::new();
+        let disk = SimStore::new(&clock, DiskModel::quantum_fireball_ct10(), 64);
+        let block = vec![0u8; BLOCK_SIZE];
+        disk.write_block(0, &block);
+        let after_first = clock.now();
+        disk.write_block(1, &block);
+        let sequential_cost = clock.now() - after_first;
+        disk.write_block(40, &block);
+        let seek_cost = clock.now() - after_first - sequential_cost;
+        assert!(
+            seek_cost > sequential_cost * 5,
+            "seek {seek_cost:?} vs sequential {sequential_cost:?}"
+        );
+    }
+
+    #[test]
+    fn io_counters() {
+        let disk = SimStore::untimed(4);
+        let block = vec![0u8; BLOCK_SIZE];
+        disk.write_block(0, &block);
+        disk.read_block(0);
+        disk.read_block(1);
+        assert_eq!(disk.io_counts(), (2, 1));
+        let stats = disk.stats();
+        assert_eq!((stats.reads, stats.writes), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        SimStore::untimed(4).read_block(4);
+    }
+
+    #[test]
+    fn meta_io_is_free() {
+        let clock = SimClock::new();
+        let disk = SimStore::new(&clock, DiskModel::quantum_fireball_ct10(), 8);
+        disk.write_block_meta(5, &vec![1u8; BLOCK_SIZE]);
+        assert_eq!(disk.read_block_meta(5)[0], 1);
+        assert_eq!(clock.now(), Duration::ZERO);
+    }
+}

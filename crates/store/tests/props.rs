@@ -1,0 +1,189 @@
+//! Property tests for the block-store subsystem: every backend must be
+//! indistinguishable from a flat array of blocks, dedup must absorb
+//! duplicate-heavy streams, and the file backend's journal must
+//! survive a crash before flush.
+
+use std::collections::HashMap;
+
+use netsim::SimClock;
+use proptest::prelude::*;
+use store::{
+    BlockStore, DedupStore, EncryptedStore, FileStore, SimStore, StoreBackend, BLOCK_SIZE,
+};
+
+const BLOCKS: u64 = 32;
+
+/// Expands a compact op description into a full block whose content is
+/// determined by `seed` (so equal seeds collide for dedup).
+fn block_for(seed: u8) -> Vec<u8> {
+    let mut block = vec![0u8; BLOCK_SIZE];
+    if seed == 0 {
+        return block; // all-zero block: exercises the implicit chunk
+    }
+    for (i, b) in block.iter_mut().enumerate() {
+        *b = seed.wrapping_mul(31).wrapping_add((i % 251) as u8);
+    }
+    block
+}
+
+fn all_backends(tag: &str) -> Vec<(Box<dyn BlockStore>, Option<std::path::PathBuf>)> {
+    let clock = SimClock::new();
+    let dir = store::temp_dir_for_tests(tag);
+    vec![
+        (
+            Box::new(SimStore::untimed(BLOCKS)) as Box<dyn BlockStore>,
+            None,
+        ),
+        (
+            Box::new(SimStore::new(
+                &clock,
+                store::DiskModel::quantum_fireball_ct10(),
+                BLOCKS,
+            )),
+            None,
+        ),
+        (
+            Box::new(FileStore::open(&dir, BLOCKS).expect("temp store")),
+            Some(dir),
+        ),
+        (Box::new(DedupStore::new(BLOCKS)), None),
+        (
+            Box::new(EncryptedStore::new(DedupStore::new(BLOCKS), &[0x42; 32])),
+            None,
+        ),
+        (
+            Box::new(EncryptedStore::new(SimStore::untimed(BLOCKS), &[0x43; 32])),
+            None,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any write sequence reads back exactly like a flat block array,
+    /// on every backend, through both the charged and the meta paths.
+    #[test]
+    fn roundtrip_matches_model_on_all_backends(
+        ops in proptest::collection::vec((0u64..BLOCKS, 0u8..16, any::<bool>()), 1..40)
+    ) {
+        for (store, dir) in all_backends("props-roundtrip") {
+            let mut model: HashMap<u64, u8> = HashMap::new();
+            for (idx, seed, meta) in &ops {
+                let data = block_for(*seed);
+                if *meta {
+                    store.write_block_meta(*idx, &data);
+                } else {
+                    store.write_block(*idx, &data);
+                }
+                model.insert(*idx, *seed);
+            }
+            for idx in 0..BLOCKS {
+                let expected = block_for(model.get(&idx).copied().unwrap_or(0));
+                prop_assert_eq!(&store.read_block(idx), &expected, "backend {}", store.label());
+                prop_assert_eq!(
+                    &store.read_block_meta(idx),
+                    &expected,
+                    "backend {} meta",
+                    store.label()
+                );
+            }
+            store.flush().unwrap();
+            if let Some(dir) = dir {
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+
+    /// Duplicate-heavy input to distinct blocks: the store keeps
+    /// exactly one chunk per distinct content and counts every repeat
+    /// as a hit, so the hit ratio equals the duplication level.
+    #[test]
+    fn dedup_ratio_on_duplicate_heavy_input(
+        seeds in proptest::collection::vec(1u8..5, 4..32),
+    ) {
+        let store = DedupStore::new(BLOCKS);
+        for (i, seed) in seeds.iter().enumerate() {
+            store.write_block(i as u64, &block_for(*seed));
+        }
+        let distinct = {
+            let mut s = seeds.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.len() as u64
+        };
+        let stats = store.stats();
+        prop_assert_eq!(stats.unique_blocks, distinct);
+        prop_assert_eq!(stats.writes, distinct);
+        prop_assert_eq!(stats.dedup_hits, seeds.len() as u64 - distinct);
+        let expected_ratio = (seeds.len() as u64 - distinct) as f64 / seeds.len() as f64;
+        prop_assert!(
+            (stats.dedup_hit_ratio() - expected_ratio).abs() < 1e-9,
+            "ratio {:.3} != expected {:.3}",
+            stats.dedup_hit_ratio(),
+            expected_ratio
+        );
+    }
+
+    /// Crash before flush: every journaled write survives reopen; the
+    /// data file alone (journal wiped) only holds flushed state.
+    #[test]
+    fn journal_replay_after_crash(
+        flushed in proptest::collection::vec((0u64..BLOCKS, 1u8..16), 0..12),
+        unflushed in proptest::collection::vec((0u64..BLOCKS, 1u8..16), 1..12),
+    ) {
+        let dir = store::temp_dir_for_tests("props-journal");
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        {
+            let store = FileStore::open(&dir, BLOCKS).unwrap();
+            for (idx, seed) in &flushed {
+                store.write_block(*idx, &block_for(*seed));
+                model.insert(*idx, *seed);
+            }
+            store.flush().unwrap();
+            for (idx, seed) in &unflushed {
+                store.write_block(*idx, &block_for(*seed));
+                model.insert(*idx, *seed);
+            }
+            store.crash(); // drop-before-flush
+        }
+        let store = FileStore::open(&dir, BLOCKS).unwrap();
+        for idx in 0..BLOCKS {
+            let expected = block_for(model.get(&idx).copied().unwrap_or(0));
+            prop_assert_eq!(
+                &store.read_block(idx),
+                &expected,
+                "block {} after replay",
+                idx
+            );
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The backend selector builds stores that satisfy the same
+    /// roundtrip contract (spot check with one op sequence).
+    #[test]
+    fn backend_selector_roundtrips(
+        idx in 0u64..BLOCKS,
+        seed in 1u8..16,
+    ) {
+        let clock = SimClock::new();
+        let dir = store::temp_dir_for_tests("props-selector");
+        let specs = [
+            StoreBackend::SimTimed,
+            StoreBackend::SimInstant,
+            StoreBackend::FileJournal { dir: dir.clone() },
+            StoreBackend::Dedup,
+            StoreBackend::DedupEncrypted { key: [9; 32] },
+        ];
+        for spec in &specs {
+            let store = spec.build(&clock, BLOCKS);
+            let data = block_for(seed);
+            store.write_block(idx, &data);
+            prop_assert_eq!(&store.read_block(idx), &data, "{}", spec.label());
+            store.flush().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches
+//! use, with a deliberately simple measurement loop: a short warm-up,
+//! then a fixed number of timed iterations, reporting mean time per
+//! iteration (and throughput when configured) as plain text. No
+//! statistics, plotting or disk output — good enough to compare
+//! backends and catch order-of-magnitude regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: u64,
+    /// Mean elapsed wall time per iteration of the last `iter` call.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        std_black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std_black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / (self.samples as u32);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iterations per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the target measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.criterion.report(
+            &self.name,
+            &id.label,
+            bencher.elapsed_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.criterion.report(
+            &self.name,
+            &id.label,
+            bencher.elapsed_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 50,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(name, "", bencher.elapsed_per_iter, None);
+        self
+    }
+
+    fn report(&self, group: &str, label: &str, per_iter: Duration, throughput: Option<Throughput>) {
+        let name = if label.is_empty() {
+            group.to_string()
+        } else {
+            format!("{group}/{label}")
+        };
+        let rate = match throughput {
+            Some(Throughput::Bytes(bytes)) if !per_iter.is_zero() => {
+                let mbps = bytes as f64 / per_iter.as_secs_f64() / 1e6;
+                format!("  ({mbps:.1} MB/s)")
+            }
+            Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+                let eps = n as f64 / per_iter.as_secs_f64();
+                format!("  ({eps:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        println!("bench {name:<40} {per_iter:>12.3?}/iter{rate}");
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

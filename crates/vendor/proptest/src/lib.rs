@@ -1,0 +1,129 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The container building this workspace cannot reach crates.io, so
+//! this vendored stub implements the parts of proptest the test suite
+//! uses: the [`proptest!`]/[`prop_oneof!`]/`prop_assert*` macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, range / tuple / array
+//! / collection strategies, [`arbitrary::any`], a regex-subset string
+//! strategy, and [`sample::Index`].
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (reproducible across runs) and failing
+//! cases are **not shrunk** — the panic message reports the failing
+//! values via their `Debug` form instead.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias of the crate root, so `prop::sample::Index` etc. resolve.
+    pub use crate as prop;
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Defines property tests.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{ $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __runner = $crate::test_runner::TestRunner::new(__config, stringify!($name));
+                __runner.run(|__proptest_rng| {
+                    let mut __inputs: Vec<String> = Vec::new();
+                    $(
+                        let __gen = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                        __inputs.push(format!("{:?}", __gen));
+                        let $pat = __gen;
+                    )+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __result.map_err(|e| e.with_inputs(&__inputs))
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case with a
+/// formatted message instead of panicking the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed_arm($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,25 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A length-agnostic index: generated once, projected onto any
+/// collection length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Builds an index from raw random bits.
+    pub fn from_raw(raw: u64) -> Index {
+        Index { raw }
+    }
+
+    /// Projects onto `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero, matching the real crate.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.raw % len as u64) as usize
+    }
+}

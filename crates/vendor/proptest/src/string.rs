@@ -1,0 +1,265 @@
+//! String generation from a regex subset.
+//!
+//! The real proptest interprets `&str` strategies as regexes. This stub
+//! supports the subset the workspace tests use: literal characters,
+//! `.`, `\PC`, escaped literals (`\.`), character classes with ranges
+//! and negation (`[a-z]`, `[^/\u{0}]`), and the quantifiers `{m}`,
+//! `{m,n}`, `*`, `+`, `?` — all applied to single atoms and
+//! concatenated.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except newline.
+    Any,
+    /// `\PC` — any non-control char.
+    NotControl,
+    /// A literal character.
+    Literal(char),
+    /// `[...]` — ranges plus negation flag.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Chars `.`/negated-class generation draws from: printable ASCII with
+/// a sprinkling of multi-byte and whitespace characters so UTF-8
+/// handling gets exercised.
+const EXOTIC: [char; 10] = ['é', 'ß', 'λ', '→', '日', '本', '\u{7f}', '\t', '«', '🌀'];
+
+/// Samples an arbitrary generatable char (used by `any::<char>()`).
+pub fn any_char(rng: &mut TestRng) -> char {
+    pool_char(rng)
+}
+
+fn pool_char(rng: &mut TestRng) -> char {
+    if rng.below(8) == 0 {
+        EXOTIC[rng.usize_range(0, EXOTIC.len())]
+    } else {
+        char::from_u32(rng.usize_range(0x20, 0x7f) as u32).expect("printable ascii")
+    }
+}
+
+fn class_matches(ranges: &[(char, char)], negated: bool, c: char) -> bool {
+    let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+    inside != negated
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => loop {
+            let c = pool_char(rng);
+            if c != '\n' {
+                return c;
+            }
+        },
+        Atom::NotControl => loop {
+            let c = pool_char(rng);
+            if !c.is_control() {
+                return c;
+            }
+        },
+        Atom::Class { ranges, negated } => {
+            if !negated {
+                // Pick a range, then a char inside it.
+                let (lo, hi) = ranges[rng.usize_range(0, ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                for _ in 0..64 {
+                    let v = lo as u32 + rng.below(span as u64) as u32;
+                    if let Some(c) = char::from_u32(v) {
+                        return c;
+                    }
+                }
+                lo
+            } else {
+                // Rejection-sample the general pool.
+                for _ in 0..256 {
+                    let c = pool_char(rng);
+                    if class_matches(ranges, true, c) {
+                        return c;
+                    }
+                }
+                panic!("negated class excludes the whole generator pool");
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn bail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex construct ({what}) in strategy pattern {:?} — \
+             the vendored proptest stub supports literals, '.', '\\PC', \
+             classes and {{m,n}} quantifiers",
+            self.pattern
+        );
+    }
+
+    fn escape(&mut self) -> char {
+        match self.chars.next() {
+            Some('u') => {
+                if self.chars.next() != Some('{') {
+                    self.bail("\\u without {…}");
+                }
+                let mut hex = String::new();
+                for c in self.chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    hex.push(c);
+                }
+                let v = u32::from_str_radix(&hex, 16).unwrap_or_else(|_| self.bail("bad \\u{…}"));
+                char::from_u32(v).unwrap_or_else(|| self.bail("bad \\u{…} scalar"))
+            }
+            Some('n') => '\n',
+            Some('r') => '\r',
+            Some('t') => '\t',
+            Some('0') => '\0',
+            Some(c) if !c.is_alphanumeric() => c,
+            Some(c) => {
+                if c == 'P' || c == 'p' {
+                    self.bail("\\P inside class")
+                }
+                c
+            }
+            None => self.bail("trailing backslash"),
+        }
+    }
+
+    fn class(&mut self) -> Atom {
+        let negated = self.chars.peek() == Some(&'^');
+        if negated {
+            self.chars.next();
+        }
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => self.escape(),
+                Some(c) => c,
+                None => self.bail("unterminated class"),
+            };
+            if c == '-' && pending.is_some() && self.chars.peek() != Some(&']') {
+                let lo = pending.take().expect("pending start of range");
+                let hi = match self.chars.next() {
+                    Some('\\') => self.escape(),
+                    Some(c) => c,
+                    None => self.bail("unterminated range"),
+                };
+                ranges.push((lo, hi));
+            } else {
+                if let Some(p) = pending.replace(c) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+        if let Some(p) = pending {
+            ranges.push((p, p));
+        }
+        if ranges.is_empty() {
+            self.bail("empty class");
+        }
+        Atom::Class { ranges, negated }
+    }
+
+    fn quantifier(&mut self) -> (usize, usize) {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut body = String::new();
+                for c in self.chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((m, n)) => {
+                        let min = m.trim().parse().unwrap_or_else(|_| self.bail("bad {m,n}"));
+                        let max = n.trim().parse().unwrap_or_else(|_| self.bail("bad {m,n}"));
+                        (min, max)
+                    }
+                    None => {
+                        let exact = body.trim().parse().unwrap_or_else(|_| self.bail("bad {m}"));
+                        (exact, exact)
+                    }
+                }
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(mut self) -> Vec<Quantified> {
+        let mut out = Vec::new();
+        while let Some(c) = self.chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => self.class(),
+                '\\' => match self.chars.peek() {
+                    Some('P') => {
+                        self.chars.next();
+                        match self.chars.next() {
+                            Some('C') => Atom::NotControl,
+                            _ => self.bail("\\P other than \\PC"),
+                        }
+                    }
+                    _ => Atom::Literal(self.escape()),
+                },
+                '(' | ')' | '|' | '^' | '$' => self.bail("grouping/anchors"),
+                c => Atom::Literal(c),
+            };
+            let (min, max) = self.quantifier();
+            out.push(Quantified { atom, min, max });
+        }
+        out
+    }
+}
+
+/// Generates a string matching `pattern` (regex subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let parts = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    }
+    .parse();
+    let mut out = String::new();
+    for part in &parts {
+        let count = if part.min == part.max {
+            part.min
+        } else {
+            rng.usize_range(part.min, part.max + 1)
+        };
+        for _ in 0..count {
+            out.push(gen_char(&part.atom, rng));
+        }
+    }
+    out
+}

@@ -1,0 +1,142 @@
+//! The case runner and its deterministic random source.
+
+use std::fmt;
+
+/// Per-test configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with `message`.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+
+    /// Attaches the generated inputs to the failure report.
+    pub fn with_inputs(mut self, inputs: &[String]) -> TestCaseError {
+        self.message = format!("{}\n  inputs: [{}]", self.message, inputs.join(", "));
+        self
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// A small, fast, deterministic random source (SplitMix64 core).
+///
+/// Not cryptographic — it only drives test-case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs a property over `cases` deterministic random cases.
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the property named `name`.
+    pub fn new(config: Config, name: &'static str) -> TestRunner {
+        TestRunner { config, name }
+    }
+
+    /// Runs `case` once per configured case, panicking with the case
+    /// number and inputs on the first failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any case returns an error (how `#[test]` learns of
+    /// the failure).
+    pub fn run<F>(&self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(self.name);
+        for i in 0..self.config.cases {
+            let mut rng = TestRng::from_seed(
+                base.wrapping_add((i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)),
+            );
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest property '{}' failed at case {}/{}: {}",
+                    self.name, i, self.config.cases, e
+                );
+            }
+        }
+    }
+}

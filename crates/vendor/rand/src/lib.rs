@@ -1,0 +1,158 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The container building this workspace has no access to crates.io, so
+//! this vendored stub provides exactly the trait surface the workspace
+//! consumes: [`RngCore`], the [`CryptoRng`] marker, and [`Error`]. All
+//! actual random streams in the workspace come from `discfs_crypto`'s
+//! deterministic ChaCha20 generator, which implements these traits.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations.
+///
+/// The deterministic generators in this workspace never fail, so this
+/// exists purely to satisfy the `try_fill_bytes` signature.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Error {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core trait every random number generator implements.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest`, reporting failure instead of panicking.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Marker trait for cryptographically secure generators.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// A process-local generator seeded from ambient entropy.
+///
+/// SplitMix64 over a seed mixed from the clock, the PID and ASLR —
+/// adequate for the tests that use it, NOT cryptographically secure.
+/// Deterministic flows should use `discfs_crypto::rng::DetRng`.
+pub struct ThreadRng {
+    state: u64,
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl CryptoRng for ThreadRng {}
+
+/// Utility generators (subset of `rand::rngs`).
+pub mod rngs {
+    /// Mock generators for tests.
+    pub mod mock {
+        use crate::RngCore;
+
+        /// A generator returning an arithmetic progression — useful
+        /// for deterministic tests.
+        pub struct StepRng {
+            value: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            /// Starts at `initial`, adding `step` per call.
+            pub fn new(initial: u64, step: u64) -> StepRng {
+                StepRng {
+                    value: initial,
+                    step,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.step);
+                v
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let bytes = self.next_u64().to_le_bytes();
+                    chunk.copy_from_slice(&bytes[..chunk.len()]);
+                }
+            }
+        }
+    }
+}
+
+/// Returns a generator seeded from ambient process entropy.
+pub fn thread_rng() -> ThreadRng {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let stack_probe = &now as *const _ as u64;
+    ThreadRng {
+        state: now ^ (std::process::id() as u64).rotate_left(32) ^ stack_probe,
+    }
+}

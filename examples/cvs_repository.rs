@@ -80,7 +80,7 @@ fn main() {
 
     // Every edit landed; the file was never world-writable, and the
     // host administrator was never involved.
-    let mut owner_view_client = bed.connect(&owner).expect("owner re-attaches");
+    let owner_view_client = bed.connect(&owner).expect("owner re-attaches");
     owner_view_client.submit_credential(&owner_grant).unwrap();
     owner_view_client
         .submit_credential(&paper.credential)

@@ -1,0 +1,81 @@
+//! Storage-backend tour: the same DisCFS workload on each block-store
+//! backend, showing what each one adds — dedup hit ratios, journaled
+//! persistence with crash replay, and encryption at rest.
+//!
+//! Run with `cargo run --release --example storage_backends`.
+
+use discfs::{CredentialIssuer, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+use ffs::{FsConfig, StoreBackend};
+use netsim::LinkConfig;
+use store::{BlockStore, FileStore, BLOCK_SIZE};
+
+/// Writes eight identical 16 KB files through a full DisCFS stack
+/// (IKE handshake, credentials, NFS over the simulated wire) on the
+/// given backend and reports the storage counters.
+fn run_workload(backend: &StoreBackend) {
+    let bed = Testbed::with_backend(FsConfig::small(), LinkConfig::instant(), 128, backend);
+    let bob = SigningKey::from_seed(&[0xB0; 32]);
+    let mut client = bed.connect(&bob).expect("connect");
+    let grant = CredentialIssuer::new(bed.admin())
+        .holder(&bob.public())
+        .grant_handle_string("1.1", Perm::RWX)
+        .issue();
+    client.submit_credential(&grant).expect("grant");
+
+    let payload = vec![0x42u8; 2 * BLOCK_SIZE];
+    let root = client.remote().root();
+    for i in 0..8 {
+        let created = client
+            .create_with_credential(&root, &format!("report-{i}.dat"), 0o644)
+            .expect("create");
+        client
+            .client()
+            .write_all(&created.fh, 0, &payload)
+            .expect("write");
+    }
+
+    let stats = bed.store_stats();
+    println!(
+        "  {:<16} writes {:>4}  dedup hits {:>4}  zero elisions {:>4}  unique blocks {:>4}  hit ratio {:.3}",
+        backend.label(),
+        stats.writes,
+        stats.dedup_hits,
+        stats.zero_elisions,
+        stats.unique_blocks,
+        stats.dedup_hit_ratio()
+    );
+    bed.fs().check().expect("volume consistent");
+    bed.fs().sync().expect("flush backend");
+}
+
+fn main() {
+    println!("Eight identical 16 KB files through the full DisCFS stack:");
+    let dir = std::env::temp_dir().join(format!("discfs-example-store-{}", std::process::id()));
+    let backends = [
+        StoreBackend::SimInstant,
+        StoreBackend::FileJournal { dir: dir.clone() },
+        StoreBackend::Dedup,
+        StoreBackend::DedupEncrypted { key: [0x0D; 32] },
+    ];
+    for backend in &backends {
+        run_workload(backend);
+    }
+
+    // Crash consistency demo at the block level: journaled writes
+    // survive a drop-before-flush.
+    println!("\nWrite-ahead journal crash replay:");
+    let crash_dir = dir.join("crash-demo");
+    let block = vec![0xABu8; BLOCK_SIZE];
+    {
+        let fstore = FileStore::open(&crash_dir, 16).expect("open");
+        fstore.write_block(3, &block);
+        println!("  wrote block 3, then crashed without flushing");
+        fstore.crash();
+    }
+    let fstore = FileStore::open(&crash_dir, 16).expect("reopen");
+    assert_eq!(fstore.read_block(3), block);
+    println!("  reopened: block 3 recovered from the journal ✓");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

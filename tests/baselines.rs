@@ -92,7 +92,7 @@ fn cfs_encrypting_roundtrip_and_privacy() {
 fn discfs_roundtrip() {
     let bed = Testbed::instant();
     let user = SigningKey::from_seed(&[0xB0; 32]);
-    let mut client = bed.connect(&user).unwrap();
+    let client = bed.connect(&user).unwrap();
     let grant = CredentialIssuer::new(bed.admin())
         .holder(&user.public())
         .grant_handle_string("1.1", Perm::RWX)

@@ -29,7 +29,10 @@ fn unknown_control_procedure_rejected() {
     let err = client
         .client()
         .call_raw(DISCFS_PROGRAM, DISCFS_VERSION, 99, vec![]);
-    assert!(matches!(err, Err(ClientError::Rpc(AcceptStat::ProcUnavail))));
+    assert!(matches!(
+        err,
+        Err(ClientError::Rpc(AcceptStat::ProcUnavail))
+    ));
 }
 
 #[test]
@@ -43,7 +46,10 @@ fn garbage_args_to_submit_rejected_cleanly() {
         proc_discfs::SUBMIT_CRED,
         vec![0xff, 0x01],
     );
-    assert!(matches!(err, Err(ClientError::Rpc(AcceptStat::GarbageArgs))));
+    assert!(matches!(
+        err,
+        Err(ClientError::Rpc(AcceptStat::GarbageArgs))
+    ));
     // Connection still healthy.
     assert!(client.credential_count().is_ok());
 }
@@ -91,7 +97,10 @@ fn revoke_key_with_malformed_payload() {
         proc_discfs::REVOKE_KEY,
         e.finish(),
     );
-    assert!(matches!(err, Err(ClientError::Rpc(AcceptStat::GarbageArgs))));
+    assert!(matches!(
+        err,
+        Err(ClientError::Rpc(AcceptStat::GarbageArgs))
+    ));
 }
 
 #[test]

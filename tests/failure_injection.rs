@@ -41,7 +41,10 @@ fn client_vanishes_mid_write_volume_stays_consistent() {
         .grant(&file.fh, Perm::R)
         .issue();
     carol_client.submit_credential(&cred).unwrap();
-    let data = carol_client.client().read_all(&file.fh, 0, 64 * 1024).unwrap();
+    let data = carol_client
+        .client()
+        .read_all(&file.fh, 0, 64 * 1024)
+        .unwrap();
     assert_eq!(data.len(), 64 * 1024);
     bed.service().storage().fs().check().unwrap();
 }
@@ -53,10 +56,7 @@ fn many_connect_disconnect_cycles_do_not_leak_sessions() {
         let user = key(100 + (round % 8));
         let client = bed.connect(&user).unwrap();
         client.submit_credential(&grant_root(&bed, &user)).unwrap();
-        assert!(client
-            .client()
-            .readdir_all(&client.remote().root())
-            .is_ok());
+        assert!(client.client().readdir_all(&client.remote().root()).is_ok());
         drop(client);
     }
     std::thread::sleep(std::time::Duration::from_millis(100));
@@ -130,6 +130,8 @@ fn write_failure_no_space_reported_cleanly_over_wire() {
     // Connection still live, volume still consistent, space recoverable.
     client.client().remove(&root, "big").unwrap();
     bed.service().storage().fs().check().unwrap();
-    let file2 = client.create_with_credential(&root, "after", 0o644).unwrap();
+    let file2 = client
+        .create_with_credential(&root, "after", 0o644)
+        .unwrap();
     client.client().write_all(&file2.fh, 0, &chunk).unwrap();
 }

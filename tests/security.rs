@@ -76,7 +76,7 @@ fn delegation_cannot_escalate_rights() {
     // minimum caps her at R.
     let bed = Testbed::instant();
     let bob = key(2);
-    let alice = key(3);
+    let _alice = key(3);
 
     let mut bob_client = bed.connect(&bob).expect("attach");
     let root_grant = CredentialIssuer::new(bed.admin())

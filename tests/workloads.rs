@@ -53,7 +53,7 @@ fn bonnie_phases_preserve_data_through_discfs() {
     assert_eq!(input.bytes, SIZE);
     // Recompute the expected checksum from the generator pattern.
     let expected: u64 = (0..SIZE)
-        .map(|i| (i.wrapping_mul(31).wrapping_add(7) % 251) as u64)
+        .map(|i| i.wrapping_mul(31).wrapping_add(7) % 251)
         .sum();
     assert_eq!(checksum, expected, "end-to-end corruption detected");
 
