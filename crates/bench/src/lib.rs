@@ -134,6 +134,10 @@ impl BenchFs for FfsBench {
         let (dir, name) = self.resolve_parent(path);
         self.fs.unlink(dir, &name).expect("unlink");
     }
+
+    fn sync(&mut self) {
+        self.fs.sync().expect("ffs sync");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -429,6 +433,16 @@ pub fn build_world(kind: SystemKind, fs_config: FsConfig, cache_size: usize) -> 
 /// Builds a world for `kind` whose server volume lives on `backend` —
 /// the hook that lets figures compare storage backends (sim-timed vs
 /// journaled file vs content-addressed dedup) for the same system.
+///
+/// A persistent backend whose directory already holds a volume is
+/// **mounted**, not reformatted, so a benchmark can measure warm
+/// reboot cycles: build a world, populate, sync, drop it, and build
+/// again on the same directory to run against the surviving files.
+/// Use [`SystemKind::Ffs`] for that pattern — it is fully in-process.
+/// The networked kinds spawn detached server threads that can outlive
+/// a dropped [`World`] and still hold the old store briefly; for a
+/// server reboot over the network stack use `discfs::Testbed::reboot`,
+/// which joins its connection threads before reopening the volume.
 pub fn build_world_on(
     kind: SystemKind,
     fs_config: FsConfig,
@@ -438,7 +452,10 @@ pub fn build_world_on(
     match kind {
         SystemKind::Ffs => {
             let clock = SimClock::new();
-            let fs = Arc::new(Ffs::format_backend(backend, &clock, fs_config));
+            let fs = Arc::new(
+                Ffs::open_or_format_backend(backend, &clock, fs_config)
+                    .expect("mount or format the benchmark volume"),
+            );
             World {
                 fs: Box::new(FfsBench::new(fs)),
                 clock,
@@ -447,7 +464,10 @@ pub fn build_world_on(
         }
         SystemKind::CfsNe => {
             let clock = SimClock::new();
-            let fs = Arc::new(Ffs::format_backend(backend, &clock, fs_config));
+            let fs = Arc::new(
+                Ffs::open_or_format_backend(backend, &clock, fs_config)
+                    .expect("mount or format the benchmark volume"),
+            );
             let service = Arc::new(cfs::CfsService::passthrough(fs, 1));
             let (client_end, server_end) = Link::pair(&clock, LinkConfig::ethernet_100mbps());
             nfsv2::server::spawn(service, Box::new(PlainChannel::new(server_end)));
@@ -712,6 +732,40 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn world_reboot_cycle_keeps_files_on_persistent_backends() {
+        // Populate a world, sync, drop it, rebuild on the same
+        // directory: the new world must mount the surviving volume and
+        // read the old file back through the full stack.
+        let base = store::temp_dir_for_tests("bench-reboot");
+        let backends = [
+            StoreBackend::FileJournal {
+                dir: base.join("file"),
+            },
+            StoreBackend::EncryptedJournal {
+                dir: base.join("enc"),
+                key: [0x42; 32],
+            },
+        ];
+        for backend in &backends {
+            {
+                let mut world = build_world_on(SystemKind::Ffs, FsConfig::small(), 128, backend);
+                world
+                    .fs
+                    .write_file("survivor.dat", b"written before the reboot");
+                world.fs.sync();
+            }
+            let mut world = build_world_on(SystemKind::Ffs, FsConfig::small(), 128, backend);
+            assert_eq!(
+                world.fs.read_file("survivor.dat"),
+                b"written before the reboot",
+                "{}",
+                backend.label()
+            );
+        }
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

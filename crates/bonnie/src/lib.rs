@@ -58,6 +58,9 @@ pub trait BenchFs {
     fn readdir(&mut self, path: &str) -> Vec<(String, bool)>;
     /// Removes a file (benchmark cleanup between phases).
     fn remove(&mut self, path: &str);
+    /// Makes completed writes durable (reboot-cycle benchmarks sync
+    /// before tearing a world down). No-op where not meaningful.
+    fn sync(&mut self) {}
 }
 
 /// An in-memory reference implementation used by this crate's own tests.

@@ -36,9 +36,24 @@
 //!   everywhere, so figure reproduction is unchanged);
 //! * `FileJournal` — persistent file-backed storage with a write-ahead
 //!   journal for crash consistency;
-//! * `Dedup` — SHA-256 content-addressed deduplication, exposing a
-//!   dedup hit-ratio through [`Testbed::store_stats`];
-//! * `DedupEncrypted` — dedup wrapped in ChaCha20 encryption-at-rest.
+//! * `Dedup` / `DedupPersistent` — SHA-256 content-addressed
+//!   deduplication (optionally snapshot-persistent), exposing a dedup
+//!   hit-ratio through [`Testbed::store_stats`];
+//! * `DedupEncrypted` / `EncryptedJournal` — ChaCha20
+//!   encryption-at-rest over the dedup or journaled-file store.
+//!
+//! ## Persistent volumes
+//!
+//! The paper's volumes are long-lived server-side entities that
+//! principals reconnect to across sessions. On a persistent backend,
+//! a [`Testbed`] built over a directory that already holds a volume
+//! **mounts** it (`ffs::Ffs::mount_on`) instead of reformatting:
+//! files, directories, dedup state, and `(inode, generation)` file
+//! handles all come back, and because the testbed's admin key is
+//! deterministic, credentials issued before the restart keep
+//! authorizing the same handles after it. [`Testbed::sync`] makes the
+//! volume durable; [`Testbed::reboot`] packages the whole
+//! sync → teardown → mount cycle.
 //!
 //! ```
 //! use discfs::Testbed;

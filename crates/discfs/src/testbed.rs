@@ -18,12 +18,18 @@ use crate::server::{DiscfsConfig, DiscfsService};
 /// A running DisCFS server plus the network it lives on.
 pub struct Testbed {
     clock: SimClock,
+    fs_config: FsConfig,
     link_config: LinkConfig,
+    cache_size: usize,
+    backend: StoreBackend,
     service: Arc<DiscfsService>,
     server_key_seed: [u8; 32],
     server_public: VerifyingKey,
     admin: SigningKey,
     connection_counter: std::sync::atomic::AtomicU64,
+    /// Per-connection server threads; joined by [`Testbed::reboot`] so
+    /// no thread still holds the old store when the volume reopens.
+    connections: std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Testbed {
@@ -45,6 +51,18 @@ impl Testbed {
 
     /// Full control including the storage backend the server's volume
     /// lives on (see [`StoreBackend`] for the options).
+    ///
+    /// On a persistent backend whose directory already holds a
+    /// formatted volume, the testbed **mounts** it instead of
+    /// reformatting — files, directories, and dedup state from a
+    /// previous testbed come back intact, and credentials issued
+    /// against the old instance keep working (the admin key is
+    /// deterministic). See [`Testbed::reboot`] for the full cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend holds a damaged volume (superblock
+    /// present but unusable) — data is never silently destroyed.
     pub fn with_backend(
         fs_config: FsConfig,
         link_config: LinkConfig,
@@ -52,7 +70,10 @@ impl Testbed {
         backend: &StoreBackend,
     ) -> Testbed {
         let clock = SimClock::new();
-        let fs = Arc::new(Ffs::format_backend(backend, &clock, fs_config));
+        let fs = Arc::new(
+            Ffs::open_or_format_backend(backend, &clock, fs_config)
+                .expect("mount or format the server volume"),
+        );
         let admin = SigningKey::from_seed(&[0xAD; 32]);
         let server_key_seed = [0x5E; 32];
         let server_key = SigningKey::from_seed(&server_key_seed);
@@ -70,13 +91,68 @@ impl Testbed {
         });
         Testbed {
             clock,
+            fs_config,
             link_config,
+            cache_size,
+            backend: backend.clone(),
             service,
             server_key_seed,
             server_public,
             admin,
             connection_counter: std::sync::atomic::AtomicU64::new(1),
+            connections: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Syncs the server volume: durable bitmaps + clean superblock,
+    /// then a backend flush (see `ffs::Ffs::sync`). Call before
+    /// dropping a testbed whose volume should reopen cleanly.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the backing store.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.fs().sync()
+    }
+
+    /// Simulates a server reboot: syncs the volume, tears this testbed
+    /// down, and builds a fresh one on the same backend configuration.
+    ///
+    /// On a persistent backend ([`StoreBackend::is_persistent`]) the
+    /// new instance mounts the old volume — every file, directory and
+    /// credential-protected handle survives. On an in-memory backend
+    /// the reboot necessarily formats from scratch (there is nothing
+    /// durable to come back to).
+    ///
+    /// Any clients connected to the old instance must be dropped
+    /// first: reboot **joins** their server threads (so no stale
+    /// handle to the old store survives into the new life), and a
+    /// still-connected client would make that join wait forever.
+    pub fn reboot(self) -> Testbed {
+        // Join the per-connection threads FIRST — each owns a clone of
+        // the service (and through it the store), and a straggler
+        // finishing an acknowledged write after the sync would leave
+        // that write uncovered by it. They exit once their client end
+        // is dropped.
+        for handle in self
+            .connections
+            .lock()
+            .expect("connection list lock")
+            .drain(..)
+        {
+            handle.join().ok();
+        }
+        self.sync().expect("sync volume before reboot");
+        let Testbed {
+            fs_config,
+            link_config,
+            cache_size,
+            backend,
+            service,
+            ..
+        } = self;
+        drop(service);
+        Testbed::with_backend(fs_config, link_config, cache_size, &backend)
     }
 
     /// The shared virtual clock.
@@ -124,13 +200,19 @@ impl Testbed {
         let (client_end, server_end) = Link::pair(&self.clock, self.link_config);
         let service = self.service.clone();
         let server_key = SigningKey::from_seed(&self.server_key_seed);
-        std::thread::spawn(move || {
+        let handle = std::thread::spawn(move || {
             let mut rng = DetRng::new(0x5EED_0000 + conn_id);
             match ipsec::ike::respond(server_end, &server_key, &mut rng) {
                 Ok(chan) => nfsv2::server::serve_connection(service, Box::new(chan)),
                 Err(_) => { /* handshake failed; connection dropped */ }
             }
         });
+        let mut connections = self.connections.lock().expect("connection list lock");
+        // Reap handles of threads that already exited so a long-lived
+        // testbed churning through connections stays bounded.
+        connections.retain(|h| !h.is_finished());
+        connections.push(handle);
+        drop(connections);
         let mut rng = DetRng::new(0xC11E_0000 + conn_id);
         DiscfsClient::attach(
             client_end,

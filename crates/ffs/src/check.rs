@@ -27,14 +27,53 @@ impl Ffs {
     /// 5. `nlink` equals the number of directory entries referencing
     ///    the inode (counting `.` and `..`).
     /// 6. No file references blocks beyond its size.
+    /// 7. Block 0 holds a valid superblock whose geometry matches the
+    ///    mounted layout; when the volume is clean (no mutation since
+    ///    the last sync), the durable on-disk bitmaps equal the
+    ///    in-memory ones.
     ///
     /// # Errors
     ///
     /// A vector of human-readable violation descriptions.
     pub fn check(&self) -> Result<(), Vec<String>> {
         let mut problems = Vec::new();
-        let (inode_bitmap, block_bitmap, free_blocks, free_inodes) = self.bitmaps();
+        let (inode_bitmap, block_bitmap, free_blocks, free_inodes, dirty) = self.bitmaps();
         let data_start = self.data_start();
+
+        // Superblock invariants.
+        match crate::sb::Superblock::from_block(&self.disk.read_block_meta(0)) {
+            Err(e) => problems.push(format!("superblock unreadable: {e}")),
+            Ok(sb) => {
+                let layout = self.layout();
+                if sb.total_blocks != layout.total_blocks
+                    || sb.inode_count != self.inode_count
+                    || sb.ibmap_start != layout.ibmap_start
+                    || sb.bbmap_start != layout.bbmap_start
+                    || sb.itable_start != layout.itable_start
+                    || sb.data_start != layout.data_start
+                {
+                    problems.push("superblock geometry disagrees with mounted layout".to_string());
+                }
+                if sb.clean == dirty {
+                    problems.push(format!(
+                        "superblock clean flag {} disagrees with in-memory dirty state {dirty}",
+                        sb.clean
+                    ));
+                }
+                if !dirty {
+                    let durable_inodes =
+                        self.read_bitmap_region(layout.ibmap_start, self.inode_count as u64);
+                    let durable_blocks =
+                        self.read_bitmap_region(layout.bbmap_start, layout.total_blocks);
+                    if durable_inodes != inode_bitmap {
+                        problems.push("clean volume: durable inode bitmap is stale".to_string());
+                    }
+                    if durable_blocks != block_bitmap {
+                        problems.push("clean volume: durable block bitmap is stale".to_string());
+                    }
+                }
+            }
+        }
 
         if !inode_bitmap[0] {
             problems.push("inode 0 must stay reserved".to_string());

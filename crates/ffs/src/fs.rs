@@ -1,12 +1,14 @@
 //! Filesystem operations: allocation, block mapping, directories, and
 //! the inode-level API the NFS layer exposes.
 
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::disk::{BlockStore, MemDisk, StoreBackend, BLOCK_SIZE};
 use crate::inode::{FileKind, Inode, INODES_PER_BLOCK, INODE_SIZE, NDIRECT, PTRS_PER_BLOCK};
+use crate::sb::{MountError, Superblock};
 use crate::FsError;
 
 /// An inode number. 0 is invalid; 1 is the root directory.
@@ -42,25 +44,54 @@ impl FsConfig {
     }
 }
 
+/// Bits per bitmap block.
+const BITS_PER_BLOCK: u64 = (BLOCK_SIZE * 8) as u64;
+
 /// Static block layout derived from an [`FsConfig`].
+///
+/// Block 0 is the checksummed superblock (see [`crate::sb`]); the
+/// inode and block bitmaps follow it, then the inode table, then data.
+/// The bitmaps are the durable copies written by [`Ffs::sync`] — the
+/// live copies stay in memory and the inode table remains
+/// authoritative, so a mount of an uncleanly closed volume rebuilds
+/// them with a recovery sweep instead of trusting stale bits.
 #[derive(Debug, Clone, Copy)]
-struct Layout {
-    total_blocks: u64,
-    itable_start: u64,
-    data_start: u64,
+pub(crate) struct Layout {
+    pub(crate) total_blocks: u64,
+    pub(crate) ibmap_start: u64,
+    pub(crate) bbmap_start: u64,
+    pub(crate) itable_start: u64,
+    pub(crate) data_start: u64,
 }
 
 impl Layout {
     fn new(config: &FsConfig) -> Layout {
-        // Block 0: superblock (geometry only; bitmaps live in memory and
-        // are reconstructed by `check` from the inode table itself).
+        let ibmap_start = 1;
+        let ibmap_blocks = (config.inode_count as u64).div_ceil(BITS_PER_BLOCK);
+        let bbmap_start = ibmap_start + ibmap_blocks;
+        let bbmap_blocks = config.total_blocks.div_ceil(BITS_PER_BLOCK);
+        let itable_start = bbmap_start + bbmap_blocks;
         let itable_blocks = (config.inode_count as u64).div_ceil(INODES_PER_BLOCK as u64);
-        let itable_start = 1;
         let data_start = itable_start + itable_blocks;
         Layout {
             total_blocks: config.total_blocks,
+            ibmap_start,
+            bbmap_start,
             itable_start,
             data_start,
+        }
+    }
+
+    fn superblock(&self, inode_count: u32, tick: u64, clean: bool) -> Superblock {
+        Superblock {
+            total_blocks: self.total_blocks,
+            inode_count,
+            ibmap_start: self.ibmap_start,
+            bbmap_start: self.bbmap_start,
+            itable_start: self.itable_start,
+            data_start: self.data_start,
+            tick,
+            clean,
         }
     }
 }
@@ -75,6 +106,26 @@ struct FsInner {
     tick: u64,
     /// Rotating allocation hint for data blocks.
     alloc_hint: u64,
+    /// Whether in-memory state has diverged from the on-disk bitmaps
+    /// since the last [`Ffs::sync`] (mirrors the superblock's `clean`
+    /// flag, inverted).
+    dirty: bool,
+}
+
+impl FsInner {
+    /// Empty state for a volume about to be mounted: bitmaps all
+    /// clear, counters zero, resuming the clock past `tick`.
+    fn cold(layout: &Layout, inode_count: u32, tick: u64) -> FsInner {
+        FsInner {
+            inode_bitmap: vec![false; inode_count as usize],
+            block_bitmap: vec![false; layout.total_blocks as usize],
+            free_blocks: 0,
+            free_inodes: 0,
+            tick,
+            alloc_hint: layout.data_start,
+            dirty: false,
+        }
+    }
 }
 
 /// File attributes as reported by [`Ffs::getattr`].
@@ -184,13 +235,60 @@ impl Ffs {
         Ffs::format_on(Arc::new(disk), config)
     }
 
-    /// Formats a fresh filesystem on any [`BlockStore`] backend.
+    /// Formats a fresh filesystem on any [`BlockStore`] backend,
+    /// refusing to destroy an existing volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store is too small for the requested inode
+    /// table, or when the store already carries a volume superblock —
+    /// reformatting a live volume silently destroyed every file, so
+    /// that now requires the explicit [`Ffs::force_format_on`] (or use
+    /// [`Ffs::mount_on`] / [`Ffs::open_or_format`] to keep the data).
+    pub fn format_on(disk: Arc<dyn BlockStore>, config: FsConfig) -> Ffs {
+        assert!(
+            !Ffs::is_formatted(&*disk),
+            "store already holds a formatted volume; mount it with Ffs::mount_on or \
+             Ffs::open_or_format, or erase it explicitly with Ffs::force_format_on"
+        );
+        Ffs::force_format_on(disk, config)
+    }
+
+    /// Whether `disk` carries a volume superblock (even a damaged
+    /// one): the signal that a `format_*` path would destroy data.
+    pub fn is_formatted(disk: &dyn BlockStore) -> bool {
+        disk.block_count() > 0
+            && !matches!(
+                Superblock::from_block(&disk.read_block_meta(0)),
+                Err(MountError::NoSuperblock)
+            )
+    }
+
+    /// Whether `disk` looks never-written: block 0 reads as all zeros
+    /// (every backend presents unwritten blocks that way). A store
+    /// that is neither formatted nor virgin holds *something* —
+    /// foreign data, or a volume decrypted with the wrong key — and
+    /// [`Ffs::open_or_format`] refuses to format over it.
+    pub fn is_virgin(disk: &dyn BlockStore) -> bool {
+        disk.block_count() == 0 || disk.read_block_meta(0).iter().all(|&b| b == 0)
+    }
+
+    /// Formats unconditionally, overwriting any existing volume on the
+    /// store.
     ///
     /// # Panics
     ///
     /// Panics when the store is too small for the requested inode
     /// table.
-    pub fn format_on(disk: Arc<dyn BlockStore>, config: FsConfig) -> Ffs {
+    pub fn force_format_on(disk: Arc<dyn BlockStore>, config: FsConfig) -> Ffs {
+        // Invalidate any existing superblock FIRST: on a journaled
+        // backend this is the first replayed record, so a crash
+        // mid-reformat can never resurrect the old clean superblock
+        // over a half-zeroed volume — the image reads as virgin
+        // instead.
+        if disk.block_count() > 0 && !Ffs::is_virgin(&*disk) {
+            disk.write_block_meta(0, &vec![0u8; BLOCK_SIZE]);
+        }
         let layout = Layout::new(&config);
         assert!(
             layout.data_start + 8 <= config.total_blocks,
@@ -208,6 +306,7 @@ impl Ffs {
             free_inodes: config.inode_count - 2, // 0 reserved, 1 = root
             tick: 1,
             alloc_hint: layout.data_start,
+            dirty: false,
         };
         // Metadata region is permanently allocated.
         for b in 0..layout.data_start {
@@ -254,8 +353,127 @@ impl Ffs {
             ];
             fs.write_dir(&mut inner, 1, &entries)
                 .expect("fresh filesystem has space for the root directory");
+            // Durable baseline: bitmaps, then the superblock last, so a
+            // replayed crash mid-format never yields a valid superblock
+            // over a half-formatted volume.
+            fs.write_bitmaps(&inner);
+            fs.write_superblock(inner.tick, true);
         }
         fs
+    }
+
+    /// Mounts the volume selected by `backend` (see [`Ffs::mount_on`];
+    /// `config` only sizes the in-memory store construction — the
+    /// authoritative geometry comes from the on-disk superblock).
+    ///
+    /// # Errors
+    ///
+    /// [`MountError`] when the store holds no valid volume.
+    pub fn mount_backend(
+        backend: &StoreBackend,
+        clock: &netsim::SimClock,
+        config: FsConfig,
+    ) -> Result<Ffs, MountError> {
+        Ffs::mount_on(backend.build(clock, config.total_blocks))
+    }
+
+    /// Mounts an existing volume if `backend` holds one, otherwise
+    /// formats a fresh volume with `config` (see
+    /// [`Ffs::open_or_format`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MountError`] when a superblock is present but unusable.
+    pub fn open_or_format_backend(
+        backend: &StoreBackend,
+        clock: &netsim::SimClock,
+        config: FsConfig,
+    ) -> Result<Ffs, MountError> {
+        Ffs::open_or_format(backend.build(clock, config.total_blocks), config)
+    }
+
+    /// Mounts an existing volume when the store carries a superblock,
+    /// and formats a fresh one when the store is virgin — the right
+    /// default for persistent backends that may or may not have been
+    /// used before.
+    ///
+    /// # Errors
+    ///
+    /// [`MountError`] when a superblock is present but damaged
+    /// (checksum mismatch, unknown version, impossible geometry), and
+    /// also when block 0 holds unrecognized *nonzero* data — which is
+    /// what an `EncryptedJournal` volume opened with the wrong key
+    /// looks like. Either way the data is *not* silently destroyed —
+    /// recover it (or fix the key), or erase explicitly with
+    /// [`Ffs::force_format_on`].
+    pub fn open_or_format(disk: Arc<dyn BlockStore>, config: FsConfig) -> Result<Ffs, MountError> {
+        if Ffs::is_formatted(&*disk) {
+            Ffs::mount_on(disk)
+        } else if Ffs::is_virgin(&*disk) {
+            Ok(Ffs::force_format_on(disk, config))
+        } else {
+            Err(MountError::CorruptVolume(
+                "block 0 holds unrecognized data (foreign contents, or a volume opened \
+                 with the wrong encryption key); refusing to format over it"
+                    .into(),
+            ))
+        }
+    }
+
+    /// Mounts the volume already present on `disk`.
+    ///
+    /// The superblock is validated (magic, version, checksum, geometry
+    /// against the store size) before anything else is touched, so
+    /// garbage fails closed. A volume whose superblock says `clean`
+    /// loads its durable bitmaps directly; an uncleanly closed volume
+    /// gets a full recovery sweep that rebuilds the bitmaps from the
+    /// inode table, drops directory entries pointing at lost inodes,
+    /// frees orphaned inodes and blocks, and repairs link counts — so
+    /// the mount lands on the last consistent state instead of
+    /// propagating torn mid-operation writes.
+    ///
+    /// # Errors
+    ///
+    /// [`MountError`] describing why the store cannot be mounted.
+    pub fn mount_on(disk: Arc<dyn BlockStore>) -> Result<Ffs, MountError> {
+        if disk.block_count() == 0 {
+            return Err(MountError::NoSuperblock);
+        }
+        let sb = Superblock::from_block(&disk.read_block_meta(0))?;
+        if sb.inode_count < 2 {
+            return Err(MountError::CorruptGeometry);
+        }
+        let config = FsConfig {
+            total_blocks: sb.total_blocks,
+            inode_count: sb.inode_count,
+        };
+        let layout = Layout::new(&config);
+        if layout.ibmap_start != sb.ibmap_start
+            || layout.bbmap_start != sb.bbmap_start
+            || layout.itable_start != sb.itable_start
+            || layout.data_start != sb.data_start
+            || layout.data_start + 8 > sb.total_blocks
+        {
+            return Err(MountError::CorruptGeometry);
+        }
+        if disk.block_count() < sb.total_blocks {
+            return Err(MountError::DiskTooSmall {
+                volume_blocks: sb.total_blocks,
+                disk_blocks: disk.block_count(),
+            });
+        }
+        let fs = Ffs {
+            disk,
+            inode_count: sb.inode_count,
+            layout,
+            inner: Mutex::new(FsInner::cold(&layout, sb.inode_count, sb.tick)),
+        };
+        if sb.clean {
+            fs.mount_clean(&sb)?;
+        } else {
+            fs.mount_recover(&sb)?;
+        }
+        Ok(fs)
     }
 
     /// Formats a filesystem on a fresh untimed in-memory disk.
@@ -289,13 +507,432 @@ impl Ffs {
         &*self.disk
     }
 
-    /// Flushes the backing store (journaled backends apply their WAL).
+    /// Syncs the volume: writes the in-memory bitmaps to their durable
+    /// on-disk regions, marks the superblock clean, and flushes the
+    /// backing store (journaled backends apply their WAL).
+    ///
+    /// After a successful sync, [`Ffs::mount_on`] takes the fast path:
+    /// it trusts the durable bitmaps instead of sweeping the inode
+    /// table.
     ///
     /// # Errors
     ///
     /// I/O failure of the underlying medium.
     pub fn sync(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.dirty {
+            self.write_bitmaps(&inner);
+            self.write_superblock(inner.tick, true);
+            inner.dirty = false;
+        }
         self.disk.flush()
+    }
+
+    // -- durable metadata ---------------------------------------------------
+
+    /// Writes both bitmaps to their durable on-disk regions.
+    fn write_bitmaps(&self, inner: &FsInner) {
+        self.write_bitmap_region(self.layout.ibmap_start, &inner.inode_bitmap);
+        self.write_bitmap_region(self.layout.bbmap_start, &inner.block_bitmap);
+    }
+
+    fn write_bitmap_region(&self, start: u64, bits: &[bool]) {
+        for (i, chunk) in bits.chunks(BITS_PER_BLOCK as usize).enumerate() {
+            let mut block = vec![0u8; BLOCK_SIZE];
+            for (j, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    block[j / 8] |= 1 << (j % 8);
+                }
+            }
+            self.disk.write_block_meta(start + i as u64, &block);
+        }
+    }
+
+    pub(crate) fn read_bitmap_region(&self, start: u64, nbits: u64) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(nbits as usize);
+        for i in 0..nbits.div_ceil(BITS_PER_BLOCK) {
+            let data = self.disk.read_block_meta(start + i);
+            let take = (nbits as usize - bits.len()).min(BITS_PER_BLOCK as usize);
+            for j in 0..take {
+                bits.push(data[j / 8] & (1 << (j % 8)) != 0);
+            }
+        }
+        bits
+    }
+
+    fn write_superblock(&self, tick: u64, clean: bool) {
+        let sb = self.layout.superblock(self.inode_count, tick, clean);
+        self.disk.write_block_meta(0, &sb.to_block());
+    }
+
+    /// Flips the volume to "dirty" on the first mutation after a sync,
+    /// so a later mount knows the durable bitmaps are stale. Written
+    /// before the mutation's own blocks: any journal prefix that
+    /// contains mutated state also contains the dirty marker.
+    fn mark_dirty(&self, inner: &mut FsInner) {
+        if !inner.dirty {
+            inner.dirty = true;
+            self.write_superblock(inner.tick, false);
+        }
+    }
+
+    /// Fast mount path for a cleanly synced volume: load the durable
+    /// bitmaps directly.
+    fn mount_clean(&self, sb: &Superblock) -> Result<(), MountError> {
+        let inode_bitmap =
+            self.read_bitmap_region(self.layout.ibmap_start, self.inode_count as u64);
+        let block_bitmap =
+            self.read_bitmap_region(self.layout.bbmap_start, self.layout.total_blocks);
+        if !inode_bitmap[0] || !inode_bitmap[1] {
+            return Err(MountError::CorruptVolume(
+                "clean volume lost its reserved inodes".into(),
+            ));
+        }
+        if block_bitmap[..self.layout.data_start as usize]
+            .iter()
+            .any(|&b| !b)
+        {
+            return Err(MountError::CorruptVolume(
+                "metadata region not marked allocated".into(),
+            ));
+        }
+        let root = self.read_inode(1);
+        if FileKind::from_mode(root.mode) != Some(FileKind::Directory) {
+            return Err(MountError::CorruptVolume(
+                "root inode is not a directory".into(),
+            ));
+        }
+        let free_blocks = block_bitmap[self.layout.data_start as usize..]
+            .iter()
+            .filter(|&&b| !b)
+            .count() as u64;
+        let free_inodes = inode_bitmap[1..].iter().filter(|&&b| !b).count() as u32;
+        let mut inner = self.inner.lock();
+        inner.inode_bitmap = inode_bitmap;
+        inner.block_bitmap = block_bitmap;
+        inner.free_blocks = free_blocks;
+        inner.free_inodes = free_inodes;
+        inner.tick = sb.tick + 1;
+        inner.dirty = false;
+        Ok(())
+    }
+
+    /// Reads a file's contents during recovery, range-checking every
+    /// pointer: a block number outside the volume reads as a hole
+    /// instead of panicking the backend (only block 0 is checksummed,
+    /// so a corrupt image can carry wild pointers in its inode table).
+    /// The length is capped at both the pointer-geometry maximum and
+    /// the volume size, so an absurd size field cannot balloon the
+    /// read.
+    fn read_file_guarded(&self, inode: &Inode) -> Vec<u8> {
+        let ptrs = PTRS_PER_BLOCK as u64;
+        let in_range =
+            |p: u32| p as u64 >= self.layout.data_start && (p as u64) < self.layout.total_blocks;
+        let guarded_table =
+            |p: u32| -> Option<Vec<u32>> { in_range(p).then(|| self.read_ptr_block(p as u64)) };
+        let len = inode
+            .size
+            .min(max_file_size())
+            .min(self.layout.total_blocks.saturating_mul(BLOCK_SIZE as u64))
+            as usize;
+        let mut out = Vec::with_capacity(len);
+        let mut fbn = 0u64;
+        while out.len() < len {
+            let take = (len - out.len()).min(BLOCK_SIZE);
+            let ptr = if fbn < NDIRECT as u64 {
+                inode.direct[fbn as usize]
+            } else if fbn < NDIRECT as u64 + ptrs {
+                guarded_table(inode.indirect)
+                    .map(|t| t[(fbn - NDIRECT as u64) as usize])
+                    .unwrap_or(0)
+            } else {
+                let idx = fbn - NDIRECT as u64 - ptrs;
+                guarded_table(inode.double_indirect)
+                    .and_then(|outer| guarded_table(outer[(idx / ptrs) as usize]))
+                    .map(|t| t[(idx % ptrs) as usize])
+                    .unwrap_or(0)
+            };
+            if ptr != 0 && in_range(ptr) {
+                out.extend_from_slice(&self.disk.read_block_meta(ptr as u64)[..take]);
+            } else {
+                out.extend(std::iter::repeat_n(0u8, take));
+            }
+            fbn += 1;
+        }
+        out
+    }
+
+    /// Recovery sweep for an uncleanly closed volume: the inode table
+    /// is authoritative, everything else is rebuilt or repaired.
+    ///
+    /// 1. Scan the inode table; clear records with an impossible kind
+    ///    (a torn inode-table write).
+    /// 2. Walk the directory tree from the root, planning repairs:
+    ///    entries pointing at free/invalid inodes are dropped,
+    ///    duplicate names collapse to the first, `.`/`..` are pinned to
+    ///    self/parent, and a directory already claimed by another
+    ///    parent is dropped.
+    /// 3. Rebuild the block bitmap from reachable inodes, clearing
+    ///    pointers that fell outside the volume or beyond a file's
+    ///    size (a torn write that placed a block before the size
+    ///    update landed).
+    /// 4. Clear orphaned inodes (allocated but unreachable — their
+    ///    directory entry never made it to disk), apply the planned
+    ///    directory rewrites, and repair link counts.
+    fn mount_recover(&self, sb: &Superblock) -> Result<(), MountError> {
+        let n_inodes = self.inode_count;
+        let data_start = self.layout.data_start;
+        let total = self.layout.total_blocks;
+
+        // Pass 1: inode table scan.
+        let mut allocated = vec![false; n_inodes as usize];
+        let mut max_tick = sb.tick;
+        for ino in 1..n_inodes {
+            let inode = self.read_inode(ino);
+            if inode.mode == 0 {
+                continue;
+            }
+            if FileKind::from_mode(inode.mode).is_none() {
+                self.write_inode(ino, &Inode::empty(inode.generation));
+                continue;
+            }
+            allocated[ino as usize] = true;
+            max_tick = max_tick.max(inode.atime).max(inode.mtime).max(inode.ctime);
+        }
+        if !allocated[1] || self.read_inode(1).kind() != FileKind::Directory {
+            return Err(MountError::CorruptVolume(
+                "root directory inode missing".into(),
+            ));
+        }
+
+        // Pass 2: read-only tree walk, planning repaired directories.
+        // Directory data is read through the guarded path: only block 0
+        // is checksummed, so a corrupt image can carry wild pointers,
+        // and those must read as holes here — the claim_block sweep in
+        // pass 3 clears them from the inodes afterwards.
+        let mut claimed: HashSet<Ino> = HashSet::from([1]);
+        let mut reachable: HashSet<Ino> = HashSet::from([1]);
+        let mut entry_refs: HashMap<Ino, u32> = HashMap::new();
+        let mut planned_dirs: Vec<(Ino, Vec<DirEntry>, bool)> = Vec::new();
+        let mut queue: VecDeque<(Ino, Ino)> = VecDeque::from([(1, 1)]);
+        while let Some((dir, parent)) = queue.pop_front() {
+            let dir_inode = self.read_inode(dir);
+            let data = self.read_file_guarded(&dir_inode);
+            let mut changed = false;
+            let mut planned: Vec<DirEntry> = Vec::new();
+            let mut seen: HashSet<String> = HashSet::new();
+            let (mut has_dot, mut has_dotdot) = (false, false);
+            for entry in Ffs::parse_dir(&data) {
+                match entry.name.as_str() {
+                    "." => {
+                        if has_dot {
+                            changed = true;
+                            continue;
+                        }
+                        has_dot = true;
+                        changed |= entry.ino != dir;
+                        planned.push(DirEntry {
+                            name: ".".into(),
+                            ino: dir,
+                        });
+                    }
+                    ".." => {
+                        if has_dotdot {
+                            changed = true;
+                            continue;
+                        }
+                        has_dotdot = true;
+                        changed |= entry.ino != parent;
+                        planned.push(DirEntry {
+                            name: "..".into(),
+                            ino: parent,
+                        });
+                    }
+                    _ => {
+                        if !seen.insert(entry.name.clone())
+                            || entry.ino == 0
+                            || entry.ino >= n_inodes
+                            || !allocated[entry.ino as usize]
+                        {
+                            changed = true;
+                            continue;
+                        }
+                        if self.read_inode(entry.ino).kind() == FileKind::Directory {
+                            if !claimed.insert(entry.ino) {
+                                changed = true;
+                                continue;
+                            }
+                            queue.push_back((entry.ino, dir));
+                        }
+                        reachable.insert(entry.ino);
+                        planned.push(entry);
+                    }
+                }
+            }
+            if !has_dot {
+                planned.insert(
+                    0,
+                    DirEntry {
+                        name: ".".into(),
+                        ino: dir,
+                    },
+                );
+                changed = true;
+            }
+            if !has_dotdot {
+                planned.insert(
+                    1,
+                    DirEntry {
+                        name: "..".into(),
+                        ino: parent,
+                    },
+                );
+                changed = true;
+            }
+            for e in &planned {
+                *entry_refs.entry(e.ino).or_insert(0) += 1;
+            }
+            planned_dirs.push((dir, planned, changed));
+        }
+
+        // Pass 3: rebuild the block bitmap from reachable inodes.
+        fn claim_block(bitmap: &mut [bool], data_start: u64, blk: u64) -> bool {
+            if blk < data_start || blk >= bitmap.len() as u64 || bitmap[blk as usize] {
+                return false;
+            }
+            bitmap[blk as usize] = true;
+            true
+        }
+        let mut block_bitmap = vec![false; total as usize];
+        for b in 0..data_start {
+            block_bitmap[b as usize] = true;
+        }
+        // Directories that lose a data block here must be rewritten in
+        // pass 4 from their planned entries even when those entries
+        // parsed clean — otherwise the cleared block silently empties
+        // the directory while its children stay allocated.
+        let mut dirs_lost_blocks: HashSet<Ino> = HashSet::new();
+        for ino in 1..n_inodes {
+            if !reachable.contains(&ino) {
+                continue;
+            }
+            let mut inode = self.read_inode(ino);
+            let max_fbn = inode.size.div_ceil(BLOCK_SIZE as u64);
+            let mut inode_changed = false;
+            let mut lost_block = false;
+            for slot in 0..NDIRECT {
+                let ptr = inode.direct[slot] as u64;
+                if ptr != 0
+                    && ((slot as u64) >= max_fbn
+                        || !claim_block(&mut block_bitmap, data_start, ptr))
+                {
+                    inode.direct[slot] = 0;
+                    inode_changed = true;
+                    lost_block = true;
+                }
+            }
+            if inode.indirect != 0 {
+                if !claim_block(&mut block_bitmap, data_start, inode.indirect as u64) {
+                    inode.indirect = 0;
+                    inode_changed = true;
+                    lost_block = true;
+                } else {
+                    let table = self.read_ptr_block(inode.indirect as u64);
+                    for (i, &ptr) in table.iter().enumerate() {
+                        if ptr != 0
+                            && ((NDIRECT + i) as u64 >= max_fbn
+                                || !claim_block(&mut block_bitmap, data_start, ptr as u64))
+                        {
+                            self.write_ptr(inode.indirect as u64, i, 0);
+                            lost_block = true;
+                        }
+                    }
+                }
+            }
+            if inode.double_indirect != 0 {
+                if !claim_block(&mut block_bitmap, data_start, inode.double_indirect as u64) {
+                    inode.double_indirect = 0;
+                    inode_changed = true;
+                    lost_block = true;
+                } else {
+                    let outer = self.read_ptr_block(inode.double_indirect as u64);
+                    for (o, &mid) in outer.iter().enumerate() {
+                        if mid == 0 {
+                            continue;
+                        }
+                        if !claim_block(&mut block_bitmap, data_start, mid as u64) {
+                            self.write_ptr(inode.double_indirect as u64, o, 0);
+                            lost_block = true;
+                            continue;
+                        }
+                        let table = self.read_ptr_block(mid as u64);
+                        for (i, &ptr) in table.iter().enumerate() {
+                            let fbn = (NDIRECT + PTRS_PER_BLOCK + o * PTRS_PER_BLOCK + i) as u64;
+                            if ptr != 0
+                                && (fbn >= max_fbn
+                                    || !claim_block(&mut block_bitmap, data_start, ptr as u64))
+                            {
+                                self.write_ptr(mid as u64, i, 0);
+                                lost_block = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if inode_changed {
+                self.write_inode(ino, &inode);
+            }
+            if lost_block && claimed.contains(&ino) {
+                dirs_lost_blocks.insert(ino);
+            }
+        }
+
+        // Pass 4: clear orphans, install state, apply repairs.
+        for ino in 2..n_inodes {
+            if allocated[ino as usize] && !reachable.contains(&ino) {
+                let generation = self.read_inode(ino).generation;
+                self.write_inode(ino, &Inode::empty(generation));
+            }
+        }
+        let mut inode_bitmap = vec![false; n_inodes as usize];
+        inode_bitmap[0] = true;
+        for &ino in &reachable {
+            inode_bitmap[ino as usize] = true;
+        }
+        let free_blocks = block_bitmap[data_start as usize..]
+            .iter()
+            .filter(|&&b| !b)
+            .count() as u64;
+        let free_inodes = inode_bitmap[1..].iter().filter(|&&b| !b).count() as u32;
+        let mut inner = self.inner.lock();
+        inner.inode_bitmap = inode_bitmap;
+        inner.block_bitmap = block_bitmap;
+        inner.free_blocks = free_blocks;
+        inner.free_inodes = free_inodes;
+        inner.tick = max_tick + 1;
+        inner.dirty = false;
+        for (dir, planned, changed) in &planned_dirs {
+            if *changed || dirs_lost_blocks.contains(dir) {
+                self.write_dir(&mut inner, *dir, planned).map_err(|e| {
+                    MountError::CorruptVolume(format!("repairing directory {dir}: {e}"))
+                })?;
+            }
+        }
+        for ino in 1..n_inodes {
+            if !reachable.contains(&ino) {
+                continue;
+            }
+            let refs = entry_refs.get(&ino).copied().unwrap_or(0);
+            let mut inode = self.read_inode(ino);
+            if inode.nlink != refs {
+                inode.nlink = refs;
+                self.write_inode(ino, &inode);
+            }
+        }
+        // The repaired state is the new durable baseline.
+        self.write_bitmaps(&inner);
+        self.write_superblock(inner.tick, true);
+        Ok(())
     }
 
     // -- inode table ------------------------------------------------------
@@ -711,6 +1348,7 @@ impl Ffs {
         if entries.iter().any(|e| e.name == name) {
             return Err(FsError::Exists);
         }
+        self.mark_dirty(&mut inner);
         let ino = self.alloc_inode(&mut inner)?;
         let tick = inner.tick;
         let mut inode = self.read_inode(ino);
@@ -750,6 +1388,7 @@ impl Ffs {
         if entries.iter().any(|e| e.name == name) {
             return Err(FsError::Exists);
         }
+        self.mark_dirty(&mut inner);
         let ino = self.alloc_inode(&mut inner)?;
         let tick = inner.tick;
         let mut inode = self.read_inode(ino);
@@ -805,6 +1444,7 @@ impl Ffs {
         if entries.iter().any(|e| e.name == name) {
             return Err(FsError::Exists);
         }
+        self.mark_dirty(&mut inner);
         let ino = self.alloc_inode(&mut inner)?;
         let tick = inner.tick;
         let mut inode = self.read_inode(ino);
@@ -858,6 +1498,7 @@ impl Ffs {
         if entries.iter().any(|e| e.name == name) {
             return Err(FsError::Exists);
         }
+        self.mark_dirty(&mut inner);
         entries.push(DirEntry {
             name: name.to_string(),
             ino,
@@ -888,6 +1529,7 @@ impl Ffs {
         if inode.kind() == FileKind::Directory {
             return Err(FsError::IsDir);
         }
+        self.mark_dirty(&mut inner);
         entries.remove(idx);
         self.write_dir(&mut inner, dir, &entries)?;
         inode.nlink -= 1;
@@ -924,6 +1566,7 @@ impl Ffs {
         if children.iter().any(|e| e.name != "." && e.name != "..") {
             return Err(FsError::NotEmpty);
         }
+        self.mark_dirty(&mut inner);
         entries.remove(idx);
         self.write_dir(&mut inner, dir, &entries)?;
         // Free the directory's data and inode.
@@ -1010,6 +1653,7 @@ impl Ffs {
         }
 
         // Remove from source, add to destination.
+        self.mark_dirty(&mut inner);
         let mut src_entries = self.read_dir(&mut inner, src_dir)?;
         let idx = src_entries
             .iter()
@@ -1056,6 +1700,7 @@ impl Ffs {
             return Err(FsError::IsDir);
         }
         let data = self.read_inode_data(&mut inner, &mut inode, offset, len)?;
+        self.mark_dirty(&mut inner);
         inner.tick += 1;
         inode.atime = inner.tick;
         self.write_inode(ino, &inode);
@@ -1073,6 +1718,7 @@ impl Ffs {
         if inode.kind() == FileKind::Directory {
             return Err(FsError::IsDir);
         }
+        self.mark_dirty(&mut inner);
         self.write_inode_data(&mut inner, &mut inode, offset, data)?;
         inner.tick += 1;
         inode.mtime = inner.tick;
@@ -1113,6 +1759,7 @@ impl Ffs {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let mut inode = self.load(ino)?;
+        self.mark_dirty(&mut inner);
         if let Some(mode) = set.mode {
             inode.mode = (inode.mode & 0o170000) | (mode & 0o7777);
         }
@@ -1208,19 +1855,26 @@ impl Ffs {
         Ok(cur)
     }
 
-    /// Snapshot of internal bitmaps for the consistency checker.
-    pub(crate) fn bitmaps(&self) -> (Vec<bool>, Vec<bool>, u64, u32) {
+    /// Snapshot of internal bitmaps for the consistency checker
+    /// (inode bitmap, block bitmap, free blocks, free inodes, dirty).
+    pub(crate) fn bitmaps(&self) -> (Vec<bool>, Vec<bool>, u64, u32, bool) {
         let inner = self.inner.lock();
         (
             inner.inode_bitmap.clone(),
             inner.block_bitmap.clone(),
             inner.free_blocks,
             inner.free_inodes,
+            inner.dirty,
         )
     }
 
     /// The first data block number (metadata lives below this).
     pub(crate) fn data_start(&self) -> u64 {
         self.layout.data_start
+    }
+
+    /// The static block layout (consistency checker).
+    pub(crate) fn layout(&self) -> &Layout {
+        &self.layout
     }
 }

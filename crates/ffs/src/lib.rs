@@ -29,12 +29,55 @@
 //!   charging the paper's Quantum Fireball timing model.
 //! * [`Ffs::format_backend`] — any [`StoreBackend`]: `SimTimed`,
 //!   `SimInstant`, `FileJournal` (persistent, write-ahead journaled;
-//!   call [`Ffs::sync`] to apply the WAL), `Dedup` (content-addressed,
-//!   SHA-256 deduplicated, reports a dedup hit ratio through
-//!   [`BlockStore::stats`]), or `DedupEncrypted` (dedup wrapped in
-//!   ChaCha20 encryption-at-rest).
+//!   call [`Ffs::sync`] to apply the WAL), `Dedup`/`DedupPersistent`
+//!   (content-addressed, SHA-256 deduplicated, reports a dedup hit
+//!   ratio through [`BlockStore::stats`]), `DedupEncrypted` (dedup
+//!   wrapped in ChaCha20 encryption-at-rest), or `EncryptedJournal`
+//!   (encrypted persistent journaled storage).
 //! * [`Ffs::format_on`] — any hand-built `Arc<dyn BlockStore>`,
 //!   including custom wrappers like `store::EncryptedStore`.
+//!
+//! # Persistence lifecycle
+//!
+//! A volume is a long-lived entity: format once, then mount on every
+//! later life. The constructors split three ways:
+//!
+//! * **format** ([`Ffs::format_on`] and friends) — creates a fresh
+//!   volume. Since the store now carries a checksummed superblock,
+//!   the `format_*` paths *refuse* to touch a store that already
+//!   holds one (the pre-mount behavior of silently reformatting — and
+//!   destroying — an existing `FileJournal` directory is gone);
+//!   [`Ffs::force_format_on`] is the explicit eraser.
+//! * **mount** ([`Ffs::mount_on`] / [`Ffs::mount_backend`]) — reopens
+//!   an existing volume: validates the superblock (magic, version,
+//!   SHA-256 checksum, geometry against the store size — garbage
+//!   fails closed with a [`MountError`]) and rebuilds in-memory state
+//!   from disk.
+//! * **open-or-format** ([`Ffs::open_or_format`] /
+//!   [`Ffs::open_or_format_backend`]) — mounts when a superblock is
+//!   present, formats when the store is virgin; a *damaged*
+//!   superblock is still an error, never a silent reformat.
+//!
+//! Durability is sync-granular: [`Ffs::sync`] writes the in-memory
+//! inode/block bitmaps to their durable regions, marks the superblock
+//! clean, and flushes the backend (journaled backends apply their
+//! WAL). A mount of a clean volume trusts the durable bitmaps; the
+//! first mutation after a sync flips the superblock dirty, so a mount
+//! after an unclean shutdown runs an fsck-style recovery sweep
+//! instead: the inode table is authoritative, bitmaps are rebuilt
+//! from it, directory entries pointing at lost inodes are dropped,
+//! orphaned inodes/blocks are freed, and link counts are repaired —
+//! landing on the last consistent state. On the `FileJournal` backend
+//! every write is also journaled *before* [`Ffs::sync`], so an
+//! acknowledged write survives a crash unless the journal record
+//! itself was torn; the crash-injection tests truncate the journal at
+//! every byte offset to pin that behavior down.
+//!
+//! The on-disk superblock layout (block 0) is documented in the
+//! crate-private `sb` module: magic `FFSDISC1`, version, geometry
+//! (`total_blocks`, `inode_count`, bitmap/inode-table/data offsets),
+//! the sync tick, the clean flag, and a SHA-256 checksum over the
+//! header.
 //!
 //! # Example
 //!
@@ -56,12 +99,14 @@ mod check;
 pub mod disk;
 mod fs;
 mod inode;
+mod sb;
 #[cfg(test)]
 mod tests;
 
 pub use disk::{BlockStore, DiskModel, MemDisk, StoreBackend, StoreStats, BLOCK_SIZE};
 pub use fs::{Attr, DirEntry, Ffs, FsConfig, FsStats, Ino, SetAttr};
 pub use inode::FileKind;
+pub use sb::MountError;
 
 /// Errors returned by filesystem operations (errno-flavored).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -25,6 +25,12 @@ const RECORD_MAGIC: [u8; 4] = *b"WALR";
 /// Magic + block index + SHA-256 of the payload.
 const RECORD_HEADER: usize = 4 + 8 + 32;
 
+/// Total on-disk size of one journal record (header + one block).
+///
+/// Public so crash-injection tests can truncate `journal.wal` at (and
+/// inside) exact record boundaries.
+pub const JOURNAL_RECORD_LEN: usize = RECORD_HEADER + BLOCK_SIZE;
+
 struct FileState {
     data: File,
     journal: File,
@@ -58,6 +64,11 @@ impl FileStore {
             .create(true)
             .truncate(false)
             .open(dir.join("blocks.dat"))?;
+        // Never shrink an existing data file: reopening a volume with a
+        // smaller block count must not silently destroy its tail. The
+        // store simply grows to cover whatever is already on disk.
+        let existing_blocks = data.metadata()?.len().div_ceil(BLOCK_SIZE as u64);
+        let block_count = block_count.max(existing_blocks);
         data.set_len(block_count * BLOCK_SIZE as u64)?;
         let mut journal = OpenOptions::new()
             .read(true)

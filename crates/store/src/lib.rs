@@ -16,7 +16,9 @@
 //! * [`DedupStore`] — a content-addressed deduplicating store: blocks
 //!   are keyed by their SHA-256, identical blocks share one stored
 //!   chunk, and the [`StoreStats::dedup_hit_ratio`] stat reports how
-//!   much of the write stream was absorbed.
+//!   much of the write stream was absorbed. [`DedupStore::open`]
+//!   attaches a snapshot file so the chunk table (and its stats)
+//!   survives a restart.
 //! * [`EncryptedStore`] — an encrypted-at-rest wrapper over any other
 //!   backend, using the same ChaCha20 + HMAC-SHA256 key-derivation
 //!   construction as the CFS cipher.
@@ -53,7 +55,7 @@ pub use dedup::DedupStore;
 pub use encrypted::EncryptedStore;
 #[doc(hidden)]
 pub use file::temp_dir_for_tests;
-pub use file::FileStore;
+pub use file::{FileStore, JOURNAL_RECORD_LEN};
 pub use sim::{DiskModel, SimStore};
 
 use std::path::PathBuf;
@@ -198,20 +200,36 @@ pub enum StoreBackend {
     /// at the given directory.
     ///
     /// Block-level persistence: journaled writes survive a crash and
-    /// replay on the next open. Note that the filesystem layer only
-    /// has a *format* path today — `ffs::Ffs::format_backend` on a
-    /// previously used directory replays the journal, then formats
-    /// over the old volume. Mounting an existing volume (`Ffs::mount`)
-    /// is a ROADMAP item; until then, give each formatted volume a
-    /// fresh directory.
+    /// replay on the next open. A volume formatted here reopens with
+    /// its files intact through `ffs::Ffs::mount_on` /
+    /// `Ffs::open_or_format` (the `format_*` paths refuse to clobber
+    /// an existing volume).
     FileJournal {
         /// Directory holding `blocks.dat` and `journal.wal`.
         dir: PathBuf,
     },
-    /// Content-addressed deduplicating store.
+    /// In-memory content-addressed deduplicating store.
     Dedup,
-    /// Dedup store wrapped in encryption-at-rest with this key.
+    /// Persistent dedup store: the chunk table is snapshotted to
+    /// `dedup.snap` in the directory on every flush and restored on
+    /// reopen (see [`DedupStore::open`]).
+    DedupPersistent {
+        /// Directory holding `dedup.snap`.
+        dir: PathBuf,
+    },
+    /// In-memory dedup store wrapped in encryption-at-rest with this
+    /// key.
     DedupEncrypted {
+        /// Master key; per-purpose subkeys are derived from it.
+        key: [u8; 32],
+    },
+    /// Encrypted-at-rest journaled file store: a persistent
+    /// [`FileStore`] whose blocks are ChaCha20-encrypted before they
+    /// touch the journal or data file. The volume reopens with the
+    /// same key; a different key reads keystream noise.
+    EncryptedJournal {
+        /// Directory holding `blocks.dat` and `journal.wal`.
+        dir: PathBuf,
         /// Master key; per-purpose subkeys are derived from it.
         key: [u8; 32],
     },
@@ -239,10 +257,29 @@ impl StoreBackend {
                 Arc::new(FileStore::open(dir, block_count).expect("open file-backed block store"))
             }
             StoreBackend::Dedup => Arc::new(DedupStore::new(block_count)),
+            StoreBackend::DedupPersistent { dir } => {
+                Arc::new(DedupStore::open(dir, block_count).expect("open persistent dedup store"))
+            }
             StoreBackend::DedupEncrypted { key } => {
                 Arc::new(EncryptedStore::new(DedupStore::new(block_count), key))
             }
+            StoreBackend::EncryptedJournal { dir, key } => Arc::new(EncryptedStore::new(
+                FileStore::open(dir, block_count).expect("open file-backed block store"),
+                key,
+            )),
         }
+    }
+
+    /// Whether stores built from this backend keep their contents
+    /// across a rebuild (i.e. state lives on the filesystem, not in
+    /// the store object).
+    pub fn is_persistent(&self) -> bool {
+        matches!(
+            self,
+            StoreBackend::FileJournal { .. }
+                | StoreBackend::DedupPersistent { .. }
+                | StoreBackend::EncryptedJournal { .. }
+        )
     }
 
     /// Backend label without building it.
@@ -252,7 +289,9 @@ impl StoreBackend {
             StoreBackend::SimInstant => "sim-instant",
             StoreBackend::FileJournal { .. } => "file-journal",
             StoreBackend::Dedup => "dedup",
+            StoreBackend::DedupPersistent { .. } => "dedup-persistent",
             StoreBackend::DedupEncrypted { .. } => "dedup-encrypted",
+            StoreBackend::EncryptedJournal { .. } => "encrypted-journal",
         }
     }
 }
@@ -268,9 +307,18 @@ mod tests {
         let backends = [
             StoreBackend::SimTimed,
             StoreBackend::SimInstant,
-            StoreBackend::FileJournal { dir: dir.clone() },
+            StoreBackend::FileJournal {
+                dir: dir.join("file"),
+            },
             StoreBackend::Dedup,
+            StoreBackend::DedupPersistent {
+                dir: dir.join("dedup"),
+            },
             StoreBackend::DedupEncrypted { key: [7; 32] },
+            StoreBackend::EncryptedJournal {
+                dir: dir.join("enc"),
+                key: [8; 32],
+            },
         ];
         for spec in backends {
             let store = spec.build(&clock, 16);
