@@ -1,14 +1,58 @@
 //! Micro-benchmarks for the block-store subsystem: raw sequential and
-//! random block I/O per backend, plus dedup-store write throughput on
-//! duplicate-heavy streams — the perf baseline future storage PRs
-//! compare against.
+//! random block I/O per backend, dedup-store write throughput on
+//! duplicate-heavy streams, and the PR 3 hot-path figures — zero-alloc
+//! reads, buffer-cache re-read speedup, shard scaling under
+//! concurrency, and group-commit journal syscall reduction.
+//!
+//! The PR 3 figures double as acceptance checks: this bench *asserts*
+//! that handle-based reads do not allocate, that a cached re-read
+//! beats the uncached backend by ≥ 5× in virtual time, and that an
+//! N-write burst costs ≤ ceil(N/batch) journal syscalls.
+//!
+//! Env knobs: `BENCH_QUICK=1` shrinks iteration counts (CI smoke);
+//! `BENCH_JSON=path` writes an ops/sec summary JSON for the bench
+//! trajectory.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use netsim::SimClock;
-use store::{BlockStore, DedupStore, EncryptedStore, FileStore, SimStore, BLOCK_SIZE};
+use store::{
+    BlockStore, CachedStore, DedupStore, EncryptedStore, FileStore, ShardedStore, SimStore,
+    BLOCK_SIZE, JOURNAL_BATCH_RECORDS,
+};
+
+/// Counts heap allocations so the zero-alloc read-path claim is
+/// measured, not asserted by eye.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to the system allocator unchanged; the counter is
+// a relaxed atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const BLOCKS: u64 = 256;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
+}
 
 fn backends() -> Vec<(&'static str, Box<dyn BlockStore>)> {
     let clock = SimClock::new();
@@ -35,7 +79,29 @@ fn backends() -> Vec<(&'static str, Box<dyn BlockStore>)> {
             "dedup-encrypted",
             Box::new(EncryptedStore::new(DedupStore::new(BLOCKS), &[7; 32])),
         ),
+        (
+            "cached-file",
+            Box::new(CachedStore::new(
+                FileStore::open(&dir.join("cached"), BLOCKS).expect("temp file store"),
+                BLOCKS as usize,
+            )),
+        ),
+        (
+            "sharded-4",
+            Box::new(sharded_sim(4, BLOCKS)) as Box<dyn BlockStore>,
+        ),
     ]
+}
+
+fn sharded_sim(shards: usize, total: u64) -> ShardedStore {
+    ShardedStore::new(
+        (0..shards)
+            .map(|_| {
+                Arc::new(SimStore::untimed(total.div_ceil(shards as u64))) as Arc<dyn BlockStore>
+            })
+            .collect(),
+        total,
+    )
 }
 
 fn unique_block(i: u64) -> Vec<u8> {
@@ -48,7 +114,7 @@ fn unique_block(i: u64) -> Vec<u8> {
 fn bench_sequential_write(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_seq_write_64blk");
     group.throughput(Throughput::Bytes(64 * BLOCK_SIZE as u64));
-    group.sample_size(20);
+    group.sample_size(if quick() { 5 } else { 20 });
     for (name, store) in backends() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
             let mut round = 0u64;
@@ -69,7 +135,7 @@ fn bench_sequential_write(c: &mut Criterion) {
 fn bench_random_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_rand_read_64blk");
     group.throughput(Throughput::Bytes(64 * BLOCK_SIZE as u64));
-    group.sample_size(20);
+    group.sample_size(if quick() { 5 } else { 20 });
     for (name, store) in backends() {
         for i in 0..BLOCKS {
             store.write_block(i, &unique_block(i));
@@ -96,7 +162,7 @@ fn bench_dedup_absorption(c: &mut Criterion) {
     // blocks. The dedup store should absorb ~97% of it.
     let mut group = c.benchmark_group("store_dedup_hot_write_256blk");
     group.throughput(Throughput::Bytes(BLOCKS * BLOCK_SIZE as u64));
-    group.sample_size(20);
+    group.sample_size(if quick() { 5 } else { 20 });
     for (name, store) in backends() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
             b.iter(|| {
@@ -118,10 +184,272 @@ fn bench_dedup_absorption(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// PR 3 figures: measured with plain `Instant` loops (asserted, and
+// summarized to BENCH_JSON for the bench trajectory).
+// ---------------------------------------------------------------------------
+
+/// Ops/sec of a closure repeated `iters` times.
+fn ops_per_sec(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Zero-copy figure: reads on handle-serving backends must not
+/// allocate. Before PR 3 every `read_block` built a fresh 8 KB `Vec`;
+/// now it clones a refcount.
+fn figure_zero_alloc_reads(_c: &mut Criterion) {
+    println!("\n== PR 3 figure: allocations per 1k hot-path reads (was: 1000) ==");
+    let reads = 1000u64;
+    let cases: Vec<(&str, Box<dyn BlockStore>)> = vec![
+        ("sim-instant", Box::new(SimStore::untimed(BLOCKS))),
+        ("dedup", Box::new(DedupStore::new(BLOCKS))),
+        (
+            "cached(sim) hits",
+            Box::new(CachedStore::new(SimStore::untimed(BLOCKS), BLOCKS as usize)),
+        ),
+        ("sharded-4(sim)", Box::new(sharded_sim(4, BLOCKS))),
+    ];
+    for (name, store) in cases {
+        for i in 0..BLOCKS {
+            store.write_block(i, &unique_block(i % 16));
+        }
+        // Touch once so caches are warm, then count.
+        for i in 0..BLOCKS {
+            std::hint::black_box(store.read_block(i));
+        }
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let mut x = 1u64;
+        for _ in 0..reads {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(store.read_block(x % BLOCKS));
+        }
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        println!("  {name:<18} {allocs:>4} allocs / {reads} reads");
+        assert_eq!(allocs, 0, "{name}: hot read path must not allocate");
+    }
+}
+
+/// Buffer-cache figure: re-reading a working set through `CachedStore`
+/// vs. hitting the timing-model backend every time. Virtual time is
+/// the deterministic axis (the cache absorbs the disk model's seek and
+/// transfer charges entirely); wall-clock ops/sec are reported too.
+fn figure_cached_reread(_c: &mut Criterion) {
+    println!("\n== PR 3 figure: cached re-read vs uncached backend reads ==");
+    let passes = if quick() { 4u64 } else { 16 };
+
+    // Virtual time, uncached: every read pays the disk model.
+    let clock = SimClock::new();
+    let uncached = SimStore::new(&clock, store::DiskModel::quantum_fireball_ct10(), BLOCKS);
+    for i in 0..BLOCKS {
+        uncached.write_block_meta(i, &unique_block(i));
+    }
+    clock.reset();
+    for _ in 0..passes {
+        for i in 0..BLOCKS {
+            std::hint::black_box(uncached.read_block(i));
+        }
+    }
+    let uncached_virtual = clock.now();
+
+    // Virtual time, cached: the first pass misses, the rest are free.
+    let clock = SimClock::new();
+    let cached = CachedStore::new(
+        SimStore::new(&clock, store::DiskModel::quantum_fireball_ct10(), BLOCKS),
+        BLOCKS as usize,
+    );
+    for i in 0..BLOCKS {
+        cached.inner().write_block_meta(i, &unique_block(i));
+    }
+    for i in 0..BLOCKS {
+        std::hint::black_box(cached.read_block(i)); // warm (miss pass)
+    }
+    clock.reset();
+    for _ in 0..passes {
+        for i in 0..BLOCKS {
+            std::hint::black_box(cached.read_block(i));
+        }
+    }
+    let cached_virtual = clock.now();
+    let speedup = if cached_virtual.is_zero() {
+        f64::INFINITY
+    } else {
+        uncached_virtual.as_secs_f64() / cached_virtual.as_secs_f64()
+    };
+    println!(
+        "  virtual time for {passes}x{BLOCKS} reads: uncached {uncached_virtual:?}, cached {cached_virtual:?} ({speedup:.1}x)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "cached re-read must be >= 5x faster than uncached backend reads, got {speedup:.2}x"
+    );
+
+    // Wall clock on a persistent backend: FileStore pread vs cache hit.
+    let dir = store::temp_dir_for_tests("bench-reread");
+    let file = FileStore::open(&dir, BLOCKS).unwrap();
+    for i in 0..BLOCKS {
+        file.write_block(i, &unique_block(i));
+    }
+    file.flush().unwrap(); // dirty map cleared: reads hit the data file
+    let iters = if quick() { 20_000 } else { 200_000 };
+    let mut x = 3u64;
+    let uncached_ops = ops_per_sec(iters, || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        std::hint::black_box(file.read_block(x % BLOCKS));
+    });
+    let cached_file = CachedStore::new(file, BLOCKS as usize);
+    for i in 0..BLOCKS {
+        std::hint::black_box(cached_file.read_block(i)); // warm
+    }
+    let cached_ops = ops_per_sec(iters, || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        std::hint::black_box(cached_file.read_block(x % BLOCKS));
+    });
+    println!(
+        "  wall clock random reads: file-journal {uncached_ops:.0} ops/s, cached {cached_ops:.0} ops/s ({:.1}x)",
+        cached_ops / uncached_ops
+    );
+    let stats = cached_file.stats();
+    println!(
+        "  cache accounting: {} hits / {} misses (hit ratio {:.3})",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_ratio()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    record_json("cached_reread_ops_per_sec", cached_ops);
+    record_json("uncached_read_ops_per_sec", uncached_ops);
+    record_json("cached_virtual_speedup", speedup);
+}
+
+/// Shard-scaling figure: T threads issuing random writes contend on
+/// one global lock at 1 shard and spread across N locks at N shards.
+fn figure_sharded_scaling(_c: &mut Criterion) {
+    println!("\n== PR 3 figure: sharded random writes, 4 threads ==");
+    let threads = 4usize;
+    let writes_per_thread = if quick() { 2_000u64 } else { 20_000 };
+    let mut baseline = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let store = Arc::new(sharded_sim(shards, BLOCKS));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let block = unique_block(t as u64);
+                    let mut x = 0x9E37u64.wrapping_add(t as u64);
+                    for _ in 0..writes_per_thread {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        store.write_block(x % BLOCKS, &block);
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * writes_per_thread;
+        let ops = total as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        if shards == 1 {
+            baseline = ops;
+        }
+        println!(
+            "  {shards} shard(s): {ops:>12.0} ops/s  ({:.2}x vs 1 shard)",
+            ops / baseline
+        );
+        if shards == 4 {
+            record_json("sharded_rand_write_ops_per_sec", ops);
+        }
+    }
+}
+
+/// Group-commit figure: an N-write burst reaches the journal in
+/// ceil(N/batch) syscalls instead of N.
+fn figure_group_commit(_c: &mut Criterion) {
+    println!("\n== PR 3 figure: journal syscalls for a 64-write burst ==");
+    let dir = store::temp_dir_for_tests("bench-group-commit");
+    let store = FileStore::open(&dir, BLOCKS).unwrap();
+    let n = 64u64;
+    for i in 0..n {
+        store.write_block(i, &unique_block(i));
+    }
+    store.flush().unwrap();
+    let stats = store.stats();
+    let ceil = n.div_ceil(JOURNAL_BATCH_RECORDS as u64);
+    println!(
+        "  {} records in {} batched appends (was: {} appends; batch = {})",
+        stats.batched_records, stats.journal_batches, n, JOURNAL_BATCH_RECORDS
+    );
+    assert!(
+        stats.journal_batches <= ceil,
+        "group commit must cut {n} journal syscalls to <= {ceil}, got {}",
+        stats.journal_batches
+    );
+    record_json(
+        "journal_batches_for_64_writes",
+        stats.journal_batches as f64,
+    );
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sequential-read throughput headline number for the JSON summary.
+fn figure_seq_read(_c: &mut Criterion) {
+    let store = SimStore::untimed(BLOCKS);
+    for i in 0..BLOCKS {
+        store.write_block(i, &unique_block(i));
+    }
+    let iters = if quick() { 50_000u64 } else { 500_000 };
+    let mut i = 0u64;
+    let ops = ops_per_sec(iters, || {
+        std::hint::black_box(store.read_block(i % BLOCKS));
+        i += 1;
+    });
+    println!("\nseq read (sim-instant): {ops:.0} ops/s");
+    record_json("seq_read_ops_per_sec", ops);
+    write_json_summary();
+}
+
+// -- BENCH_JSON summary ------------------------------------------------------
+
+fn json_entries() -> &'static std::sync::Mutex<Vec<(String, f64)>> {
+    static ENTRIES: std::sync::OnceLock<std::sync::Mutex<Vec<(String, f64)>>> =
+        std::sync::OnceLock::new();
+    ENTRIES.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+fn record_json(key: &str, value: f64) {
+    json_entries()
+        .lock()
+        .unwrap()
+        .push((key.to_string(), value));
+}
+
+/// Writes the ops/sec summary to `$BENCH_JSON` (skipped when unset).
+fn write_json_summary() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let entries = json_entries().lock().unwrap();
+    let fields: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.1}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", fields.join(",\n"));
+    std::fs::write(&path, json).expect("write BENCH_JSON summary");
+    println!("bench summary written to {path}");
+}
+
 criterion_group!(
     micro_store,
     bench_sequential_write,
     bench_random_read,
-    bench_dedup_absorption
+    bench_dedup_absorption,
+    figure_zero_alloc_reads,
+    figure_cached_reread,
+    figure_sharded_scaling,
+    figure_group_commit,
+    figure_seq_read
 );
 criterion_main!(micro_store);

@@ -717,9 +717,24 @@ mod tests {
         let dir = store::temp_dir_for_tests("bench-world");
         let backends = [
             StoreBackend::SimInstant,
-            StoreBackend::FileJournal { dir: dir.clone() },
+            StoreBackend::FileJournal {
+                dir: dir.join("plain"),
+            },
             StoreBackend::Dedup,
             StoreBackend::DedupEncrypted { key: [0xEE; 32] },
+            StoreBackend::Cached {
+                capacity: 128,
+                inner: Box::new(StoreBackend::SimInstant),
+            },
+            StoreBackend::Sharded {
+                shards: 4,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: dir.join("sharded"),
+                }),
+            },
+            StoreBackend::Timed {
+                inner: Box::new(StoreBackend::Dedup),
+            },
         ];
         for backend in &backends {
             let mut world = build_world_on(SystemKind::CfsNe, FsConfig::small(), 128, backend);
@@ -747,6 +762,15 @@ mod tests {
             StoreBackend::EncryptedJournal {
                 dir: base.join("enc"),
                 key: [0x42; 32],
+            },
+            StoreBackend::Cached {
+                capacity: 64,
+                inner: Box::new(StoreBackend::Sharded {
+                    shards: 3,
+                    inner: Box::new(StoreBackend::FileJournal {
+                        dir: base.join("cached-sharded"),
+                    }),
+                }),
             },
         ];
         for backend in &backends {

@@ -40,7 +40,20 @@
 //!   deduplication (optionally snapshot-persistent), exposing a dedup
 //!   hit-ratio through [`Testbed::store_stats`];
 //! * `DedupEncrypted` / `EncryptedJournal` — ChaCha20
-//!   encryption-at-rest over the dedup or journaled-file store.
+//!   encryption-at-rest over the dedup or journaled-file store;
+//! * `Cached { capacity, inner }` — a sharded write-back LRU buffer
+//!   cache over any of the above: a served-from-cache read is a
+//!   refcounted handle clone, so a hot working set stops paying the
+//!   backend's locking, hashing, or timing costs entirely (cache
+//!   hit/miss counters surface through [`Testbed::store_stats`]);
+//! * `Sharded { shards, inner }` — the volume striped `i % N` across
+//!   N inner stores with per-shard locks and a parallel flush;
+//! * `Timed { inner }` — the paper's disk timing model charged on any
+//!   backend, so virtual-time figures can compare persistent backends.
+//!
+//! Wrappers nest: a production-shaped server volume is
+//! `Cached { inner: Sharded { inner: FileJournal } }`, and the whole
+//! credential stack (and [`Testbed::reboot`]) runs over it unchanged.
 //!
 //! ## Persistent volumes
 //!

@@ -9,7 +9,10 @@
 //! New code should select a backend through [`store::StoreBackend`]
 //! and [`crate::Ffs::format_backend`].
 
-pub use store::{BlockStore, DiskModel, StoreBackend, StoreStats, BLOCK_SIZE};
+pub use store::{
+    zero_block, BlockStore, Bytes, CachedStore, DiskModel, ShardedStore, StoreBackend, StoreStats,
+    TimedStore, BLOCK_SIZE,
+};
 
 /// The seed's name for the simulated timing-model disk.
 pub type MemDisk = store::SimStore;

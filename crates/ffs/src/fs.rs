@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::disk::{BlockStore, MemDisk, StoreBackend, BLOCK_SIZE};
+use crate::disk::{zero_block, BlockStore, MemDisk, StoreBackend, BLOCK_SIZE};
 use crate::inode::{FileKind, Inode, INODES_PER_BLOCK, INODE_SIZE, NDIRECT, PTRS_PER_BLOCK};
 use crate::sb::{MountError, Superblock};
 use crate::FsError;
@@ -287,7 +287,7 @@ impl Ffs {
         // over a half-zeroed volume — the image reads as virgin
         // instead.
         if disk.block_count() > 0 && !Ffs::is_virgin(&*disk) {
-            disk.write_block_meta(0, &vec![0u8; BLOCK_SIZE]);
+            disk.write_block_meta(0, &zero_block());
         }
         let layout = Layout::new(&config);
         assert!(
@@ -322,8 +322,8 @@ impl Ffs {
             inner: Mutex::new(inner),
         };
 
-        // Zero the inode table.
-        let zero = vec![0u8; BLOCK_SIZE];
+        // Zero the inode table (one shared zero block, no allocation).
+        let zero = zero_block();
         for b in fs.layout.itable_start..fs.layout.data_start {
             fs.disk.write_block_meta(b, &zero);
         }
@@ -508,8 +508,21 @@ impl Ffs {
     }
 
     /// Syncs the volume: writes the in-memory bitmaps to their durable
-    /// on-disk regions, marks the superblock clean, and flushes the
-    /// backing store (journaled backends apply their WAL).
+    /// on-disk regions, flushes the backing store, marks the
+    /// superblock clean, and flushes again.
+    ///
+    /// The flush *before* the clean marker is load-bearing for
+    /// write-back compositions (`store::CachedStore`): it forces every
+    /// buffered mutation down into the backend's journal first, so the
+    /// clean marker can never precede a mutation it claims to cover —
+    /// a crash between the two flushes replays to a volume that is
+    /// either still marked dirty (recovery sweep runs) or clean with
+    /// *all* mutations applied. Cost: the first flush does the bulk
+    /// apply (that work existed before), and the second pays one extra
+    /// small fsync + journal truncate for just the clean-marker record
+    /// — the price of ordering correctness under a write-back cache,
+    /// paid on every backend because `Ffs` cannot see through the
+    /// composition to know whether one is present.
     ///
     /// After a successful sync, [`Ffs::mount_on`] takes the fast path:
     /// it trusts the durable bitmaps instead of sweeping the inode
@@ -522,6 +535,7 @@ impl Ffs {
         let mut inner = self.inner.lock();
         if inner.dirty {
             self.write_bitmaps(&inner);
+            self.disk.flush()?;
             self.write_superblock(inner.tick, true);
             inner.dirty = false;
         }
@@ -947,7 +961,8 @@ impl Ffs {
     pub(crate) fn write_inode(&self, ino: Ino, inode: &Inode) {
         let block = self.layout.itable_start + (ino as u64) / INODES_PER_BLOCK as u64;
         let offset = (ino as usize % INODES_PER_BLOCK) * INODE_SIZE;
-        let mut data = self.disk.read_block_meta(block);
+        let mut data = vec![0u8; BLOCK_SIZE];
+        self.disk.read_block_meta_into(block, &mut data);
         data[offset..offset + INODE_SIZE].copy_from_slice(&inode.to_bytes());
         self.disk.write_block_meta(block, &data);
     }
@@ -1003,8 +1018,9 @@ impl Ffs {
                 inner.block_bitmap[idx as usize] = true;
                 inner.free_blocks -= 1;
                 inner.alloc_hint = idx + 1;
-                // Zero the block so stale data never leaks into reads.
-                self.disk.write_block_meta(idx, &vec![0u8; BLOCK_SIZE]);
+                // Zero the block so stale data never leaks into reads
+                // (the shared zero block: no allocation per alloc).
+                self.disk.write_block_meta(idx, &zero_block());
                 return Ok(idx);
             }
             idx += 1;
@@ -1032,7 +1048,8 @@ impl Ffs {
     }
 
     fn write_ptr(&self, block: u64, index: usize, value: u32) {
-        let mut data = self.disk.read_block_meta(block);
+        let mut data = vec![0u8; BLOCK_SIZE];
+        self.disk.read_block_meta_into(block, &mut data);
         data[index * 4..index * 4 + 4].copy_from_slice(&value.to_be_bytes());
         self.disk.write_block_meta(block, &data);
     }
@@ -1228,7 +1245,10 @@ impl Ffs {
             if take == BLOCK_SIZE {
                 self.disk.write_block(block, &data[src..src + take]);
             } else {
-                let mut buf = self.disk.read_block(block);
+                // Partial block: read-modify-write through the
+                // caller-owned buffer, skipping the shared handle.
+                let mut buf = vec![0u8; BLOCK_SIZE];
+                self.disk.read_block_into(block, &mut buf);
                 buf[in_block..in_block + take].copy_from_slice(&data[src..src + take]);
                 self.disk.write_block(block, &buf);
             }
@@ -1782,7 +1802,8 @@ impl Ffs {
                     if let Some(block) =
                         self.bmap(&mut inner, &mut inode, size / BLOCK_SIZE as u64, false)?
                     {
-                        let mut buf = self.disk.read_block(block);
+                        let mut buf = vec![0u8; BLOCK_SIZE];
+                        self.disk.read_block_into(block, &mut buf);
                         for b in buf[in_block..].iter_mut() {
                             *b = 0;
                         }

@@ -34,8 +34,25 @@
 //!   ratio through [`BlockStore::stats`]), `DedupEncrypted` (dedup
 //!   wrapped in ChaCha20 encryption-at-rest), or `EncryptedJournal`
 //!   (encrypted persistent journaled storage).
+//! * Composable wrappers nest around any of the above:
+//!   `StoreBackend::Cached` (a sharded write-back LRU buffer cache —
+//!   hot reads become refcounted handle clones and never touch the
+//!   backend), `StoreBackend::Sharded` (one volume striped `i % N`
+//!   across N inner stores with per-shard locks and parallel flush),
+//!   and `StoreBackend::Timed` (the paper's disk timing model charged
+//!   on any backend, so virtual-time figures can compare persistent
+//!   backends too).
 //! * [`Ffs::format_on`] — any hand-built `Arc<dyn BlockStore>`,
 //!   including custom wrappers like `store::EncryptedStore`.
+//!
+//! **Hot-path note:** `BlockStore::read_block` returns a shared
+//! `Bytes` handle, and the filesystem's read path consumes it without
+//! copying per block at the store layer — on in-memory, dedup, and
+//! cache-hit paths a block read performs **zero heap allocations**
+//! (`crates/bench/benches/micro_store.rs` pins this with a counting
+//! allocator). Writes on `FileJournal` are group-committed: journal
+//! records reach disk in one syscall per [`store::JOURNAL_BATCH_RECORDS`]
+//! batch with the on-disk record format unchanged.
 //!
 //! # Persistence lifecycle
 //!
@@ -59,9 +76,13 @@
 //!   superblock is still an error, never a silent reformat.
 //!
 //! Durability is sync-granular: [`Ffs::sync`] writes the in-memory
-//! inode/block bitmaps to their durable regions, marks the superblock
-//! clean, and flushes the backend (journaled backends apply their
-//! WAL). A mount of a clean volume trusts the durable bitmaps; the
+//! inode/block bitmaps to their durable regions, flushes the backend
+//! (journaled backends apply their WAL; write-back caches write their
+//! dirty blocks down first), marks the superblock clean, and flushes
+//! once more — the flush *before* the clean marker guarantees the
+//! marker can never reach the journal ahead of a mutation it claims
+//! to cover, even through a `StoreBackend::Cached` composition. A
+//! mount of a clean volume trusts the durable bitmaps; the
 //! first mutation after a sync flips the superblock dirty, so a mount
 //! after an unclean shutdown runs an fsck-style recovery sweep
 //! instead: the inode table is authoritative, bitmaps are rebuilt

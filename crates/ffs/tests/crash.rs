@@ -219,6 +219,136 @@ fn crash_during_force_reformat_cannot_resurrect_the_old_volume() {
 }
 
 #[test]
+fn cached_volume_crash_rolls_back_to_the_synced_state() {
+    // A write-back cache between the filesystem and the journal: the
+    // post-sync burst lives only in cache memory (capacity exceeds the
+    // volume, so nothing is evicted), EXCEPT the superblock dirty
+    // marker, which CachedStore writes through. Dropping without sync
+    // loses the cache — the mount must notice the dirty marker, run
+    // the recovery sweep, and land exactly on the synced state.
+    let dir = store::temp_dir_for_tests("crash-cached");
+    let backend = StoreBackend::Cached {
+        capacity: 4 * config().total_blocks as usize,
+        inner: Box::new(StoreBackend::FileJournal { dir: dir.clone() }),
+    };
+    let clock = SimClock::new();
+    let stable = payload(7, 2 * ffs::BLOCK_SIZE + 100);
+    {
+        let fs = Ffs::open_or_format_backend(&backend, &clock, config()).unwrap();
+        let a = fs.create(fs.root(), "stable.dat", 0o644, 0, 0).unwrap();
+        fs.write(a, 0, &stable).unwrap();
+        fs.sync().unwrap();
+        // Post-sync, never flushed: lost with the cache.
+        let b = fs.create(fs.root(), "volatile.dat", 0o644, 0, 0).unwrap();
+        fs.write(b, 0, &payload(8, 5000)).unwrap();
+        // Dropped without sync: the "crash".
+    }
+    let fs = Ffs::open_or_format_backend(&backend, &clock, config()).unwrap();
+    fs.check()
+        .unwrap_or_else(|p| panic!("fsck after cached crash: {p:?}"));
+    assert_eq!(
+        fs.read(fs.resolve_path("stable.dat").unwrap(), 0, stable.len() + 1)
+            .unwrap(),
+        stable,
+        "synced content survives losing the cache"
+    );
+    assert!(
+        fs.resolve_path("volatile.dat").is_err(),
+        "unflushed cached writes are gone, not torn"
+    );
+    let ino = fs.create(fs.root(), "after.dat", 0o644, 0, 0).unwrap();
+    fs.write(ino, 0, b"writable").unwrap();
+    fs.check().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cached_volume_with_evictions_recovers_consistently() {
+    // A cache far smaller than the working set: evicted dirty blocks
+    // reach the journal in LRU order, an arbitrary subset of the
+    // post-sync burst. The crash image is messier than a journal
+    // prefix, but the written-through dirty marker guarantees the
+    // recovery sweep runs — mount must produce a consistent, writable
+    // volume with the synced baseline intact (nothing post-sync freed
+    // a synced block, so eviction order cannot touch it).
+    let dir = store::temp_dir_for_tests("crash-cached-evict");
+    let backend = StoreBackend::Cached {
+        capacity: 8,
+        inner: Box::new(StoreBackend::FileJournal { dir: dir.clone() }),
+    };
+    let clock = SimClock::new();
+    let stable = payload(11, 3 * ffs::BLOCK_SIZE);
+    {
+        let fs = Ffs::open_or_format_backend(&backend, &clock, config()).unwrap();
+        let a = fs.create(fs.root(), "stable.dat", 0o644, 0, 0).unwrap();
+        fs.write(a, 0, &stable).unwrap();
+        fs.sync().unwrap();
+        for i in 0..6u8 {
+            let f = fs
+                .create(fs.root(), &format!("burst-{i}.dat"), 0o644, 0, 0)
+                .unwrap();
+            fs.write(f, 0, &payload(20 + i, 4 * ffs::BLOCK_SIZE))
+                .unwrap();
+        }
+        // Dropped without sync.
+    }
+    let fs = Ffs::open_or_format_backend(&backend, &clock, config()).unwrap();
+    fs.check()
+        .unwrap_or_else(|p| panic!("fsck after eviction crash: {p:?}"));
+    assert_eq!(
+        fs.read(fs.resolve_path("stable.dat").unwrap(), 0, stable.len() + 1)
+            .unwrap(),
+        stable,
+        "synced content survives an eviction-heavy crash"
+    );
+    let ino = fs.create(fs.root(), "after.dat", 0o644, 0, 0).unwrap();
+    fs.write(ino, 0, b"writable").unwrap();
+    fs.check().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_volume_crash_replays_every_shard_journal() {
+    // Four journaled shards, no cache: every write reaches its shard's
+    // WAL before being acknowledged, and a process crash leaves all
+    // four journals intact on disk. The remount must replay each one
+    // and recover synced AND unsynced data, exactly like the
+    // single-store crash cycles.
+    let dir = store::temp_dir_for_tests("crash-sharded");
+    let backend = StoreBackend::Sharded {
+        shards: 4,
+        inner: Box::new(StoreBackend::FileJournal { dir: dir.clone() }),
+    };
+    let clock = SimClock::new();
+    for life in 0..4u32 {
+        let fs = Ffs::open_or_format_backend(&backend, &clock, config()).unwrap();
+        for prev in 0..life {
+            let ino = fs
+                .resolve_path(&format!("life-{prev}.dat"))
+                .unwrap_or_else(|e| panic!("life {life}: file from life {prev} lost: {e}"));
+            assert_eq!(
+                fs.read(ino, 0, 3 * ffs::BLOCK_SIZE).unwrap(),
+                payload(prev as u8, 2 * ffs::BLOCK_SIZE + 9),
+                "life {life}: content from life {prev} damaged"
+            );
+        }
+        let ino = fs
+            .create(fs.root(), &format!("life-{life}.dat"), 0o644, 0, 0)
+            .unwrap();
+        fs.write(ino, 0, &payload(life as u8, 2 * ffs::BLOCK_SIZE + 9))
+            .unwrap();
+        fs.check().unwrap();
+        // Crash: no sync. All four shard journals survive the drop.
+    }
+    // The volume really is striped: every shard directory holds data.
+    for shard in 0..4 {
+        let blocks = dir.join(format!("shard-{shard}")).join("blocks.dat");
+        assert!(blocks.exists(), "shard {shard} has a data file");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn truncated_to_zero_journal_restores_the_synced_state_exactly() {
     let base = store::temp_dir_for_tests("crash-zero");
     let master = base.join("master");

@@ -56,6 +56,29 @@ fn matrix(tag: &str) -> (Vec<MatrixEntry>, std::path::PathBuf) {
             dir: base.join("enc"),
             key: [0x17; 32],
         },
+        // Wrapper compositions: the cache is deliberately smaller than
+        // the volume so evictions and write-backs fire mid-life.
+        StoreBackend::Cached {
+            capacity: 32,
+            inner: Box::new(StoreBackend::FileJournal {
+                dir: base.join("cached"),
+            }),
+        },
+        StoreBackend::Sharded {
+            shards: 4,
+            inner: Box::new(StoreBackend::FileJournal {
+                dir: base.join("sharded"),
+            }),
+        },
+        StoreBackend::Cached {
+            capacity: 32,
+            inner: Box::new(StoreBackend::Sharded {
+                shards: 3,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: base.join("cached-sharded"),
+                }),
+            }),
+        },
     ] {
         out.push((
             format!("{}-reopen", backend.label()),
@@ -205,7 +228,7 @@ fn mount_refuses_garbage() {
 fn mount_refuses_corrupted_superblock() {
     let store: Arc<dyn BlockStore> = Arc::new(MemDisk::untimed(config().total_blocks));
     drop(Ffs::format_on(store.clone(), config()));
-    let mut sb = store.read_block_meta(0);
+    let mut sb = store.read_block_meta(0).to_vec();
     sb[13] ^= 0x80; // corrupt geometry under the checksum
     store.write_block_meta(0, &sb);
     assert_eq!(
@@ -501,7 +524,7 @@ fn recovery_rewrites_a_directory_whose_block_was_stolen() {
     };
     assert_ne!(dir_direct0, 0, "directory has a data block to steal");
     let (fblk, foff) = rec(file_ino);
-    let mut b = store.read_block_meta(fblk);
+    let mut b = store.read_block_meta(fblk).to_vec();
     b[foff + 52..foff + 56].copy_from_slice(&dir_direct0.to_be_bytes());
     store.write_block_meta(fblk, &b);
 
@@ -535,7 +558,7 @@ fn recovery_survives_wild_pointers_in_the_inode_table() {
     // field offset 52) to a block far outside the volume.
     let sb = store.read_block_meta(0);
     let itable_start = u64::from_be_bytes(sb[40..48].try_into().unwrap());
-    let mut block = store.read_block_meta(itable_start);
+    let mut block = store.read_block_meta(itable_start).to_vec();
     block[256 + 52..256 + 56].copy_from_slice(&u32::MAX.to_be_bytes());
     store.write_block_meta(itable_start, &block);
 

@@ -1,0 +1,403 @@
+//! A write-back buffer cache over any [`BlockStore`].
+//!
+//! The classic hot-path fix: once a block is in the cache, a read is a
+//! shard-local lock plus a refcounted handle clone — no allocation, no
+//! inner-backend lock, no timing charge, no hashing. Writes are held
+//! dirty and written back on [`BlockStore::flush`] or eviction, so a
+//! burst of rewrites to the same block reaches the backend once.
+//!
+//! # Crash consistency (the clean-flag discipline)
+//!
+//! The filesystem's recovery protocol (PR 2) relies on two WAL
+//! ordering invariants: the superblock's *dirty* marker precedes any
+//! mutation in the journal, and its *clean* marker follows every
+//! mutation it covers. A coalescing write-back cache would break both
+//! if it buffered block 0 — the dirty and clean markers are successive
+//! writes to the *same* block and would collapse into one. So:
+//!
+//! * **Block 0 is written through**: the dirty marker reaches the
+//!   inner store (and its journal) immediately, before any buffered
+//!   mutation can be written back. Reads of block 0 are still cached.
+//! * `Ffs::sync` flushes the store *before* writing the clean marker
+//!   (and flushes again after), so the clean marker can never overtake
+//!   a buffered mutation on its way into the journal.
+//!
+//! Between syncs the cache trades durability for speed exactly like a
+//! kernel page cache: dropping the store without a flush loses the
+//! dirty blocks, and the volume mounts through the recovery sweep
+//! (the written-through dirty marker guarantees the sweep runs — a
+//! crashed cached volume never fast-paths on stale bitmaps).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::{BlockStore, StoreStats, BLOCK_SIZE};
+
+/// Lock shards: adjacent blocks land on different shards so a
+/// sequential scan does not serialize on one mutex.
+const CACHE_SHARDS: usize = 8;
+
+struct Entry {
+    data: Bytes,
+    dirty: bool,
+    /// Whether the dirtying write came through the meta path — the
+    /// write-back must use the same path so timing-model inners keep
+    /// charging metadata traffic as free.
+    meta: bool,
+    /// LRU stamp from the store-wide counter.
+    seq: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    /// Second-chance (clock) queue: exactly one `(idx, seq-at-queue)`
+    /// record per cached block, pushed when the block *enters* the
+    /// cache. A hit only bumps the entry's seq — no queue traffic, so
+    /// the hot read path stays allocation-free. Eviction pops the
+    /// front: a seq mismatch means the block was touched since it was
+    /// queued, so it is re-queued with its current seq (the "second
+    /// chance") instead of evicted. Amortized O(1) per eviction.
+    clock: VecDeque<(u64, u64)>,
+}
+
+impl Shard {
+    /// Queues a block that just entered the cache. Rewrites of an
+    /// already-cached block keep their existing queue record (its seq
+    /// mismatch acts as the touched bit).
+    fn note_insert(&mut self, idx: u64, seq: u64, was_present: bool) {
+        if !was_present {
+            self.clock.push_back((idx, seq));
+        }
+    }
+
+    /// Removes and returns the least-recently-used entry, giving
+    /// touched-since-queued entries a second chance. Terminates: the
+    /// caller holds the shard lock, so each entry is re-queued at most
+    /// once per call before its seq matches.
+    fn pop_lru(&mut self) -> Option<(u64, Entry)> {
+        while let Some((idx, seq)) = self.clock.pop_front() {
+            match self.map.get(&idx) {
+                // Defensive: no current path removes a map entry
+                // without popping its queue record.
+                None => continue,
+                Some(entry) if entry.seq != seq => {
+                    let current = entry.seq;
+                    self.clock.push_back((idx, current));
+                }
+                Some(_) => {
+                    let entry = self.map.remove(&idx).expect("checked above");
+                    return Some((idx, entry));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A sharded write-back LRU block cache wrapping an inner store.
+pub struct CachedStore<S> {
+    inner: S,
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<S: BlockStore> CachedStore<S> {
+    /// Wraps `inner` with a cache of roughly `capacity` blocks
+    /// (rounded up to a multiple of the shard count, minimum one block
+    /// per shard).
+    pub fn new(inner: S, capacity: usize) -> CachedStore<S> {
+        CachedStore {
+            inner,
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Blocks currently cached (across all shards).
+    pub fn cached_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Blocks currently held dirty (not yet written back).
+    pub fn dirty_blocks(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map.values().filter(|e| e.dirty).count())
+            .sum()
+    }
+
+    fn stamp(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard(&self, idx: u64) -> &Mutex<Shard> {
+        &self.shards[(idx % CACHE_SHARDS as u64) as usize]
+    }
+
+    /// Evicts least-recently-used entries until the shard fits,
+    /// writing dirty victims back to the inner store (under the shard
+    /// lock, so no concurrent miss can read the pre-write-back state).
+    fn evict_overflow(&self, shard: &mut Shard) {
+        while shard.map.len() > self.per_shard_capacity {
+            let Some((victim, entry)) = shard.pop_lru() else {
+                break;
+            };
+            if entry.dirty {
+                if entry.meta {
+                    self.inner.write_block_meta(victim, &entry.data);
+                } else {
+                    self.inner.write_block(victim, &entry.data);
+                }
+            }
+        }
+    }
+
+    fn read_cached(&self, idx: u64, meta: bool) -> Bytes {
+        assert!(idx < self.inner.block_count(), "block {idx} out of range");
+        let mut shard = self.shard(idx).lock();
+        let stamp = self.stamp();
+        if let Some(entry) = shard.map.get_mut(&idx) {
+            entry.seq = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.data.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = if meta {
+            self.inner.read_block_meta(idx)
+        } else {
+            self.inner.read_block(idx)
+        };
+        let was_present = shard
+            .map
+            .insert(
+                idx,
+                Entry {
+                    data: data.clone(),
+                    dirty: false,
+                    meta,
+                    seq: stamp,
+                },
+            )
+            .is_some();
+        shard.note_insert(idx, stamp, was_present);
+        self.evict_overflow(&mut shard);
+        data
+    }
+
+    fn write_cached(&self, idx: u64, data: &[u8], meta: bool) {
+        assert!(idx < self.inner.block_count(), "block {idx} out of range");
+        assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+        let handle = Bytes::copy_from_slice(data);
+        let mut shard = self.shard(idx).lock();
+        let stamp = self.stamp();
+        // Block 0 (the superblock) is written through so the clean-flag
+        // discipline survives: see the module docs.
+        let write_through = idx == 0;
+        if write_through {
+            if meta {
+                self.inner.write_block_meta(idx, data);
+            } else {
+                self.inner.write_block(idx, data);
+            }
+        }
+        let was_present = shard
+            .map
+            .insert(
+                idx,
+                Entry {
+                    data: handle,
+                    dirty: !write_through,
+                    meta,
+                    seq: stamp,
+                },
+            )
+            .is_some();
+        shard.note_insert(idx, stamp, was_present);
+        self.evict_overflow(&mut shard);
+    }
+}
+
+impl<S: BlockStore> BlockStore for CachedStore<S> {
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+
+    fn read_block(&self, idx: u64) -> Bytes {
+        self.read_cached(idx, false)
+    }
+
+    fn read_block_into(&self, idx: u64, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.read_cached(idx, false));
+    }
+
+    fn write_block(&self, idx: u64, data: &[u8]) {
+        self.write_cached(idx, data, false)
+    }
+
+    fn read_block_meta(&self, idx: u64) -> Bytes {
+        self.read_cached(idx, true)
+    }
+
+    fn read_block_meta_into(&self, idx: u64, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.read_cached(idx, true));
+    }
+
+    fn write_block_meta(&self, idx: u64, data: &[u8]) {
+        self.write_cached(idx, data, true)
+    }
+
+    /// Writes every dirty block back to the inner store (per shard, in
+    /// block order), then forwards the flush so journaled inners apply
+    /// their WAL. The write-backs happen *under each shard's lock*: an
+    /// entry is only marked clean once its data has reached the inner
+    /// store, so a concurrent eviction-then-miss on the same shard can
+    /// never resurrect the backend's pre-flush content. Ordering note:
+    /// block 0 is never dirty here (write-through), so the
+    /// filesystem's clean-marker write — which `Ffs::sync` issues
+    /// *after* this flush — always lands in the inner journal after
+    /// every mutation it covers.
+    fn flush(&self) -> std::io::Result<()> {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let mut dirty: Vec<u64> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.dirty)
+                .map(|(&idx, _)| idx)
+                .collect();
+            dirty.sort_unstable();
+            for idx in dirty {
+                let entry = shard.map.get_mut(&idx).expect("dirty entry exists");
+                if entry.meta {
+                    self.inner.write_block_meta(idx, &entry.data);
+                } else {
+                    self.inner.write_block(idx, &entry.data);
+                }
+                entry.dirty = false;
+            }
+        }
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut stats = self.inner.stats();
+        stats.cache_hits += self.hits.load(Ordering::Relaxed);
+        stats.cache_misses += self.misses.load(Ordering::Relaxed);
+        stats
+    }
+
+    fn label(&self) -> &'static str {
+        "cached"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimStore;
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn reads_are_served_from_cache_after_first_touch() {
+        let store = CachedStore::new(SimStore::untimed(16), 16);
+        store.write_block(3, &block_of(7));
+        // The write cached the block dirty: reads never reach the
+        // inner store.
+        for _ in 0..10 {
+            assert_eq!(store.read_block(3), block_of(7));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.cache_hits, 10);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.reads, 0, "inner store never saw a read");
+    }
+
+    #[test]
+    fn writes_are_held_back_until_flush() {
+        let store = CachedStore::new(SimStore::untimed(16), 16);
+        store.write_block(5, &block_of(1));
+        store.write_block(5, &block_of(2));
+        store.write_block(5, &block_of(3));
+        assert_eq!(store.stats().writes, 0, "writes absorbed by the cache");
+        assert_eq!(store.dirty_blocks(), 1);
+        store.flush().unwrap();
+        assert_eq!(store.stats().writes, 1, "one write-back for three writes");
+        assert_eq!(store.dirty_blocks(), 0);
+        assert_eq!(store.inner().read_block(5), block_of(3));
+    }
+
+    #[test]
+    fn block_zero_is_written_through() {
+        let store = CachedStore::new(SimStore::untimed(16), 16);
+        store.write_block_meta(0, &block_of(0x5B));
+        assert_eq!(store.inner().read_block_meta(0), block_of(0x5B));
+        assert_eq!(store.dirty_blocks(), 0);
+        // And still cached for reads.
+        assert_eq!(store.read_block_meta(0), block_of(0x5B));
+        assert_eq!(store.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_victims_back() {
+        // Capacity 8 over 8 shards = 1 block per shard: two dirty
+        // blocks on the same shard force a write-back.
+        let store = CachedStore::new(SimStore::untimed(64), 8);
+        store.write_block(9, &block_of(9)); // shard 1
+        store.write_block(17, &block_of(17)); // shard 1: evicts 9
+        assert_eq!(
+            store.inner().read_block(9),
+            block_of(9),
+            "victim written back"
+        );
+        assert_eq!(store.read_block(17), block_of(17));
+        assert_eq!(
+            store.read_block(9),
+            block_of(9),
+            "evicted block re-readable"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics_at_the_call_site() {
+        // The BlockStore contract: out-of-range access panics
+        // immediately, not later at flush/eviction time.
+        CachedStore::new(SimStore::untimed(16), 64).write_block(40, &block_of(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics_at_the_call_site() {
+        CachedStore::new(SimStore::untimed(16), 64).read_block(16);
+    }
+
+    #[test]
+    fn flush_forwards_to_the_inner_store() {
+        let store = CachedStore::new(SimStore::untimed(8), 8);
+        store.write_block(1, &block_of(1));
+        store.flush().unwrap();
+        store.flush().unwrap();
+        // SimStore::flush is a no-op but the dirty set must be clear.
+        assert_eq!(store.dirty_blocks(), 0);
+    }
+}

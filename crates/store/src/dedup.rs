@@ -13,11 +13,12 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use bytes::Bytes;
 use discfs_crypto::sha256::Sha256;
 use discfs_crypto::Digest;
 use parking_lot::Mutex;
 
-use crate::{BlockStore, StoreStats, BLOCK_SIZE};
+use crate::{zero_block, BlockStore, StoreStats, BLOCK_SIZE};
 
 type ChunkId = [u8; 32];
 
@@ -28,7 +29,9 @@ const SNAP_MAGIC: [u8; 8] = *b"DDUPSNP1";
 const SNAP_HEADER: usize = 8 + 8 * 8;
 
 struct Chunk {
-    data: Vec<u8>,
+    /// Shared handle: a read of any block mapped to this chunk clones
+    /// the refcounted handle instead of copying 8 KB.
+    data: Bytes,
     refs: u64,
 }
 
@@ -168,8 +171,11 @@ impl DedupStore {
             }
             let id: ChunkId = bytes[pos..pos + 32].try_into().expect("32 bytes");
             let refs = u64_at(pos + 32);
-            let data = bytes[pos + 40..pos + 40 + BLOCK_SIZE].to_vec();
-            if refs == 0 || Sha256::digest(&data)[..] != id[..] {
+            // No per-chunk SHA-256 here: the whole-snapshot checksum
+            // verified above already covers every chunk byte, so
+            // re-hashing each 8 KB chunk on load only slowed reopen.
+            let data = Bytes::copy_from_slice(&bytes[pos + 40..pos + 40 + BLOCK_SIZE]);
+            if refs == 0 {
                 return Err(corrupt());
             }
             state.chunks.insert(id, Chunk { data, refs });
@@ -187,15 +193,18 @@ impl DedupStore {
         Ok(state)
     }
 
-    fn read_common(&self, idx: u64, count_stats: bool) -> Vec<u8> {
+    fn read_common(&self, idx: u64, count_stats: bool) -> Bytes {
         assert!(idx < self.block_count, "block {idx} out of range");
         let mut s = self.state.lock();
         if count_stats {
             s.reads += 1;
         }
+        // Both arms are refcount bumps: repeated reads of the same
+        // chunk never re-copy it, and holes share the process-wide
+        // zero block.
         match s.table[idx as usize] {
             Some(id) => s.chunks[&id].data.clone(),
-            None => vec![0u8; BLOCK_SIZE],
+            None => zero_block(),
         }
     }
 
@@ -246,7 +255,7 @@ impl DedupStore {
             s.chunks.insert(
                 id,
                 Chunk {
-                    data: data.to_vec(),
+                    data: Bytes::copy_from_slice(data),
                     refs: 1,
                 },
             );
@@ -306,7 +315,7 @@ impl BlockStore for DedupStore {
         self.block_count
     }
 
-    fn read_block(&self, idx: u64) -> Vec<u8> {
+    fn read_block(&self, idx: u64) -> Bytes {
         self.read_common(idx, true)
     }
 
@@ -319,7 +328,7 @@ impl BlockStore for DedupStore {
     /// out of the workload counters: a sync-heavy run rewriting the
     /// same bitmap blocks must not read as a dedup win (or loss) of
     /// the *data* stream the hit ratio describes.
-    fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+    fn read_block_meta(&self, idx: u64) -> Bytes {
         self.read_common(idx, false)
     }
 

@@ -18,6 +18,7 @@
 //!
 //! [`DedupStore`]: crate::DedupStore
 
+use bytes::Bytes;
 use discfs_crypto::chacha20::ChaCha20;
 use discfs_crypto::hmac::Hmac;
 use discfs_crypto::sha256::Sha256;
@@ -64,12 +65,22 @@ impl<S: BlockStore> EncryptedStore<S> {
     /// preserving the "fresh store reads as zeros" contract. (A real
     /// ciphertext of all zeros would require the plaintext to equal
     /// the keystream: probability 2^-65536, ignored.)
-    fn unseal(&self, idx: u64, mut data: Vec<u8>) -> Vec<u8> {
+    fn unseal(&self, idx: u64, data: Bytes) -> Bytes {
         if data.iter().all(|&b| b == 0) {
             return data;
         }
-        self.transform(idx, &mut data);
-        data
+        let mut plain = data.to_vec();
+        self.transform(idx, &mut plain);
+        Bytes::from(plain)
+    }
+
+    /// In-place variant of [`EncryptedStore::unseal`] for the
+    /// `read_block_into` path.
+    fn unseal_in_place(&self, idx: u64, buf: &mut [u8]) {
+        if buf.iter().all(|&b| b == 0) {
+            return;
+        }
+        self.transform(idx, buf);
     }
 }
 
@@ -78,9 +89,14 @@ impl<S: BlockStore> BlockStore for EncryptedStore<S> {
         self.inner.block_count()
     }
 
-    fn read_block(&self, idx: u64) -> Vec<u8> {
+    fn read_block(&self, idx: u64) -> Bytes {
         let data = self.inner.read_block(idx);
         self.unseal(idx, data)
+    }
+
+    fn read_block_into(&self, idx: u64, buf: &mut [u8]) {
+        self.inner.read_block_into(idx, buf);
+        self.unseal_in_place(idx, buf);
     }
 
     fn write_block(&self, idx: u64, data: &[u8]) {
@@ -90,9 +106,14 @@ impl<S: BlockStore> BlockStore for EncryptedStore<S> {
         self.inner.write_block(idx, &sealed);
     }
 
-    fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+    fn read_block_meta(&self, idx: u64) -> Bytes {
         let data = self.inner.read_block_meta(idx);
         self.unseal(idx, data)
+    }
+
+    fn read_block_meta_into(&self, idx: u64, buf: &mut [u8]) {
+        self.inner.read_block_meta_into(idx, buf);
+        self.unseal_in_place(idx, buf);
     }
 
     fn write_block_meta(&self, idx: u64, data: &[u8]) {

@@ -3,8 +3,11 @@
 //! The paper's DisCFS prototype kept files on one local disk. This
 //! crate turns the storage layer into an abstraction the rest of the
 //! stack programs against: a [`BlockStore`] trait for 8 KB
-//! block-addressed devices, plus four backends spanning the design
-//! space the ROADMAP's production north-star needs:
+//! block-addressed devices, four base backends, and three composable
+//! wrappers spanning the design space the ROADMAP's production
+//! north-star needs.
+//!
+//! # Base backends
 //!
 //! * [`SimStore`] — the original simulated timing-model disk
 //!   (seek/rotation/transfer charged to a shared [`netsim::SimClock`]);
@@ -12,7 +15,10 @@
 //! * [`FileStore`] — a persistent file-backed store with a write-ahead
 //!   journal: every write is appended (checksummed) to the journal
 //!   before the data file is touched, so a crash mid-update replays
-//!   cleanly on reopen.
+//!   cleanly on reopen. Journal appends are **group-committed**:
+//!   records accumulate in a memory buffer and reach the journal file
+//!   in one syscall per batch (the on-disk byte format is unchanged —
+//!   the crash matrix pins it).
 //! * [`DedupStore`] — a content-addressed deduplicating store: blocks
 //!   are keyed by their SHA-256, identical blocks share one stored
 //!   chunk, and the [`StoreStats::dedup_hit_ratio`] stat reports how
@@ -23,10 +29,37 @@
 //!   backend, using the same ChaCha20 + HMAC-SHA256 key-derivation
 //!   construction as the CFS cipher.
 //!
+//! # Wrappers
+//!
+//! * [`CachedStore`] — a sharded write-back LRU buffer cache over any
+//!   backend: repeated reads are served from memory as cheap handle
+//!   clones, writes are held dirty until `flush`/eviction, and the
+//!   superblock (block 0) is written through so the filesystem's
+//!   clean-flag discipline survives composition.
+//! * [`ShardedStore`] — stripes one volume's blocks across N inner
+//!   stores (`idx % N`), giving per-shard locking and a parallel
+//!   flush — the ROADMAP's sharded block store.
+//! * [`TimedStore`] — charges [`DiskModel`] virtual-time costs on any
+//!   backend, so virtual-time figures can compare persistent backends,
+//!   not just wall time.
+//!
+//! # Hot-path performance
+//!
+//! [`BlockStore::read_block`] returns [`Bytes`] — a cheaply-clonable
+//! reference-counted handle, not a fresh allocation. The in-memory
+//! backends keep their blocks as shared handles, so a read is a
+//! refcount bump: **zero heap allocations on the hot read path**
+//! (`micro_store` proves it with a counting allocator). Callers that
+//! need a mutable view use [`BlockStore::read_block_into`] or
+//! `Bytes::to_vec`. The shared all-zero block ([`zero_block`]) serves
+//! holes and freshly-allocated blocks without materializing zeros.
+//!
 //! Backend choice is threaded through the stack as a [`StoreBackend`]
 //! value (`ffs::Ffs::format_backend`, `discfs::Testbed::with_backend`,
 //! `bench_harness::build_world_on`), so benchmarks can compare
-//! backends without touching filesystem code.
+//! backends without touching filesystem code. Wrapper presets nest:
+//! `StoreBackend::Cached { inner: Box::new(StoreBackend::Sharded {
+//! .. }), .. }` builds a buffer cache over a sharded volume.
 //!
 //! # Example
 //!
@@ -46,20 +79,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cached;
 mod dedup;
 mod encrypted;
 mod file;
+mod sharded;
 mod sim;
+mod timed;
 
+pub use bytes::Bytes;
+pub use cached::CachedStore;
 pub use dedup::DedupStore;
 pub use encrypted::EncryptedStore;
 #[doc(hidden)]
 pub use file::temp_dir_for_tests;
-pub use file::{FileStore, JOURNAL_RECORD_LEN};
+pub use file::{FileStore, JOURNAL_BATCH_RECORDS, JOURNAL_RECORD_LEN};
+pub use sharded::ShardedStore;
 pub use sim::{DiskModel, SimStore};
+pub use timed::TimedStore;
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use netsim::SimClock;
 
@@ -67,10 +107,20 @@ use netsim::SimClock;
 /// transfer size.
 pub const BLOCK_SIZE: usize = 8192;
 
+/// The shared all-zero block: one allocation for the whole process,
+/// cloned as a cheap handle wherever a hole or freshly-allocated block
+/// is read. Backends return it instead of materializing zeros.
+pub fn zero_block() -> Bytes {
+    static ZERO: OnceLock<Bytes> = OnceLock::new();
+    ZERO.get_or_init(|| Bytes::from(vec![0u8; BLOCK_SIZE]))
+        .clone()
+}
+
 /// Counters every backend reports through [`BlockStore::stats`].
 ///
 /// Fields irrelevant to a backend stay zero (e.g. `dedup_hits` on the
-/// sim store).
+/// sim store). Wrappers merge their own counters into the inner
+/// backend's snapshot, so the stats of a composed stack read top-down.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Charged block reads.
@@ -87,6 +137,19 @@ pub struct StoreStats {
     pub unique_blocks: u64,
     /// Journal records written since the last flush (file backend).
     pub journal_records: u64,
+    /// Journal records committed through the group-commit buffer since
+    /// open (file backend) — each reached the journal file as part of
+    /// a batched append rather than its own syscall.
+    pub batched_records: u64,
+    /// Group-commit batches written since open (file backend): the
+    /// actual journal write syscalls. An N-write burst costs at most
+    /// `ceil(N / JOURNAL_BATCH_RECORDS)` of these.
+    pub journal_batches: u64,
+    /// Reads served from a [`CachedStore`] without touching the inner
+    /// backend.
+    pub cache_hits: u64,
+    /// Reads a [`CachedStore`] had to forward to the inner backend.
+    pub cache_misses: u64,
     /// Completed [`BlockStore::flush`] calls.
     pub flushes: u64,
 }
@@ -103,6 +166,33 @@ impl StoreStats {
         }
         self.dedup_hits as f64 / total as f64
     }
+
+    /// Fraction of cached reads served without touching the backend,
+    /// in `[0, 1]`. Zero when nothing was read through a cache.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// Field-wise sum — how [`ShardedStore`] aggregates its shards.
+    pub fn merge(&self, other: &StoreStats) -> StoreStats {
+        StoreStats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            dedup_hits: self.dedup_hits + other.dedup_hits,
+            zero_elisions: self.zero_elisions + other.zero_elisions,
+            unique_blocks: self.unique_blocks + other.unique_blocks,
+            journal_records: self.journal_records + other.journal_records,
+            batched_records: self.batched_records + other.batched_records,
+            journal_batches: self.journal_batches + other.journal_batches,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            flushes: self.flushes + other.flushes,
+        }
+    }
 }
 
 /// A block-addressed storage device of fixed-size [`BLOCK_SIZE`]
@@ -112,6 +202,11 @@ impl StoreStats {
 /// out-of-range access is a bug and implementations panic on it —
 /// identical to the original `MemDisk` contract.
 ///
+/// Reads return [`Bytes`]: a cheaply-clonable shared handle. Backends
+/// that hold blocks in memory serve reads as refcount bumps with no
+/// allocation or copy; callers that need to mutate use
+/// [`BlockStore::read_block_into`] (or `Bytes::to_vec`).
+///
 /// `*_meta` variants exist for hot metadata (bitmaps, inode table,
 /// indirect blocks) that real filesystems absorb in the buffer cache:
 /// timing-model backends skip the seek charge there. Content semantics
@@ -120,15 +215,26 @@ pub trait BlockStore: Send + Sync {
     /// Number of addressable blocks.
     fn block_count(&self) -> u64;
 
-    /// Reads block `idx` into a fresh buffer.
-    fn read_block(&self, idx: u64) -> Vec<u8>;
+    /// Reads block `idx` as a shared handle.
+    fn read_block(&self, idx: u64) -> Bytes;
+
+    /// Reads block `idx` into `buf` (exactly one block) — the
+    /// read-modify-write path, saving the intermediate handle.
+    fn read_block_into(&self, idx: u64, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.read_block(idx));
+    }
 
     /// Writes block `idx`; `data` must be exactly one block.
     fn write_block(&self, idx: u64, data: &[u8]);
 
     /// Reads a metadata block (no timing charge).
-    fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+    fn read_block_meta(&self, idx: u64) -> Bytes {
         self.read_block(idx)
+    }
+
+    /// Reads a metadata block into `buf` (no timing charge).
+    fn read_block_meta_into(&self, idx: u64, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.read_block_meta(idx));
     }
 
     /// Writes a metadata block (no timing charge).
@@ -136,8 +242,9 @@ pub trait BlockStore: Send + Sync {
         self.write_block(idx, data)
     }
 
-    /// Makes completed writes durable (journaled backends apply and
-    /// truncate their journal here).
+    /// Makes completed writes durable (write-back caches write their
+    /// dirty blocks down; journaled backends apply and truncate their
+    /// journal).
     ///
     /// # Errors
     ///
@@ -160,14 +267,20 @@ macro_rules! forward_block_store {
             fn block_count(&self) -> u64 {
                 (**self).block_count()
             }
-            fn read_block(&self, idx: u64) -> Vec<u8> {
+            fn read_block(&self, idx: u64) -> Bytes {
                 (**self).read_block(idx)
+            }
+            fn read_block_into(&self, idx: u64, buf: &mut [u8]) {
+                (**self).read_block_into(idx, buf)
             }
             fn write_block(&self, idx: u64, data: &[u8]) {
                 (**self).write_block(idx, data)
             }
-            fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+            fn read_block_meta(&self, idx: u64) -> Bytes {
                 (**self).read_block_meta(idx)
+            }
+            fn read_block_meta_into(&self, idx: u64, buf: &mut [u8]) {
+                (**self).read_block_meta_into(idx, buf)
             }
             fn write_block_meta(&self, idx: u64, data: &[u8]) {
                 (**self).write_block_meta(idx, data)
@@ -233,6 +346,33 @@ pub enum StoreBackend {
         /// Master key; per-purpose subkeys are derived from it.
         key: [u8; 32],
     },
+    /// A write-back buffer cache ([`CachedStore`]) over any inner
+    /// backend: hot reads become handle clones, repeated writes are
+    /// absorbed until the next flush.
+    Cached {
+        /// Cache capacity in blocks.
+        capacity: usize,
+        /// The wrapped backend.
+        inner: Box<StoreBackend>,
+    },
+    /// One volume striped across N instances of the inner backend
+    /// ([`ShardedStore`]): block `i` lives on shard `i % shards`,
+    /// each shard has its own lock, and flushes run in parallel.
+    /// Persistent inner backends get per-shard subdirectories
+    /// (`shard-0`, `shard-1`, …).
+    Sharded {
+        /// Number of shards (inner store instances).
+        shards: u32,
+        /// The backend each shard is built from.
+        inner: Box<StoreBackend>,
+    },
+    /// The paper's disk timing model charged on top of any inner
+    /// backend ([`TimedStore`]) — virtual-time figures for persistent
+    /// backends, not just the sim store.
+    Timed {
+        /// The wrapped backend.
+        inner: Box<StoreBackend>,
+    },
 }
 
 impl StoreBackend {
@@ -242,7 +382,8 @@ impl StoreBackend {
     ///
     /// Panics when a [`StoreBackend::FileJournal`] directory cannot be
     /// created or opened — backend construction happens at format time
-    /// where the caller cannot continue anyway.
+    /// where the caller cannot continue anyway — or when a
+    /// [`StoreBackend::Sharded`] asks for zero shards.
     pub fn build(&self, clock: &SimClock, block_count: u64) -> Arc<dyn BlockStore> {
         match self {
             StoreBackend::SimTimed => Arc::new(SimStore::new(
@@ -267,6 +408,56 @@ impl StoreBackend {
                 FileStore::open(dir, block_count).expect("open file-backed block store"),
                 key,
             )),
+            StoreBackend::Cached { capacity, inner } => {
+                Arc::new(CachedStore::new(inner.build(clock, block_count), *capacity))
+            }
+            StoreBackend::Sharded { shards, inner } => {
+                assert!(*shards > 0, "sharded store needs at least one shard");
+                let per_shard = block_count.div_ceil(*shards as u64);
+                let stores = (0..*shards)
+                    .map(|i| {
+                        inner
+                            .with_subdir(&format!("shard-{i}"))
+                            .build(clock, per_shard)
+                    })
+                    .collect();
+                Arc::new(ShardedStore::new(stores, block_count))
+            }
+            StoreBackend::Timed { inner } => Arc::new(TimedStore::new(
+                inner.build(clock, block_count),
+                clock,
+                DiskModel::quantum_fireball_ct10(),
+            )),
+        }
+    }
+
+    /// A copy of this spec with every persistence directory pushed
+    /// down into `name` — how [`StoreBackend::Sharded`] gives each
+    /// shard of a persistent backend its own subdirectory.
+    pub fn with_subdir(&self, name: &str) -> StoreBackend {
+        match self {
+            StoreBackend::FileJournal { dir } => StoreBackend::FileJournal {
+                dir: dir.join(name),
+            },
+            StoreBackend::DedupPersistent { dir } => StoreBackend::DedupPersistent {
+                dir: dir.join(name),
+            },
+            StoreBackend::EncryptedJournal { dir, key } => StoreBackend::EncryptedJournal {
+                dir: dir.join(name),
+                key: *key,
+            },
+            StoreBackend::Cached { capacity, inner } => StoreBackend::Cached {
+                capacity: *capacity,
+                inner: Box::new(inner.with_subdir(name)),
+            },
+            StoreBackend::Sharded { shards, inner } => StoreBackend::Sharded {
+                shards: *shards,
+                inner: Box::new(inner.with_subdir(name)),
+            },
+            StoreBackend::Timed { inner } => StoreBackend::Timed {
+                inner: Box::new(inner.with_subdir(name)),
+            },
+            other => other.clone(),
         }
     }
 
@@ -274,12 +465,15 @@ impl StoreBackend {
     /// across a rebuild (i.e. state lives on the filesystem, not in
     /// the store object).
     pub fn is_persistent(&self) -> bool {
-        matches!(
-            self,
+        match self {
             StoreBackend::FileJournal { .. }
-                | StoreBackend::DedupPersistent { .. }
-                | StoreBackend::EncryptedJournal { .. }
-        )
+            | StoreBackend::DedupPersistent { .. }
+            | StoreBackend::EncryptedJournal { .. } => true,
+            StoreBackend::Cached { inner, .. }
+            | StoreBackend::Sharded { inner, .. }
+            | StoreBackend::Timed { inner } => inner.is_persistent(),
+            _ => false,
+        }
     }
 
     /// Backend label without building it.
@@ -292,6 +486,9 @@ impl StoreBackend {
             StoreBackend::DedupPersistent { .. } => "dedup-persistent",
             StoreBackend::DedupEncrypted { .. } => "dedup-encrypted",
             StoreBackend::EncryptedJournal { .. } => "encrypted-journal",
+            StoreBackend::Cached { .. } => "cached",
+            StoreBackend::Sharded { .. } => "sharded",
+            StoreBackend::Timed { .. } => "timed",
         }
     }
 }
@@ -319,6 +516,28 @@ mod tests {
                 dir: dir.join("enc"),
                 key: [8; 32],
             },
+            StoreBackend::Cached {
+                capacity: 8,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: dir.join("cached"),
+                }),
+            },
+            StoreBackend::Sharded {
+                shards: 4,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: dir.join("sharded"),
+                }),
+            },
+            StoreBackend::Timed {
+                inner: Box::new(StoreBackend::Dedup),
+            },
+            StoreBackend::Cached {
+                capacity: 8,
+                inner: Box::new(StoreBackend::Sharded {
+                    shards: 2,
+                    inner: Box::new(StoreBackend::SimInstant),
+                }),
+            },
         ];
         for spec in backends {
             let store = spec.build(&clock, 16);
@@ -326,7 +545,7 @@ mod tests {
             block[0] = 0x42;
             store.write_block(3, &block);
             assert_eq!(store.read_block(3), block, "{}", spec.label());
-            assert_eq!(store.block_count(), 16);
+            assert_eq!(store.block_count(), 16, "{}", spec.label());
             store.flush().unwrap();
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -336,5 +555,62 @@ mod tests {
     fn hit_ratio_zero_cases() {
         let stats = StoreStats::default();
         assert_eq!(stats.dedup_hit_ratio(), 0.0);
+        assert_eq!(stats.cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn subdir_rewrites_nested_persistence_dirs() {
+        let spec = StoreBackend::Cached {
+            capacity: 4,
+            inner: Box::new(StoreBackend::Sharded {
+                shards: 2,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: PathBuf::from("/tmp/vol"),
+                }),
+            }),
+        };
+        assert!(spec.is_persistent());
+        let sub = spec.with_subdir("a");
+        match sub {
+            StoreBackend::Cached { inner, .. } => match *inner {
+                StoreBackend::Sharded { inner, .. } => match *inner {
+                    StoreBackend::FileJournal { dir } => {
+                        assert_eq!(dir, PathBuf::from("/tmp/vol/a"))
+                    }
+                    other => panic!("unexpected inner {other:?}"),
+                },
+                other => panic!("unexpected inner {other:?}"),
+            },
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_block_is_shared_and_zero() {
+        let a = zero_block();
+        let b = zero_block();
+        assert_eq!(a.len(), BLOCK_SIZE);
+        assert!(a.iter().all(|&x| x == 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let a = StoreStats {
+            reads: 1,
+            writes: 2,
+            cache_hits: 3,
+            ..StoreStats::default()
+        };
+        let b = StoreStats {
+            reads: 10,
+            journal_batches: 4,
+            ..StoreStats::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.reads, 11);
+        assert_eq!(m.writes, 2);
+        assert_eq!(m.cache_hits, 3);
+        assert_eq!(m.journal_batches, 4);
     }
 }

@@ -6,13 +6,19 @@
 //! shared [`SimClock`] a seek + rotational delay for non-sequential
 //! accesses and a media-rate transfer time per block, so virtual-time
 //! results have the right storage-bound shape.
+//!
+//! Blocks are held as shared [`Bytes`] handles: a read clones a
+//! refcount instead of copying 8 KB, and unwritten blocks all point at
+//! the process-wide zero block — a freshly created store of any size
+//! costs one pointer per block, not `block_count * 8 KB`.
 
 use std::time::Duration;
 
+use bytes::Bytes;
 use netsim::SimClock;
 use parking_lot::Mutex;
 
-use crate::{BlockStore, StoreStats, BLOCK_SIZE};
+use crate::{zero_block, BlockStore, StoreStats, BLOCK_SIZE};
 
 /// Timing model for the simulated disk.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +53,7 @@ impl DiskModel {
         }
     }
 
-    fn transfer_time(&self, bytes: usize) -> Duration {
+    pub(crate) fn transfer_time(&self, bytes: usize) -> Duration {
         if self.transfer_rate == u64::MAX {
             return Duration::ZERO;
         }
@@ -56,7 +62,7 @@ impl DiskModel {
 }
 
 struct SimState {
-    blocks: Vec<u8>,
+    blocks: Vec<Bytes>,
     last_block: Option<u64>,
     reads: u64,
     writes: u64,
@@ -75,7 +81,7 @@ impl SimStore {
     pub fn new(clock: &SimClock, model: DiskModel, block_count: u64) -> SimStore {
         SimStore {
             state: Mutex::new(SimState {
-                blocks: vec![0u8; block_count as usize * BLOCK_SIZE],
+                blocks: vec![zero_block(); block_count as usize],
                 last_block: None,
                 reads: 0,
                 writes: 0,
@@ -120,13 +126,20 @@ impl BlockStore for SimStore {
         self.block_count
     }
 
-    fn read_block(&self, idx: u64) -> Vec<u8> {
+    fn read_block(&self, idx: u64) -> Bytes {
         assert!(idx < self.block_count, "block {idx} out of range");
         let mut s = self.state.lock();
         self.charge(&mut s, idx);
         s.reads += 1;
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].to_vec()
+        s.blocks[idx as usize].clone()
+    }
+
+    fn read_block_into(&self, idx: u64, buf: &mut [u8]) {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        let mut s = self.state.lock();
+        self.charge(&mut s, idx);
+        s.reads += 1;
+        buf.copy_from_slice(&s.blocks[idx as usize]);
     }
 
     fn write_block(&self, idx: u64, data: &[u8]) {
@@ -135,23 +148,26 @@ impl BlockStore for SimStore {
         let mut s = self.state.lock();
         self.charge(&mut s, idx);
         s.writes += 1;
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].copy_from_slice(data);
+        s.blocks[idx as usize] = Bytes::copy_from_slice(data);
     }
 
-    fn read_block_meta(&self, idx: u64) -> Vec<u8> {
+    fn read_block_meta(&self, idx: u64) -> Bytes {
         assert!(idx < self.block_count, "block {idx} out of range");
         let s = self.state.lock();
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].to_vec()
+        s.blocks[idx as usize].clone()
+    }
+
+    fn read_block_meta_into(&self, idx: u64, buf: &mut [u8]) {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        let s = self.state.lock();
+        buf.copy_from_slice(&s.blocks[idx as usize]);
     }
 
     fn write_block_meta(&self, idx: u64, data: &[u8]) {
         assert!(idx < self.block_count, "block {idx} out of range");
         assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
         let mut s = self.state.lock();
-        let off = idx as usize * BLOCK_SIZE;
-        s.blocks[off..off + BLOCK_SIZE].copy_from_slice(data);
+        s.blocks[idx as usize] = Bytes::copy_from_slice(data);
     }
 
     fn stats(&self) -> StoreStats {
@@ -226,5 +242,19 @@ mod tests {
         disk.write_block_meta(5, &vec![1u8; BLOCK_SIZE]);
         assert_eq!(disk.read_block_meta(5)[0], 1);
         assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn read_into_matches_handle_read() {
+        let disk = SimStore::untimed(4);
+        let block: Vec<u8> = (0..BLOCK_SIZE).map(|i| (i % 253) as u8).collect();
+        disk.write_block(1, &block);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        disk.read_block_into(1, &mut buf);
+        assert_eq!(buf, block);
+        disk.read_block_meta_into(1, &mut buf);
+        assert_eq!(buf, block);
+        // Only the charged read counts; the meta read is free.
+        assert_eq!((disk.stats().reads, disk.stats().writes), (1, 1));
     }
 }

@@ -4,12 +4,13 @@
 //! survive a crash before flush.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use netsim::SimClock;
 use proptest::prelude::*;
 use store::{
-    BlockStore, DedupStore, EncryptedStore, FileStore, SimStore, StoreBackend, BLOCK_SIZE,
-    JOURNAL_RECORD_LEN,
+    BlockStore, CachedStore, DedupStore, EncryptedStore, FileStore, ShardedStore, SimStore,
+    StoreBackend, TimedStore, BLOCK_SIZE, JOURNAL_RECORD_LEN,
 };
 
 const BLOCKS: u64 = 32;
@@ -65,6 +66,43 @@ fn all_backends(tag: &str) -> Vec<(Box<dyn BlockStore>, Option<std::path::PathBu
         ),
         (
             Box::new(EncryptedStore::new(SimStore::untimed(BLOCKS), &[0x43; 32])),
+            None,
+        ),
+        // The wrappers: a small cache (evictions exercised), a sharded
+        // stripe, the timed charger, and a cache over shards.
+        (
+            Box::new(CachedStore::new(SimStore::untimed(BLOCKS), 8)),
+            None,
+        ),
+        (
+            Box::new(ShardedStore::new(
+                (0..4)
+                    .map(|_| Arc::new(SimStore::untimed(BLOCKS.div_ceil(4))) as Arc<dyn BlockStore>)
+                    .collect(),
+                BLOCKS,
+            )),
+            None,
+        ),
+        (
+            Box::new(TimedStore::new(
+                DedupStore::new(BLOCKS),
+                &clock,
+                store::DiskModel::quantum_fireball_ct10(),
+            )),
+            None,
+        ),
+        (
+            Box::new(CachedStore::new(
+                ShardedStore::new(
+                    (0..3)
+                        .map(|_| {
+                            Arc::new(SimStore::untimed(BLOCKS.div_ceil(3))) as Arc<dyn BlockStore>
+                        })
+                        .collect(),
+                    BLOCKS,
+                ),
+                6,
+            )),
             None,
         ),
     ]
@@ -267,6 +305,15 @@ proptest! {
             StoreBackend::DedupPersistent { dir: dir.join("dedup") },
             StoreBackend::DedupEncrypted { key: [9; 32] },
             StoreBackend::EncryptedJournal { dir: dir.join("enc"), key: [10; 32] },
+            StoreBackend::Cached {
+                capacity: 8,
+                inner: Box::new(StoreBackend::FileJournal { dir: dir.join("cached") }),
+            },
+            StoreBackend::Sharded {
+                shards: 4,
+                inner: Box::new(StoreBackend::FileJournal { dir: dir.join("sharded") }),
+            },
+            StoreBackend::Timed { inner: Box::new(StoreBackend::Dedup) },
         ];
         for spec in &specs {
             let store = spec.build(&clock, BLOCKS);
@@ -276,5 +323,182 @@ proptest! {
             store.flush().unwrap();
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Equivalence: any workload over `CachedStore(X)` or
+    /// `ShardedStore([X; N])` reads back byte-identical to the same
+    /// workload over plain `X` — for every block, through both paths,
+    /// after a flush.
+    #[test]
+    fn wrappers_are_byte_identical_to_plain_store(
+        ops in proptest::collection::vec((0u64..BLOCKS, 0u8..16, any::<bool>()), 1..48)
+    ) {
+        let plain = SimStore::untimed(BLOCKS);
+        // A deliberately tiny cache so evictions and write-backs fire.
+        let cached = CachedStore::new(SimStore::untimed(BLOCKS), 4);
+        let sharded = ShardedStore::new(
+            (0..5)
+                .map(|_| Arc::new(SimStore::untimed(BLOCKS.div_ceil(5))) as Arc<dyn BlockStore>)
+                .collect(),
+            BLOCKS,
+        );
+        let stores: [&dyn BlockStore; 3] = [&plain, &cached, &sharded];
+        for (idx, seed, meta) in &ops {
+            for store in stores {
+                if *meta {
+                    store.write_block_meta(*idx, &block_for(*seed));
+                } else {
+                    store.write_block(*idx, &block_for(*seed));
+                }
+            }
+        }
+        for store in &stores[1..] {
+            store.flush().unwrap();
+        }
+        for idx in 0..BLOCKS {
+            let expected = plain.read_block(idx);
+            prop_assert_eq!(&cached.read_block(idx), &expected, "cached, block {}", idx);
+            prop_assert_eq!(&sharded.read_block(idx), &expected, "sharded, block {}", idx);
+            prop_assert_eq!(
+                &cached.read_block_meta(idx), &expected, "cached meta, block {}", idx
+            );
+            prop_assert_eq!(
+                &sharded.read_block_meta(idx), &expected, "sharded meta, block {}", idx
+            );
+        }
+    }
+
+    /// Equivalence on persistent backends across a full
+    /// sync/drop/mount cycle: wrapping FileJournal in a cache, in
+    /// shards, or in both must not change what comes back after a
+    /// process restart.
+    #[test]
+    fn wrapped_persistent_stores_survive_reopen_byte_identical(
+        ops in proptest::collection::vec((0u64..BLOCKS, 0u8..16), 1..24)
+    ) {
+        let clock = SimClock::new();
+        let dir = store::temp_dir_for_tests("props-wrap-reopen");
+        let specs = [
+            ("plain", StoreBackend::FileJournal { dir: dir.join("plain") }),
+            (
+                "cached",
+                StoreBackend::Cached {
+                    capacity: 6,
+                    inner: Box::new(StoreBackend::FileJournal { dir: dir.join("cached") }),
+                },
+            ),
+            (
+                "sharded",
+                StoreBackend::Sharded {
+                    shards: 4,
+                    inner: Box::new(StoreBackend::FileJournal { dir: dir.join("sharded") }),
+                },
+            ),
+            (
+                "cached-sharded",
+                StoreBackend::Cached {
+                    capacity: 6,
+                    inner: Box::new(StoreBackend::Sharded {
+                        shards: 3,
+                        inner: Box::new(StoreBackend::FileJournal { dir: dir.join("both") }),
+                    }),
+                },
+            ),
+        ];
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (label, spec) in &specs {
+            model.clear();
+            {
+                let store = spec.build(&clock, BLOCKS);
+                for (idx, seed) in &ops {
+                    store.write_block(*idx, &block_for(*seed));
+                    model.insert(*idx, *seed);
+                }
+                store.flush().unwrap();
+                // Dropped here: the second life reads only from disk.
+            }
+            let store = spec.build(&clock, BLOCKS);
+            for idx in 0..BLOCKS {
+                let expected = block_for(model.get(&idx).copied().unwrap_or(0));
+                prop_assert_eq!(
+                    &store.read_block(idx), &expected, "{}, block {} after reopen", label, idx
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn cache_stats_account_for_every_read() {
+    let store = CachedStore::new(SimStore::untimed(BLOCKS), BLOCKS as usize);
+    for idx in 0..BLOCKS {
+        store.write_block(idx, &block_for((idx % 7) as u8 + 1));
+    }
+    let mut issued = 0u64;
+    for round in 0..3u64 {
+        for idx in 0..BLOCKS {
+            let _ = store.read_block((idx + round) % BLOCKS);
+            issued += 1;
+        }
+    }
+    let stats = store.stats();
+    // Every read is either a hit or a miss — nothing double-counted,
+    // nothing lost — and every miss (there are none here: the writes
+    // populated the cache) is exactly one inner read.
+    assert_eq!(stats.cache_hits + stats.cache_misses, issued);
+    assert_eq!(stats.reads, stats.cache_misses, "inner reads == misses");
+    assert_eq!(stats.cache_misses, 0, "write-populated cache never misses");
+    assert_eq!(stats.cache_hit_ratio(), 1.0);
+
+    // A cold cache over a populated inner store: first touch misses,
+    // re-reads hit.
+    store.flush().unwrap();
+    let cold = CachedStore::new(store, BLOCKS as usize);
+    for _ in 0..2 {
+        for idx in 0..BLOCKS {
+            let _ = cold.read_block(idx);
+        }
+    }
+    let stats = cold.stats();
+    assert_eq!(stats.cache_misses, BLOCKS, "one miss per first touch");
+    assert!(stats.cache_hits >= BLOCKS, "re-reads are hits");
+}
+
+#[test]
+fn shard_routing_is_exhaustive_and_disjoint() {
+    for shards in [1usize, 2, 3, 5, 8] {
+        let total = BLOCKS;
+        let store = ShardedStore::new(
+            (0..shards)
+                .map(|_| {
+                    Arc::new(SimStore::untimed(total.div_ceil(shards as u64)))
+                        as Arc<dyn BlockStore>
+                })
+                .collect(),
+            total,
+        );
+        // Write every block once with unique content.
+        let mut expected_per_shard = vec![0u64; shards];
+        for idx in 0..total {
+            store.write_block(idx, &block_for((idx % 250) as u8 + 1));
+            let shard = store.shard_of(idx);
+            assert!(shard < shards, "routing stays in range");
+            expected_per_shard[shard] += 1;
+        }
+        // Exactly one shard saw each block: per-shard write counters
+        // sum to the total with no overlap and no gap.
+        let per_shard: Vec<u64> = store.shard_stats().iter().map(|s| s.writes).collect();
+        assert_eq!(per_shard, expected_per_shard, "{shards} shards");
+        assert_eq!(per_shard.iter().sum::<u64>(), total);
+        // And every block reads back its own content (no aliasing
+        // between shards).
+        for idx in 0..total {
+            assert_eq!(
+                store.read_block(idx),
+                block_for((idx % 250) as u8 + 1),
+                "block {idx} with {shards} shards"
+            );
+        }
     }
 }

@@ -1,10 +1,147 @@
 //! Offline, API-compatible subset of the `bytes` crate.
 //!
-//! Provides [`BytesMut`] as a growable byte buffer plus the [`Buf`] /
+//! Provides [`Bytes`] as a cheaply-clonable immutable byte handle,
+//! [`BytesMut`] as a growable byte buffer, plus the [`Buf`] /
 //! [`BufMut`] trait methods the XDR codec uses. All integers are
 //! big-endian, as in the real crate.
 
 #![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+/// A cheaply-clonable handle to an immutable byte buffer.
+///
+/// Like the real crate's `Bytes`: cloning bumps a reference count
+/// instead of copying the payload, so passing block-sized buffers
+/// around is pointer-cheap. Backed by `Arc<[u8]>` (no unsafe, no
+/// sub-slicing views — the workspace hands whole blocks around).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty handle.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh, mutable `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// Borrows the contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.data.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        *self.data == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        *self.data == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.data == other[..]
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == *other.data
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == *other.data
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
 
 /// Read access to a contiguous byte cursor.
 pub trait Buf {
@@ -131,6 +268,11 @@ impl BytesMut {
     /// Borrows the contents.
     pub fn as_slice(&self) -> &[u8] {
         &self.data
+    }
+
+    /// Converts into an immutable, cheaply-clonable [`Bytes`] handle.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
     }
 }
 
