@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use bench_harness::{bench_quick as quick, record_json, write_json_summary};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use netsim::SimClock;
@@ -49,10 +50,6 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 const BLOCKS: u64 = 256;
-
-fn quick() -> bool {
-    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
-}
 
 fn backends() -> Vec<(&'static str, Box<dyn BlockStore>)> {
     let clock = SimClock::new();
@@ -409,36 +406,6 @@ fn figure_seq_read(_c: &mut Criterion) {
     println!("\nseq read (sim-instant): {ops:.0} ops/s");
     record_json("seq_read_ops_per_sec", ops);
     write_json_summary();
-}
-
-// -- BENCH_JSON summary ------------------------------------------------------
-
-fn json_entries() -> &'static std::sync::Mutex<Vec<(String, f64)>> {
-    static ENTRIES: std::sync::OnceLock<std::sync::Mutex<Vec<(String, f64)>>> =
-        std::sync::OnceLock::new();
-    ENTRIES.get_or_init(|| std::sync::Mutex::new(Vec::new()))
-}
-
-fn record_json(key: &str, value: f64) {
-    json_entries()
-        .lock()
-        .unwrap()
-        .push((key.to_string(), value));
-}
-
-/// Writes the ops/sec summary to `$BENCH_JSON` (skipped when unset).
-fn write_json_summary() {
-    let Ok(path) = std::env::var("BENCH_JSON") else {
-        return;
-    };
-    let entries = json_entries().lock().unwrap();
-    let fields: Vec<String> = entries
-        .iter()
-        .map(|(k, v)| format!("  \"{k}\": {v:.1}"))
-        .collect();
-    let json = format!("{{\n{}\n}}\n", fields.join(",\n"));
-    std::fs::write(&path, json).expect("write BENCH_JSON summary");
-    println!("bench summary written to {path}");
 }
 
 criterion_group!(

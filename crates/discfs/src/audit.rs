@@ -6,8 +6,21 @@
 //! is recorded with the requesting key and the issuer keys of the
 //! credentials that were in the session when the decision was made —
 //! the delegation evidence an operator reconstructs chains from.
+//!
+//! # Concurrency
+//!
+//! The log is a **fixed-capacity ring**: an atomic cursor assigns each
+//! record a sequence number and a slot (`seq % capacity`), and each
+//! slot sits behind its own tiny mutex. Appends from N concurrent
+//! connections therefore never serialize on one log-wide lock — two
+//! appends contend only in the unlikely case they land on the same
+//! slot (a full wrap-around apart). The authorizer list is a shared
+//! [`Arc`] handle built once per credential change by the server (not
+//! re-serialized per operation), so an append allocates only the
+//! record's own strings.
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use discfs_crypto::hex;
 use parking_lot::Mutex;
@@ -34,28 +47,27 @@ pub struct AuditRecord {
     /// Whether the operation proceeded.
     pub allowed: bool,
     /// Hex keys of the credential issuers in the session ("key B" and
-    /// any other links of the chain).
-    pub authorizers: Vec<String>,
+    /// any other links of the chain) — a shared handle to the peer's
+    /// cached authorizer list, cloned per record as a refcount bump.
+    pub authorizers: Arc<Vec<String>>,
 }
 
-/// A bounded in-memory audit log.
+/// A bounded in-memory audit log (lock-striped ring buffer).
 pub struct AuditLog {
-    records: Mutex<VecDeque<AuditRecord>>,
-    capacity: usize,
-    seq: Mutex<u64>,
+    slots: Vec<Mutex<Option<AuditRecord>>>,
+    cursor: AtomicU64,
 }
 
 impl AuditLog {
     /// Creates a log keeping the most recent `capacity` records.
     pub fn new(capacity: usize) -> AuditLog {
         AuditLog {
-            records: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
-            capacity,
-            seq: Mutex::new(0),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
         }
     }
 
-    /// Appends a record (dropping the oldest when full).
+    /// Appends a record (overwriting the oldest when full).
     #[allow(clippy::too_many_arguments)]
     pub fn record(
         &self,
@@ -66,12 +78,11 @@ impl AuditLog {
         required: Perm,
         granted: Perm,
         allowed: bool,
-        authorizers: Vec<String>,
+        authorizers: Arc<Vec<String>>,
     ) {
-        let mut seq_guard = self.seq.lock();
-        *seq_guard += 1;
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed) + 1;
         let record = AuditRecord {
-            seq: *seq_guard,
+            seq,
             time,
             requester: hex::encode(requester),
             op: op.to_string(),
@@ -81,53 +92,62 @@ impl AuditLog {
             allowed,
             authorizers,
         };
-        drop(seq_guard);
-        let mut records = self.records.lock();
-        if records.len() == self.capacity {
-            records.pop_front();
+        let slot = &self.slots[((seq - 1) % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock();
+        // Wrap-around race: a slow writer from a previous lap must not
+        // clobber a newer record that already claimed this slot.
+        if guard.as_ref().is_none_or(|existing| existing.seq < seq) {
+            *guard = Some(record);
         }
-        records.push_back(record);
     }
 
     /// A snapshot of the retained records (oldest first).
     pub fn records(&self) -> Vec<AuditRecord> {
-        self.records.lock().iter().cloned().collect()
+        let mut records: Vec<AuditRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().clone())
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        records
     }
 
     /// Records matching a requester key prefix (hex).
     pub fn by_requester(&self, key_hex_prefix: &str) -> Vec<AuditRecord> {
-        self.records
-            .lock()
-            .iter()
+        self.records()
+            .into_iter()
             .filter(|r| r.requester.starts_with(key_hex_prefix))
-            .cloned()
             .collect()
     }
 
     /// Denied accesses only — the operator's first question.
     pub fn denials(&self) -> Vec<AuditRecord> {
-        self.records
-            .lock()
-            .iter()
-            .filter(|r| !r.allowed)
-            .cloned()
-            .collect()
+        self.records().into_iter().filter(|r| !r.allowed).collect()
     }
 
     /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        (self.cursor.load(Ordering::Relaxed) as usize).min(self.slots.len())
     }
 
     /// True when no records are retained.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.cursor.load(Ordering::Relaxed) == 0
+    }
+
+    /// Total records ever appended (including those the ring dropped).
+    pub fn appended(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn no_authorizers() -> Arc<Vec<String>> {
+        Arc::new(Vec::new())
+    }
 
     #[test]
     fn records_accumulate_in_order() {
@@ -140,7 +160,7 @@ mod tests {
             Perm::R,
             Perm::RW,
             true,
-            vec![],
+            no_authorizers(),
         );
         log.record(
             2,
@@ -150,7 +170,7 @@ mod tests {
             Perm::W,
             Perm::NONE,
             false,
-            vec![],
+            no_authorizers(),
         );
         let records = log.records();
         assert_eq!(records.len(), 2);
@@ -172,11 +192,13 @@ mod tests {
                 Perm::R,
                 Perm::R,
                 true,
-                vec![],
+                no_authorizers(),
             );
         }
         let records = log.records();
         assert_eq!(records.len(), 3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.appended(), 5);
         assert_eq!(records[0].seq, 3, "two oldest dropped");
     }
 
@@ -191,7 +213,7 @@ mod tests {
             Perm::R,
             Perm::R,
             true,
-            vec![],
+            no_authorizers(),
         );
         log.record(
             2,
@@ -201,7 +223,7 @@ mod tests {
             Perm::W,
             Perm::NONE,
             false,
-            vec![],
+            no_authorizers(),
         );
         assert_eq!(log.by_requester("aa").len(), 1);
         assert_eq!(log.by_requester("bb").len(), 1);
@@ -220,8 +242,38 @@ mod tests {
             Perm::R,
             Perm::R,
             true,
-            vec!["keyB".into(), "keyAdmin".into()],
+            Arc::new(vec!["keyB".into(), "keyAdmin".into()]),
         );
-        assert_eq!(log.records()[0].authorizers, vec!["keyB", "keyAdmin"]);
+        assert_eq!(*log.records()[0].authorizers, vec!["keyB", "keyAdmin"]);
+    }
+
+    #[test]
+    fn concurrent_appends_keep_every_recent_record() {
+        // 4 threads × 100 appends into a 1024-slot ring: all 400
+        // records retained, sequence numbers unique and gap-free.
+        let log = Arc::new(AuditLog::new(1024));
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let log = log.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        log.record(
+                            i,
+                            &[t; 32],
+                            "read",
+                            "1.1",
+                            Perm::R,
+                            Perm::R,
+                            true,
+                            Arc::new(Vec::new()),
+                        );
+                    }
+                });
+            }
+        });
+        let records = log.records();
+        assert_eq!(records.len(), 400);
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (1..=400).collect::<Vec<u64>>());
     }
 }

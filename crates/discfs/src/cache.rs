@@ -10,13 +10,35 @@
 //! submitting credentials bumps the peer's epoch, revocation or
 //! environment changes (time-of-day) bump a global epoch, and stale
 //! entries simply stop matching until LRU eviction reclaims them.
+//!
+//! # Concurrency
+//!
+//! The cache is **sharded** so N concurrent clients resolving cached
+//! decisions never convoy on one lock: entries hash to one of up to
+//! [`MAX_SHARDS`] shards, each behind its own `RwLock`. A *hit* takes
+//! only a shard **read** lock — the LRU recency stamp is an `AtomicU64`
+//! inside the entry, so hits from many clients proceed in parallel.
+//! Only misses (insert) and invalidation take a shard write lock.
+//!
+//! Small caches stay exact: the shard count is `capacity / 8` clamped
+//! to `[1, MAX_SHARDS]`, so an ablation-sized cache (≤ 8 entries) is a
+//! single shard with precise LRU order, while the paper's 128-entry
+//! configuration spreads over 16 shards with per-shard LRU (an
+//! approximation of global LRU that preserves the Figure 12 shape).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::perm::Perm;
+
+/// Upper bound on cache shards (reached at capacity ≥ 128).
+pub const MAX_SHARDS: usize = 16;
+
+/// Minimum entries per shard before another shard is added — keeps
+/// small ablation caches single-sharded (exact LRU).
+const MIN_PER_SHARD: usize = 8;
 
 /// A cache key: requester, file, and invalidation epochs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,10 +79,19 @@ impl CacheStats {
     }
 }
 
-/// A bounded LRU map from [`CacheKey`] to granted [`Perm`].
+/// One cached decision. The recency stamp is atomic so a hit can bump
+/// it under a shard *read* lock.
+struct Entry {
+    perm: Perm,
+    stamp: AtomicU64,
+}
+
+/// A bounded, sharded LRU map from [`CacheKey`] to granted [`Perm`].
 pub struct PolicyCache {
-    capacity: usize,
-    state: Mutex<HashMap<CacheKey, (Perm, u64)>>,
+    shards: Vec<RwLock<HashMap<CacheKey, Entry>>>,
+    /// Per-shard capacities summing exactly to the requested total.
+    shard_capacity: Vec<usize>,
+    total_capacity: usize,
     tick: AtomicU64,
     stats: CacheStats,
 }
@@ -70,9 +101,15 @@ impl PolicyCache {
     /// of 0 disables caching (every check is a full KeyNote query —
     /// the ablation baseline).
     pub fn new(capacity: usize) -> PolicyCache {
+        let shards = (capacity / MIN_PER_SHARD).clamp(1, MAX_SHARDS);
+        // Distribute the capacity exactly: the first `capacity % shards`
+        // shards hold one extra entry.
+        let base = capacity / shards;
+        let extra = capacity % shards;
         PolicyCache {
-            capacity,
-            state: Mutex::new(HashMap::new()),
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_capacity: (0..shards).map(|i| base + usize::from(i < extra)).collect(),
+            total_capacity: capacity,
             tick: AtomicU64::new(0),
             stats: CacheStats::default(),
         }
@@ -83,18 +120,40 @@ impl PolicyCache {
         PolicyCache::new(128)
     }
 
-    /// Looks up a cached decision.
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.total_capacity
+    }
+
+    /// Number of shards (1 for small caches, up to [`MAX_SHARDS`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        // Cheap spread: peer identity and inode decide the shard, so
+        // one client's working set fans out and different clients
+        // rarely collide. Epochs are excluded — an epoch bump must not
+        // migrate a key's shard (stale entries die in place).
+        let h = key.peer[0] as u64 ^ (key.peer[1] as u64) << 3 ^ key.handle.0 as u64;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up a cached decision. Hits touch only a shard read lock
+    /// plus atomic counters — concurrent lookups never serialize.
     pub fn get(&self, key: &CacheKey) -> Option<Perm> {
-        if self.capacity == 0 {
+        if self.capacity() == 0 {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut map = self.state.lock();
-        match map.get_mut(key) {
-            Some((perm, stamp)) => {
-                *stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shards[self.shard_of(key)].read();
+        match shard.get(key) {
+            Some(entry) => {
+                entry
+                    .stamp
+                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(*perm)
+                Some(entry.perm)
             }
             None => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -103,36 +162,46 @@ impl PolicyCache {
         }
     }
 
-    /// Inserts a decision, evicting the least-recently-used entry when
-    /// full. (Linear eviction scan: at the paper's 128 entries this is
-    /// cheaper than maintaining a linked list.)
+    /// Inserts a decision, evicting the shard's least-recently-used
+    /// entry when the shard is full. (Linear eviction scan: at ≤ 8
+    /// entries per shard this is cheaper than a linked list.)
     pub fn insert(&self, key: CacheKey, perm: Perm) {
-        if self.capacity == 0 {
+        let idx = self.shard_of(&key);
+        let capacity = self.shard_capacity[idx];
+        if capacity == 0 {
             return;
         }
-        let mut map = self.state.lock();
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            if let Some(oldest) = map
+        let mut shard = self.shards[idx].write();
+        if shard.len() >= capacity && !shard.contains_key(&key) {
+            if let Some(oldest) = shard
                 .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, entry)| entry.stamp.load(Ordering::Relaxed))
                 .map(|(k, _)| *k)
             {
-                map.remove(&oldest);
+                shard.remove(&oldest);
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
-        map.insert(key, (perm, stamp));
+        shard.insert(
+            key,
+            Entry {
+                perm,
+                stamp: AtomicU64::new(stamp),
+            },
+        );
     }
 
     /// Drops every entry (full invalidation after revocation).
     pub fn clear(&self) {
-        self.state.lock().clear();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
     }
 
     /// Current entry count.
     pub fn len(&self) -> usize {
-        self.state.lock().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when empty.
@@ -181,8 +250,9 @@ mod tests {
     }
 
     #[test]
-    fn lru_eviction() {
+    fn small_caches_are_single_sharded_with_exact_lru() {
         let cache = PolicyCache::new(2);
+        assert_eq!(cache.shard_count(), 1);
         cache.insert(key(1, 1, 0), Perm::R);
         cache.insert(key(1, 2, 0), Perm::W);
         // Touch 1 so 2 becomes the LRU victim.
@@ -193,6 +263,34 @@ mod tests {
         assert!(cache.get(&key(1, 2, 0)).is_none(), "LRU entry evicted");
         assert!(cache.get(&key(1, 3, 0)).is_some());
         assert_eq!(cache.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn paper_config_shards_and_keeps_capacity() {
+        let cache = PolicyCache::new(128);
+        assert_eq!(cache.shard_count(), MAX_SHARDS);
+        assert_eq!(cache.capacity(), 128);
+        // Insert far more than capacity: the cache never exceeds it.
+        for i in 0..1000u32 {
+            cache.insert(key((i % 251) as u8, i, 0), Perm::R);
+        }
+        assert!(cache.len() <= 128, "len {} > capacity", cache.len());
+        assert!(cache.stats().evictions() > 0);
+    }
+
+    #[test]
+    fn per_shard_lru_evicts_oldest_in_shard() {
+        // Keys sharing peer+ino map to the same shard regardless of
+        // epoch, so a shard can be driven to its capacity exactly.
+        let cache = PolicyCache::new(128);
+        let k = |e| key(7, 42, e);
+        for e in 0..100 {
+            cache.insert(k(e), Perm::R);
+        }
+        // The most recent epochs survive; the earliest were evicted.
+        assert!(cache.get(&k(99)).is_some());
+        assert!(cache.get(&k(0)).is_none());
+        assert!(cache.stats().evictions() > 0);
     }
 
     #[test]
@@ -219,5 +317,28 @@ mod tests {
         cache.insert(key(1, 1, 0), Perm::RWX);
         assert_eq!(cache.get(&key(1, 1, 0)), Some(Perm::RWX));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_hits_and_inserts_account_exactly() {
+        // hits + misses == total gets, across 4 threads.
+        let cache = std::sync::Arc::new(PolicyCache::new(64));
+        let threads = 4;
+        let per_thread = 1000u32;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let k = key(t as u8, i % 16, 0);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, Perm::R);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits() + stats.misses(), (threads * per_thread) as u64);
     }
 }

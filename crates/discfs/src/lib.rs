@@ -25,6 +25,51 @@
 //!   policy-result [`cache`], [`revocation`] list, and [`audit`] log;
 //!   [`client::DiscfsClient`] is the `cattach` + wallet side.
 //!
+//! # Authorization hot path
+//!
+//! Every NFS operation is a policy decision, so the decision path is
+//! engineered to scale with concurrent clients (PR 4):
+//!
+//! * **Sharded peer sessions** — the per-client-key KeyNote sessions
+//!   live in 16 shards keyed on the key's first byte, each behind its
+//!   own `RwLock`. Resolving a request takes one shard *read* lock to
+//!   clone the peer's `Arc`'d state; the session itself (behind a
+//!   per-peer mutex) is only locked on cache misses and credential
+//!   changes.
+//! * **Atomic epochs** — each peer carries an `AtomicU64` credential
+//!   epoch and the server keeps a global environment epoch (time of
+//!   day, virtual time, public grants, revocations). A cached decision
+//!   is valid iff both epochs it was keyed under are current; loading
+//!   them is two atomic loads, and every invalidation is one atomic
+//!   increment.
+//! * **Sharded policy cache** — [`cache::PolicyCache`] hits take a
+//!   shard read lock and bump an atomic LRU stamp; only misses and
+//!   invalidation write.
+//! * **One lookup per handle** — `authorize` returns the granted
+//!   [`Perm`] and every NFS method threads it into attribute
+//!   presentation, so read/getattr perform exactly one policy lookup
+//!   per request (lookup does two: directory traversal + child mode —
+//!   distinct handles).
+//! * **Ring audit log** — [`audit::AuditLog`] is a fixed-capacity ring
+//!   with an atomic cursor and per-slot locks; the authorizer list it
+//!   records is a shared handle cached per peer, rebuilt only when the
+//!   credential set changes.
+//!
+//! The invariants, pinned by `server::AuthStats` counters in tests and
+//! the `multi_client` bench:
+//!
+//! 1. A cached decision may be served only while both the peer
+//!    credential epoch and the global environment epoch match the key
+//!    it was inserted under.
+//! 2. Credential submission, creator-credential issue, and revocation
+//!    purge bump the **peer** epoch (under the session lock, after the
+//!    session mutation, so a miss that sees the new epoch sees the new
+//!    credential set). Time/hour changes, public-grant changes, and
+//!    revocations bump the **global** epoch.
+//! 3. A policy-cache hit performs zero exclusive-lock acquisitions
+//!    (`AuthStats::exclusive` is flat across a hit-only run), and
+//!    `AuthStats::decisions == cache hits + misses` at all times.
+//!
 //! # Storage backends
 //!
 //! The server's volume is built on the pluggable block-store subsystem
@@ -523,6 +568,126 @@ mod tests {
             0o777,
             "WX credential + public R = RWX view"
         );
+    }
+
+    #[test]
+    fn one_policy_lookup_per_request() {
+        // PR 4: authorize() threads the granted perms into present(),
+        // so read/getattr resolve exactly one decision per request and
+        // lookup exactly two (directory + child, distinct handles).
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let mut client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        let file = client
+            .create_with_credential(&root, "pinned.txt", 0o644)
+            .unwrap();
+        client.client().write_all(&file.fh, 0, b"data").unwrap();
+
+        let stats = bed.service().auth_stats();
+        let pin = |op: &str, expected: u64, run: &dyn Fn()| {
+            let before = stats.decisions();
+            run();
+            assert_eq!(
+                stats.decisions() - before,
+                expected,
+                "{op} must resolve exactly {expected} decision(s)"
+            );
+        };
+        pin("getattr", 1, &|| {
+            client.client().getattr(&file.fh).unwrap();
+        });
+        pin("read", 1, &|| {
+            client.client().read(&file.fh, 0, 4).unwrap();
+        });
+        pin("lookup", 2, &|| {
+            client.client().lookup(&root, "pinned.txt").unwrap();
+        });
+        pin("readdir", 1, &|| {
+            client.client().readdir_all(&root).unwrap();
+        });
+        // Decisions and cache accounting agree.
+        let cache = bed.service().cache().stats();
+        assert_eq!(stats.decisions(), cache.hits() + cache.misses());
+    }
+
+    #[test]
+    fn cache_hits_take_no_exclusive_locks() {
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        // Warm the decision.
+        client.client().getattr(&root).unwrap();
+        client.client().getattr(&root).unwrap();
+
+        let stats = bed.service().auth_stats();
+        let hits_before = bed.service().cache().stats().hits();
+        let exclusive_before = stats.exclusive();
+        for _ in 0..32 {
+            client.client().getattr(&root).unwrap();
+        }
+        assert_eq!(
+            stats.exclusive() - exclusive_before,
+            0,
+            "cache-hit authorizations must not take exclusive locks"
+        );
+        assert_eq!(bed.service().cache().stats().hits() - hits_before, 32);
+    }
+
+    #[test]
+    fn revocation_invalidates_by_epoch_not_just_cache_clear() {
+        // The PR 4 satellite bugfix: purging revoked credentials bumps
+        // every peer's credential epoch, so even a cache that somehow
+        // retained (or re-learned) pre-revocation entries could never
+        // serve them — the post-revocation decision must be a miss.
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        client.client().getattr(&root).unwrap();
+        client.client().getattr(&root).unwrap(); // warm: hits
+
+        bed.service().revoke_key(&bob.public(), None);
+        let misses_before = bed.service().cache().stats().misses();
+        let attr = client.client().getattr(&root).unwrap();
+        assert_eq!(attr.mode & 0o777, 0, "revoked key sees mode 000");
+        assert!(
+            bed.service().cache().stats().misses() > misses_before,
+            "first post-revocation decision must be a cache miss"
+        );
+    }
+
+    #[test]
+    fn lapsed_revocation_cannot_pin_a_stale_denial() {
+        // A forget_after revocation lapses when virtual time passes its
+        // horizon. set_time expires the revocation list *before*
+        // bumping the global epoch (mutate-then-bump), so the denial
+        // cached while revoked can never be re-learned under the new
+        // epoch: the first post-lapse decision re-evaluates cleanly.
+        let bed = Testbed::instant();
+        let bob = key(2);
+        let client = bed.connect(&bob).unwrap();
+        client.submit_credential(&root_grant(&bed, &bob)).unwrap();
+        let root = client.remote().root();
+        client.client().readdir_all(&root).unwrap();
+
+        bed.service().revoke_key(&bob.public(), Some(100));
+        // Denied while revoked — and the NONE decision gets cached.
+        for _ in 0..3 {
+            assert!(client.client().readdir_all(&root).is_err());
+        }
+        // Time passes the forget horizon: the revocation lapses. Bob's
+        // admin-signed credential survived the purge (its authorizer
+        // was never revoked), so access must come back immediately.
+        bed.service().set_time(150);
+        client
+            .client()
+            .readdir_all(&root)
+            .expect("lapsed revocation must not leave a stale cached denial");
     }
 
     #[test]

@@ -17,8 +17,33 @@
 //! 5. CREATE/MKDIR via the side program return a fresh RWX credential
 //!    for the creator, signed by the server's key (which the root
 //!    policy trusts) — the paper's added procedures.
+//!
+//! # Authorization hot path
+//!
+//! N concurrent clients must not convoy on server-global locks when
+//! their decisions are already cached (the whole point of Figure 12's
+//! policy cache). The state is laid out so a **cache hit touches no
+//! session and no global lock at all**:
+//!
+//! * The peer-session table is split into [`PEER_SHARDS`] shards keyed
+//!   on the client key's first byte, each a `RwLock<HashMap>` of
+//!   [`Arc<PeerState>`]. The hot path takes a shard *read* lock just
+//!   long enough to clone the Arc.
+//! * Each [`PeerState`] carries an `AtomicU64` **credential epoch**
+//!   (bumped on credential add and revocation purge) read with a plain
+//!   atomic load; the KeyNote [`Session`] behind its own `Mutex` is
+//!   only locked on cache misses and credential mutations.
+//! * The environment (`hour`, `time`, global epoch) is three atomics;
+//!   the per-decision virtual-time charge is a read-mostly
+//!   `Arc`-swap cell.
+//! * The [`PolicyCache`] itself is sharded with read-lock hits.
+//!
+//! [`DiscfsService::auth_stats`] counts every exclusive-lock
+//! acquisition on this path so benchmarks can pin the invariant:
+//! a cache-hit authorization performs **zero** exclusive acquisitions.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use discfs_crypto::ed25519::{SigningKey, VerifyingKey};
@@ -41,6 +66,11 @@ use crate::rpc::{
     encode_create_res, proc_discfs, CreateWithCredRes, DiscfsRpcStatus, DISCFS_PROGRAM,
     DISCFS_VERSION,
 };
+
+/// Peer-session table shards. Sessions hash on the key's first byte:
+/// Ed25519 public keys are uniformly distributed, so shard load is
+/// even no matter how clients arrive.
+pub const PEER_SHARDS: usize = 16;
 
 /// Server configuration.
 pub struct DiscfsConfig {
@@ -74,18 +104,75 @@ impl DiscfsConfig {
     }
 }
 
-/// Environment attributes exposed to policy conditions.
-#[derive(Debug, Clone, Copy)]
-struct Env {
-    hour: u32,
-    time: u64,
-    epoch: u64,
+/// Per-client-key session state, shared between the shard map and any
+/// request currently using it.
+struct PeerState {
+    /// Credential epoch: the high bits are a server-wide session
+    /// counter (so a reconnected peer never matches the old session's
+    /// cache entries), the low bits count credential changes.
+    epoch: AtomicU64,
+    /// The persistent KeyNote session — locked only on cache misses
+    /// and credential mutations, never on the cache-hit path.
+    session: Mutex<Session>,
+    /// Cached audit authorizer list (issuer keys of the session's
+    /// credentials), rebuilt only when the credential set changes —
+    /// i.e. exactly when `epoch` bumps. Appending an audit record is a
+    /// refcount bump, not a re-serialization of every credential.
+    authorizers: RwLock<Arc<Vec<String>>>,
 }
 
-/// Per-client-key session state.
-struct PeerState {
-    session: Session,
-    epoch: u64,
+impl PeerState {
+    /// The shared authorizer-list handle for audit records.
+    fn authorizers(&self) -> Arc<Vec<String>> {
+        self.authorizers.read().clone()
+    }
+
+    /// Rebuilds the cached authorizer list from `session` and bumps the
+    /// credential epoch. Call with the session mutated (credential
+    /// added or purged) while still holding its lock, so a concurrent
+    /// miss that observes the new epoch also observes the new
+    /// credential set.
+    fn credentials_changed(&self, session: &Session) {
+        let list: Vec<String> = session
+            .credentials()
+            .iter()
+            .map(|a| a.authorizer().to_text())
+            .collect();
+        *self.authorizers.write() = Arc::new(list);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Exclusive/shared lock-acquisition and decision counters for the
+/// authorization path — the instrumentation behind the "cache hits
+/// take no exclusive lock" guarantee (see the module docs).
+#[derive(Debug, Default)]
+pub struct AuthStats {
+    exclusive: AtomicU64,
+    shared: AtomicU64,
+    decisions: AtomicU64,
+}
+
+impl AuthStats {
+    /// Exclusive acquisitions on the authorization path: peer-shard
+    /// write locks, session mutexes, and policy-cache inserts. Zero
+    /// across a run means every decision was served lock-free from the
+    /// cache.
+    pub fn exclusive(&self) -> u64 {
+        self.exclusive.load(Ordering::Relaxed)
+    }
+
+    /// Shared (read-lock) acquisitions — these scale across clients.
+    pub fn shared(&self) -> u64 {
+        self.shared.load(Ordering::Relaxed)
+    }
+
+    /// Policy decisions resolved ([`DiscfsService::permissions_for`]
+    /// calls). Each performs exactly one policy-cache lookup, so
+    /// `decisions == cache hits + cache misses` at all times.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
 }
 
 /// The DisCFS service.
@@ -94,19 +181,29 @@ pub struct DiscfsService {
     server_key: SigningKey,
     admin_keys: Vec<VerifyingKey>,
     policy: Vec<String>,
-    peers: Mutex<HashMap<[u8; 32], PeerState>>,
-    epoch_counter: Mutex<u64>,
+    peer_shards: Vec<RwLock<HashMap<[u8; 32], Arc<PeerState>>>>,
+    /// Server-wide session counter feeding new peers' epoch high bits.
+    epoch_counter: AtomicU64,
     cache: PolicyCache,
     revocations: RwLock<RevocationList>,
     audit: AuditLog,
-    env: RwLock<Env>,
+    /// Environment attributes exposed to policy conditions — atomics,
+    /// read on every decision without taking any lock.
+    env_hour: AtomicU32,
+    env_time: AtomicU64,
+    /// Global invalidation epoch: bumped by time/hour changes, public
+    /// grant changes, and revocations.
+    env_epoch: AtomicU64,
     /// Optional virtual-time charge per policy decision, so benchmarks
     /// account the KeyNote evaluation cost on the simulated clock.
-    policy_charge: RwLock<Option<PolicyCharge>>,
+    /// Read-mostly Arc-swap cell: readers clone the Arc under a read
+    /// lock held for nanoseconds; writers swap the whole Arc.
+    policy_charge: RwLock<Option<Arc<PolicyCharge>>>,
     /// Baseline permissions granted to *any* authenticated key, keyed by
     /// `(inode, generation)` — the paper's §7 future-work scenario of
     /// "untrusted users characteristic of the WWW" (anonymous browsing).
     public_grants: RwLock<HashMap<(u32, u32), Perm>>,
+    auth_stats: AuthStats,
 }
 
 /// Virtual-time cost model for policy decisions.
@@ -128,18 +225,19 @@ impl DiscfsService {
             server_key: config.server_key,
             admin_keys: config.admin_keys,
             policy: config.policy,
-            peers: Mutex::new(HashMap::new()),
-            epoch_counter: Mutex::new(1),
+            peer_shards: (0..PEER_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            epoch_counter: AtomicU64::new(1),
             cache: PolicyCache::new(config.cache_size),
             revocations: RwLock::new(RevocationList::new()),
-            audit: AuditLog::new(4096),
-            env: RwLock::new(Env {
-                hour: 12,
-                time: 0,
-                epoch: 0,
-            }),
+            audit: AuditLog::new(config.audit_capacity),
+            env_hour: AtomicU32::new(12),
+            env_time: AtomicU64::new(0),
+            env_epoch: AtomicU64::new(0),
             policy_charge: RwLock::new(None),
             public_grants: RwLock::new(HashMap::new()),
+            auth_stats: AuthStats::default(),
         }
     }
 
@@ -158,8 +256,7 @@ impl DiscfsService {
             }
         }
         // Cached decisions may now be stale in either direction.
-        let mut env = self.env.write();
-        env.epoch += 1;
+        self.env_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// The public baseline permissions for a handle, if any.
@@ -175,7 +272,17 @@ impl DiscfsService {
     /// Installs a virtual-time cost model for policy decisions (used by
     /// the benchmark testbed; see DESIGN.md §5).
     pub fn set_policy_charge(&self, charge: PolicyCharge) {
-        *self.policy_charge.write() = Some(charge);
+        *self.policy_charge.write() = Some(Arc::new(charge));
+    }
+
+    /// Removes the policy-decision cost model (wall-clock benchmarks
+    /// that want the raw code path, no virtual-clock traffic).
+    pub fn clear_policy_charge(&self) {
+        *self.policy_charge.write() = None;
+    }
+
+    fn charge(&self) -> Option<Arc<PolicyCharge>> {
+        self.policy_charge.read().clone()
     }
 
     /// The exported storage service.
@@ -193,23 +300,38 @@ impl DiscfsService {
         &self.cache
     }
 
+    /// Authorization-path lock and decision counters.
+    pub fn auth_stats(&self) -> &AuthStats {
+        &self.auth_stats
+    }
+
     /// Sets the hour-of-day seen by `hour` conditions. Invalidates
     /// cached decisions.
+    ///
+    /// Mutate-then-bump discipline (shared with `purge_revoked` and
+    /// `set_public_access`): every state change — the hour itself and
+    /// the opportunistic revocation expiry — lands *before* the epoch
+    /// bump, so a decision cached under the new epoch can only reflect
+    /// the new state. (A decision that raced the mutation caches under
+    /// the old epoch, which the bump retires.)
     pub fn set_hour(&self, hour: u32) {
-        let mut env = self.env.write();
-        env.hour = hour % 24;
-        env.epoch += 1;
+        self.env_hour.store(hour % 24, Ordering::Relaxed);
         // Let the revocation list forget expired entries opportunistically.
-        self.revocations.write().expire(env.time);
+        let time = self.env_time.load(Ordering::Relaxed);
+        self.revocations.write().expire(time);
+        self.env_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Sets the virtual wall time seen by `time` conditions (credential
-    /// expiry). Invalidates cached decisions.
+    /// expiry). Invalidates cached decisions. Same mutate-then-bump
+    /// ordering as [`DiscfsService::set_hour`] — expiring lapsed
+    /// revocations before the bump, so a `forget_after` revocation
+    /// that ends at `time` cannot leave a stale `NONE` cached under
+    /// the new epoch.
     pub fn set_time(&self, time: u64) {
-        let mut env = self.env.write();
-        env.time = time;
-        env.epoch += 1;
+        self.env_time.store(time, Ordering::Relaxed);
         self.revocations.write().expire(time);
+        self.env_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Revokes a key server-side (local administration path).
@@ -224,129 +346,171 @@ impl DiscfsService {
         self.purge_revoked();
     }
 
-    /// Removes revoked credentials from every live session and flushes
-    /// the decision cache.
+    /// Removes revoked credentials from every live session and
+    /// invalidates cached decisions — twice over: every touched peer's
+    /// credential epoch is bumped (so a stale [`CacheKey`] can never
+    /// resurrect a revoked grant, even if the shared cache were
+    /// replaced or resized concurrently), the global epoch is bumped,
+    /// and the decision cache is flushed.
     fn purge_revoked(&self) {
         let revocations = self.revocations.read();
-        let mut peers = self.peers.lock();
-        for state in peers.values_mut() {
-            state.session.retain_credentials(|a| {
-                if revocations.is_credential_revoked(&a.id()) {
-                    return false;
-                }
-                match a.authorizer().as_key() {
-                    Some(key) => !revocations.is_key_revoked(key),
-                    None => true,
-                }
-            });
+        for shard in &self.peer_shards {
+            // Read lock on the shard map: peers mutate through their
+            // own Arc'd state, the map itself is untouched.
+            for state in shard.read().values() {
+                let mut session = state.session.lock();
+                session.retain_credentials(|a| {
+                    if revocations.is_credential_revoked(&a.id()) {
+                        return false;
+                    }
+                    match a.authorizer().as_key() {
+                        Some(key) => !revocations.is_key_revoked(key),
+                        None => true,
+                    }
+                });
+                state.credentials_changed(&session);
+            }
         }
-        drop(peers);
+        drop(revocations);
+        self.env_epoch.fetch_add(1, Ordering::Release);
         self.cache.clear();
     }
 
-    /// Runs `f` with the peer's session, creating it on first use.
-    fn with_peer<R>(&self, peer: &VerifyingKey, f: impl FnOnce(&mut PeerState) -> R) -> R {
-        let mut peers = self.peers.lock();
-        let state = peers.entry(peer.0).or_insert_with(|| {
-            let mut session = Session::new(&Perm::VALUE_SET);
-            for p in &self.policy {
-                session
-                    .add_policy(p)
-                    .expect("configured policy assertions must parse");
-            }
-            let mut counter = self.epoch_counter.lock();
-            *counter += 1;
-            PeerState {
-                session,
-                epoch: *counter << 20,
-            }
-        });
-        f(state)
+    /// The peer's shared session state, created on first use. The
+    /// steady-state path is a shard read lock plus an Arc clone.
+    fn peer_state(&self, peer: &VerifyingKey) -> Arc<PeerState> {
+        let shard = &self.peer_shards[peer.0[0] as usize % PEER_SHARDS];
+        self.auth_stats.shared.fetch_add(1, Ordering::Relaxed);
+        if let Some(state) = shard.read().get(&peer.0) {
+            return state.clone();
+        }
+        self.auth_stats.exclusive.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.write();
+        map.entry(peer.0)
+            .or_insert_with(|| {
+                let mut session = Session::new(&Perm::VALUE_SET);
+                for p in &self.policy {
+                    session
+                        .add_policy(p)
+                        .expect("configured policy assertions must parse");
+                }
+                let counter = self.epoch_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                Arc::new(PeerState {
+                    epoch: AtomicU64::new(counter << 20),
+                    session: Mutex::new(session),
+                    authorizers: RwLock::new(Arc::new(Vec::new())),
+                })
+            })
+            .clone()
     }
 
     /// Computes the permissions `peer` holds on `fh` (cached).
     pub fn permissions_for(&self, peer: &VerifyingKey, fh: &FHandle) -> Perm {
-        let env = *self.env.read();
-        if self.revocations.read().is_key_revoked(peer) {
-            return Perm::NONE;
-        }
+        let state = self.peer_state(peer);
+        self.decide(peer, &state, fh)
+    }
+
+    /// Resolves one policy decision. The cache-hit path is shard reads
+    /// and atomic loads only; misses fall through to the KeyNote query
+    /// under the peer's session lock.
+    fn decide(&self, peer: &VerifyingKey, state: &PeerState, fh: &FHandle) -> Perm {
+        self.auth_stats.decisions.fetch_add(1, Ordering::Relaxed);
+        let env_epoch = self.env_epoch.load(Ordering::Acquire);
+        let peer_epoch = state.epoch.load(Ordering::Acquire);
         let (_, ino, generation) = fh.unpack();
-        self.with_peer(peer, |state| {
-            let key = CacheKey {
-                peer: peer.0,
-                handle: (ino, generation),
-                epoch: (state.epoch, env.epoch),
-            };
-            if let Some(perm) = self.cache.get(&key) {
-                if let Some(charge) = &*self.policy_charge.read() {
-                    charge.clock.advance(charge.cache_hit);
-                }
-                return perm;
+        let key = CacheKey {
+            peer: peer.0,
+            handle: (ino, generation),
+            epoch: (peer_epoch, env_epoch),
+        };
+        if let Some(perm) = self.cache.get(&key) {
+            if let Some(charge) = self.charge() {
+                charge.clock.advance(charge.cache_hit);
             }
-            let session = &mut state.session;
+            return perm;
+        }
+        // Miss path: revocation screen, full compliance check, public
+        // baseline, insert. Revocation is checked here rather than per
+        // request — any revocation bumps the epochs above, so no cached
+        // decision can outlive it. (Scoped so the read guard is not
+        // held across the KeyNote query.)
+        let key_revoked = { self.revocations.read().is_key_revoked(peer) };
+        let perm = if key_revoked {
+            Perm::NONE
+        } else {
+            self.auth_stats.exclusive.fetch_add(1, Ordering::Relaxed);
+            let mut session = state.session.lock();
             session.clear_attributes();
             session.set_attribute("app_domain", "DisCFS");
             session.set_attribute("HANDLE", &fh.credential_string());
-            session.set_attribute("hour", &env.hour.to_string());
-            session.set_attribute("time", &env.time.to_string());
+            session.set_attribute("hour", &self.env_hour.load(Ordering::Relaxed).to_string());
+            session.set_attribute("time", &self.env_time.load(Ordering::Relaxed).to_string());
             session.clear_requesters();
             session.add_requester_key(peer);
-            let perm = match session.query() {
+            let queried = match session.query() {
                 Ok(value) => Perm::from_value_string(value.as_str()),
                 Err(_) => Perm::NONE,
             };
+            drop(session);
             // Public (anonymous-Web) baseline applies to everyone.
-            let perm = perm.union(
+            queried.union(
                 self.public_grants
                     .read()
                     .get(&(ino, generation))
                     .copied()
                     .unwrap_or(Perm::NONE),
-            );
-            if let Some(charge) = &*self.policy_charge.read() {
-                charge.clock.advance(charge.cache_miss);
-            }
-            self.cache.insert(key, perm);
-            perm
-        })
+            )
+        };
+        if let Some(charge) = self.charge() {
+            charge.clock.advance(charge.cache_miss);
+        }
+        self.auth_stats.exclusive.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(key, perm);
+        perm
+    }
+
+    /// The permissions the requester holds on `fh` (NONE when the
+    /// channel carries no identity) — the attach-semantics input to
+    /// [`DiscfsService::present`].
+    fn granted_for(&self, ctx: &RequestCtx, fh: &FHandle) -> Perm {
+        match ctx.peer {
+            Some(peer) => self.permissions_for(&peer, fh),
+            None => Perm::NONE,
+        }
     }
 
     /// Authorizes an operation: the peer must hold `required` on `fh`.
+    /// Returns the full granted permission set so callers can thread it
+    /// into [`DiscfsService::present`] without a second lookup.
     fn authorize(
         &self,
         ctx: &RequestCtx,
         fh: &FHandle,
         required: Perm,
         op: &str,
-    ) -> Result<(), NfsStat> {
+    ) -> Result<Perm, NfsStat> {
         let Some(peer) = ctx.peer else {
             // No channel identity at all: nothing can be authorized.
             return Err(NfsStat::Acces);
         };
-        let granted = self.permissions_for(&peer, fh);
+        let state = self.peer_state(&peer);
+        let granted = self.decide(&peer, &state, fh);
         let allowed = granted.contains(required);
         // Log "key A was used and key B authorized" (§4.2): the issuers
-        // of the session's credentials are the candidate authorizers.
-        let authorizers = self.with_peer(&peer, |state| {
-            state
-                .session
-                .credentials()
-                .iter()
-                .map(|a| a.authorizer().to_text())
-                .collect::<Vec<_>>()
-        });
+        // of the session's credentials are the candidate authorizers —
+        // a cached shared handle, rebuilt only on credential changes.
         self.audit.record(
-            self.env.read().time,
+            self.env_time.load(Ordering::Relaxed),
             &peer.0,
             op,
             &fh.credential_string(),
             required,
             granted,
             allowed,
-            authorizers,
+            state.authorizers(),
         );
         if allowed {
-            Ok(())
+            Ok(granted)
         } else {
             Err(NfsStat::Acces)
         }
@@ -361,13 +525,12 @@ impl DiscfsService {
             .grant(fh, Perm::RWX)
             .comment(name)
             .issue();
-        self.with_peer(peer, |state| {
-            state
-                .session
-                .add_credential(&credential)
-                .expect("server-issued credentials always verify");
-            state.epoch += 1;
-        });
+        let state = self.peer_state(peer);
+        let mut session = state.session.lock();
+        session
+            .add_credential(&credential)
+            .expect("server-issued credentials always verify");
+        state.credentials_changed(&session);
         credential
     }
 
@@ -387,13 +550,15 @@ impl DiscfsService {
             }
             Err(_) => return DiscfsRpcStatus::BadCredential,
         }
-        self.with_peer(peer, |state| match state.session.add_credential(text) {
+        let state = self.peer_state(peer);
+        let mut session = state.session.lock();
+        match session.add_credential(text) {
             Ok(()) => {
-                state.epoch += 1;
+                state.credentials_changed(&session);
                 DiscfsRpcStatus::Ok
             }
             Err(_) => DiscfsRpcStatus::BadCredential,
-        })
+        }
     }
 
     fn create_with_cred(
@@ -425,12 +590,11 @@ impl DiscfsService {
     }
 
     /// Rewrites attributes so the reported mode/owner reflect *granted*
-    /// rights, not the stored Unix bits (attach semantics, §5).
-    fn present(&self, ctx: &RequestCtx, fh: &FHandle, mut attr: Fattr) -> Fattr {
-        let granted = match ctx.peer {
-            Some(peer) => self.permissions_for(&peer, fh),
-            None => Perm::NONE,
-        };
+    /// rights, not the stored Unix bits (attach semantics, §5). The
+    /// caller supplies `granted` — typically straight from
+    /// [`DiscfsService::authorize`] — so presentation never re-queries
+    /// the policy for a handle that was just decided.
+    fn present(&self, ctx: &RequestCtx, granted: Perm, mut attr: Fattr) -> Fattr {
         attr.mode = (attr.mode & 0o170000) | granted.mode_bits();
         if ctx.uid != u32::MAX {
             attr.uid = ctx.uid;
@@ -452,22 +616,27 @@ impl NfsService for DiscfsService {
 
     fn getattr(&self, ctx: &RequestCtx, fh: &FHandle) -> Result<Fattr, NfsStat> {
         let attr = self.storage.getattr(ctx, fh)?;
-        Ok(self.present(ctx, fh, attr))
+        let granted = self.granted_for(ctx, fh);
+        Ok(self.present(ctx, granted, attr))
     }
 
     fn setattr(&self, ctx: &RequestCtx, fh: &FHandle, sattr: &Sattr) -> Result<Fattr, NfsStat> {
         // Only size/time updates are meaningful: access control lives in
         // credentials, so chmod/chown are accepted but inert (§5: the
         // setattr procedure "becomes superfluous").
-        self.authorize(ctx, fh, Perm::W, "setattr")?;
+        let granted = self.authorize(ctx, fh, Perm::W, "setattr")?;
         let attr = self.storage.setattr(ctx, fh, sattr)?;
-        Ok(self.present(ctx, fh, attr))
+        Ok(self.present(ctx, granted, attr))
     }
 
     fn lookup(&self, ctx: &RequestCtx, args: &DirOpArgs) -> Result<(FHandle, Fattr), NfsStat> {
         self.authorize(ctx, &args.dir, Perm::X, "lookup")?;
         let (fh, attr) = self.storage.lookup(ctx, args)?;
-        let attr = self.present(ctx, &fh, attr);
+        // One decision for the directory, one for the child (its mode
+        // must reflect the rights granted on *it*) — distinct handles,
+        // so neither lookup is redundant.
+        let granted = self.granted_for(ctx, &fh);
+        let attr = self.present(ctx, granted, attr);
         Ok((fh, attr))
     }
 
@@ -483,9 +652,9 @@ impl NfsService for DiscfsService {
         offset: u32,
         count: u32,
     ) -> Result<(Fattr, Vec<u8>), NfsStat> {
-        self.authorize(ctx, fh, Perm::R, "read")?;
+        let granted = self.authorize(ctx, fh, Perm::R, "read")?;
         let (attr, data) = self.storage.read(ctx, fh, offset, count)?;
-        Ok((self.present(ctx, fh, attr), data))
+        Ok((self.present(ctx, granted, attr), data))
     }
 
     fn write(
@@ -495,9 +664,9 @@ impl NfsService for DiscfsService {
         offset: u32,
         data: &[u8],
     ) -> Result<Fattr, NfsStat> {
-        self.authorize(ctx, fh, Perm::W, "write")?;
+        let granted = self.authorize(ctx, fh, Perm::W, "write")?;
         let attr = self.storage.write(ctx, fh, offset, data)?;
-        Ok(self.present(ctx, fh, attr))
+        Ok(self.present(ctx, granted, attr))
     }
 
     fn create(
@@ -511,7 +680,8 @@ impl NfsService for DiscfsService {
         // newly created file"); clients should use the side program.
         self.authorize(ctx, &args.dir, Perm::W.union(Perm::X), "create")?;
         let (fh, attr) = self.storage.create(ctx, args, sattr)?;
-        let attr = self.present(ctx, &fh, attr);
+        let granted = self.granted_for(ctx, &fh);
+        let attr = self.present(ctx, granted, attr);
         Ok((fh, attr))
     }
 
@@ -551,7 +721,8 @@ impl NfsService for DiscfsService {
     ) -> Result<(FHandle, Fattr), NfsStat> {
         self.authorize(ctx, &args.dir, Perm::W.union(Perm::X), "mkdir")?;
         let (fh, attr) = self.storage.mkdir(ctx, args, sattr)?;
-        let attr = self.present(ctx, &fh, attr);
+        let granted = self.granted_for(ctx, &fh);
+        let attr = self.present(ctx, granted, attr);
         Ok((fh, attr))
     }
 
@@ -596,7 +767,9 @@ impl NfsService for DiscfsService {
         // client resubmits credentials next time (credential caching is
         // the client wallet's job, §4.1).
         if let Some(peer) = ctx.peer {
-            self.peers.lock().remove(&peer.0);
+            self.peer_shards[peer.0[0] as usize % PEER_SHARDS]
+                .write()
+                .remove(&peer.0);
         }
     }
 }
@@ -630,7 +803,8 @@ impl DiscfsService {
                 Ok(encode_create_res(&result))
             }
             proc_discfs::CRED_COUNT => {
-                let count = self.with_peer(&peer, |state| state.session.credentials().len());
+                let state = self.peer_state(&peer);
+                let count = state.session.lock().credentials().len();
                 let mut e = Encoder::new();
                 e.put_u32(count as u32);
                 Ok(e.finish())

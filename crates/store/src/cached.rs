@@ -6,6 +6,16 @@
 //! dirty and written back on [`BlockStore::flush`] or eviction, so a
 //! burst of rewrites to the same block reaches the backend once.
 //!
+//! Evictions are **batched**: when a shard overflows, a batch of LRU
+//! victims (an eighth of the shard's capacity) is written back at once
+//! in ascending block order, leaving headroom so the following inserts
+//! are free. An eviction storm — a scan pushing a full working set
+//! through an already-full cache — therefore reaches a journaled inner
+//! as runs of sequential appends (which its group commit coalesces)
+//! and a sharded inner as stripes it can spread, instead of one
+//! scattered write-back per insert. `StoreStats::writeback_batches` /
+//! `writeback_blocks` count the traffic.
+//!
 //! # Crash consistency (the clean-flag discipline)
 //!
 //! The filesystem's recovery protocol (PR 2) relies on two WAL
@@ -106,6 +116,8 @@ pub struct CachedStore<S> {
     seq: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    writeback_batches: AtomicU64,
+    writeback_blocks: AtomicU64,
 }
 
 impl<S: BlockStore> CachedStore<S> {
@@ -122,6 +134,8 @@ impl<S: BlockStore> CachedStore<S> {
             seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            writeback_batches: AtomicU64::new(0),
+            writeback_blocks: AtomicU64::new(0),
         }
     }
 
@@ -151,20 +165,47 @@ impl<S: BlockStore> CachedStore<S> {
         &self.shards[(idx % CACHE_SHARDS as u64) as usize]
     }
 
-    /// Evicts least-recently-used entries until the shard fits,
-    /// writing dirty victims back to the inner store (under the shard
-    /// lock, so no concurrent miss can read the pre-write-back state).
+    /// Per-shard eviction batch size: on overflow the shard evicts
+    /// down to `capacity - (batch - 1)`, so the next `batch - 1`
+    /// inserts are free and dirty victims leave as one sorted batch.
+    fn evict_batch_size(&self) -> usize {
+        (self.per_shard_capacity / 8).max(1)
+    }
+
+    /// Evicts a **batch** of least-recently-used entries when the shard
+    /// overflows (under the shard lock, so no concurrent miss can read
+    /// the pre-write-back state). Dirty victims are written back in
+    /// ascending block order — on a journaled or sharded inner that is
+    /// a run of sequential journal appends (absorbed by group commit /
+    /// striped across shards) instead of one scattered write per
+    /// insert, so an eviction storm costs `1/batch` as many write-back
+    /// rounds. Batches are counted in [`StoreStats`].
     fn evict_overflow(&self, shard: &mut Shard) {
-        while shard.map.len() > self.per_shard_capacity {
+        if shard.map.len() <= self.per_shard_capacity {
+            return;
+        }
+        let target = self.per_shard_capacity - (self.evict_batch_size() - 1);
+        let mut dirty: Vec<(u64, Entry)> = Vec::new();
+        while shard.map.len() > target {
             let Some((victim, entry)) = shard.pop_lru() else {
                 break;
             };
             if entry.dirty {
-                if entry.meta {
-                    self.inner.write_block_meta(victim, &entry.data);
-                } else {
-                    self.inner.write_block(victim, &entry.data);
-                }
+                dirty.push((victim, entry));
+            }
+        }
+        if dirty.is_empty() {
+            return;
+        }
+        dirty.sort_unstable_by_key(|(idx, _)| *idx);
+        self.writeback_blocks
+            .fetch_add(dirty.len() as u64, Ordering::Relaxed);
+        self.writeback_batches.fetch_add(1, Ordering::Relaxed);
+        for (victim, entry) in dirty {
+            if entry.meta {
+                self.inner.write_block_meta(victim, &entry.data);
+            } else {
+                self.inner.write_block(victim, &entry.data);
             }
         }
     }
@@ -300,6 +341,8 @@ impl<S: BlockStore> BlockStore for CachedStore<S> {
         let mut stats = self.inner.stats();
         stats.cache_hits += self.hits.load(Ordering::Relaxed);
         stats.cache_misses += self.misses.load(Ordering::Relaxed);
+        stats.writeback_batches += self.writeback_batches.load(Ordering::Relaxed);
+        stats.writeback_blocks += self.writeback_blocks.load(Ordering::Relaxed);
         stats
     }
 
@@ -375,6 +418,35 @@ mod tests {
             block_of(9),
             "evicted block re-readable"
         );
+    }
+
+    #[test]
+    fn eviction_storm_batches_write_backs() {
+        // Capacity 512 over 8 shards = 64 per shard, batch size 8.
+        // Blocks ≡ 0 (mod 8) all land on shard 0 (skipping block 0,
+        // which is write-through and never dirty), so 65 dirty inserts
+        // overflow the shard once: one batch of 8 victims, not 8
+        // singleton write-backs.
+        let store = CachedStore::new(SimStore::untimed(8192), 512);
+        for i in 1..=65u64 {
+            store.write_block(i * 8, &block_of(i as u8));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.writeback_batches, 1, "one batch for the storm");
+        assert_eq!(stats.writeback_blocks, 8);
+        assert_eq!(stats.writes, 8, "inner saw exactly the batch");
+        // The next 7 inserts ride in the freed headroom: no new batch.
+        for i in 66..=72u64 {
+            store.write_block(i * 8, &block_of(i as u8));
+        }
+        assert_eq!(store.stats().writeback_batches, 1);
+        // One more insert overflows again.
+        store.write_block(73 * 8, &block_of(73));
+        assert_eq!(store.stats().writeback_batches, 2);
+        // Everything evicted is still readable (from the inner store).
+        for i in 1..=73u64 {
+            assert_eq!(store.read_block(i * 8), block_of(i as u8));
+        }
     }
 
     #[test]

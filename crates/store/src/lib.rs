@@ -150,6 +150,13 @@ pub struct StoreStats {
     pub cache_hits: u64,
     /// Reads a [`CachedStore`] had to forward to the inner backend.
     pub cache_misses: u64,
+    /// Eviction write-back batches a [`CachedStore`] issued: when a
+    /// cache shard overflows, a *batch* of LRU victims is written back
+    /// in ascending block order (sequential journal appends on
+    /// journaled inners) instead of one victim per insert.
+    pub writeback_batches: u64,
+    /// Dirty blocks written back through those eviction batches.
+    pub writeback_blocks: u64,
     /// Completed [`BlockStore::flush`] calls.
     pub flushes: u64,
 }
@@ -190,6 +197,8 @@ impl StoreStats {
             journal_batches: self.journal_batches + other.journal_batches,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
+            writeback_batches: self.writeback_batches + other.writeback_batches,
+            writeback_blocks: self.writeback_blocks + other.writeback_blocks,
             flushes: self.flushes + other.flushes,
         }
     }
