@@ -217,6 +217,40 @@ fn figure_backend_virtual_time(_c: &mut Criterion) {
         timed_dedup.stats.dedup_hit_ratio()
     );
 
+    // The TimedStore charging model is the contiguous-run model
+    // (seek + rotation once per run, transfer per block,
+    // DiskModel::run_cost) whether the run arrives as a per-block loop
+    // or one vectored call — so this figure is unchanged for
+    // non-vectored workloads by construction. Pin that: N sequential
+    // scalar ops charge exactly run_cost(N), and the same run vectored
+    // charges the same.
+    {
+        use store::BlockStore;
+        let probe_blocks = 32usize;
+        let clock = netsim::SimClock::new();
+        let probe =
+            store::TimedStore::new(store::SimStore::untimed(probe_blocks as u64), &clock, model);
+        for i in 0..probe_blocks as u64 {
+            probe.read_block(i);
+        }
+        let looped = clock.now();
+        assert_eq!(
+            looped,
+            model.run_cost(probe_blocks),
+            "a scalar sequential loop charges exactly the run model"
+        );
+        clock.reset();
+        let run: Vec<u64> = (0..probe_blocks as u64).collect();
+        probe.read_blocks(&run);
+        // (`last_block` is still at the run's end, so the vectored
+        // replay re-seeks once — identical to what the loop would do.)
+        assert_eq!(
+            clock.now(),
+            model.run_cost(probe_blocks),
+            "the vectored path charges the identical run model"
+        );
+    }
+
     // Buffer cache: the cached stack's re-read passes are served from
     // memory — the inner timed store is never charged.
     let cache_saved = timed_file

@@ -29,7 +29,7 @@
 use std::sync::Barrier;
 use std::time::Instant;
 
-use bench_harness::{bench_quick as quick, record_json, write_json_summary};
+use bench_harness::{bench_quick as quick, cores, record_json, write_json_summary};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use discfs::{CredentialIssuer, DiscfsClient, Perm, Testbed};
@@ -40,12 +40,6 @@ use nfsv2::FHandle;
 
 /// Files in the shared working set.
 const FILES: usize = 16;
-
-fn cores() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
 
 /// A populated server world: testbed + the working-set file handles.
 struct WorldState {

@@ -652,6 +652,14 @@ pub fn bench_quick() -> bool {
     std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
 }
 
+/// Available hardware parallelism (1 when unknown) — the gate for the
+/// scaling assertions benches skip on small hosts.
+pub fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn json_entries() -> &'static std::sync::Mutex<Vec<(String, f64)>> {
     static ENTRIES: std::sync::OnceLock<std::sync::Mutex<Vec<(String, f64)>>> =
         std::sync::OnceLock::new();
@@ -792,9 +800,22 @@ mod tests {
             },
             StoreBackend::Sharded {
                 shards: 4,
+                workers: false,
                 inner: Box::new(StoreBackend::FileJournal {
                     dir: dir.join("sharded"),
                 }),
+            },
+            StoreBackend::Sharded {
+                shards: 4,
+                workers: true,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: dir.join("sharded-workers"),
+                }),
+            },
+            StoreBackend::CachedReadahead {
+                capacity: 128,
+                window: 8,
+                inner: Box::new(StoreBackend::SimInstant),
             },
             StoreBackend::Timed {
                 inner: Box::new(StoreBackend::Dedup),
@@ -831,6 +852,7 @@ mod tests {
                 capacity: 64,
                 inner: Box::new(StoreBackend::Sharded {
                     shards: 3,
+                    workers: true,
                     inner: Box::new(StoreBackend::FileJournal {
                         dir: base.join("cached-sharded"),
                     }),

@@ -20,11 +20,16 @@
 //! inside the entry, so hits from many clients proceed in parallel.
 //! Only misses (insert) and invalidation take a shard write lock.
 //!
-//! Small caches stay exact: the shard count is `capacity / 8` clamped
-//! to `[1, MAX_SHARDS]`, so an ablation-sized cache (≤ 8 entries) is a
-//! single shard with precise LRU order, while the paper's 128-entry
+//! Small caches stay exact: the shard count starts from a power-of-two
+//! **hint** ([`PolicyCache::with_shard_hint`], default [`MAX_SHARDS`])
+//! and halves until every shard holds at least [`MIN_PER_SHARD`]
+//! entries, so an ablation-sized cache (≤ 15 entries) is a single
+//! shard with precise LRU order, while the paper's 128-entry
 //! configuration spreads over 16 shards with per-shard LRU (an
-//! approximation of global LRU that preserves the Figure 12 shape).
+//! approximation of global LRU that preserves the Figure 12 shape). A
+//! deployment expecting thousands of concurrent tenants passes a
+//! larger hint through `DiscfsConfig::peer_shards`, and a big cache
+//! then spreads over up to [`MAX_SHARD_HINT`] shards.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,12 +38,17 @@ use parking_lot::RwLock;
 
 use crate::perm::Perm;
 
-/// Upper bound on cache shards (reached at capacity ≥ 128).
+/// Default shard-count hint (what [`PolicyCache::new`] asks for; a
+/// 128-entry cache reaches it).
 pub const MAX_SHARDS: usize = 16;
+
+/// Hard ceiling on the shard hint accepted by
+/// [`PolicyCache::with_shard_hint`].
+pub const MAX_SHARD_HINT: usize = 256;
 
 /// Minimum entries per shard before another shard is added — keeps
 /// small ablation caches single-sharded (exact LRU).
-const MIN_PER_SHARD: usize = 8;
+pub const MIN_PER_SHARD: usize = 8;
 
 /// A cache key: requester, file, and invalidation epochs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,11 +107,26 @@ pub struct PolicyCache {
 }
 
 impl PolicyCache {
-    /// Creates a cache holding at most `capacity` results. A capacity
-    /// of 0 disables caching (every check is a full KeyNote query —
-    /// the ablation baseline).
+    /// Creates a cache holding at most `capacity` results with the
+    /// default shard hint ([`MAX_SHARDS`]). A capacity of 0 disables
+    /// caching (every check is a full KeyNote query — the ablation
+    /// baseline).
     pub fn new(capacity: usize) -> PolicyCache {
-        let shards = (capacity / MIN_PER_SHARD).clamp(1, MAX_SHARDS);
+        PolicyCache::with_shard_hint(capacity, MAX_SHARDS)
+    }
+
+    /// Creates a cache whose shard geometry is sized from `hint` (the
+    /// expected concurrent client population — `DiscfsConfig`'s
+    /// `peer_shards`): the hint is rounded to a power of two, clamped
+    /// to `[1, `[`MAX_SHARD_HINT`]`]`, then halved until every shard
+    /// holds at least [`MIN_PER_SHARD`] entries — so small ablation
+    /// caches stay single-sharded with exact LRU no matter the hint,
+    /// and the per-shard capacities always sum exactly to `capacity`.
+    pub fn with_shard_hint(capacity: usize, hint: usize) -> PolicyCache {
+        let mut shards = hint.clamp(1, MAX_SHARD_HINT).next_power_of_two();
+        while shards > 1 && capacity / shards < MIN_PER_SHARD {
+            shards /= 2;
+        }
         // Distribute the capacity exactly: the first `capacity % shards`
         // shards hold one extra entry.
         let base = capacity / shards;
@@ -291,6 +316,45 @@ mod tests {
         assert!(cache.get(&k(99)).is_some());
         assert!(cache.get(&k(0)).is_none());
         assert!(cache.stats().evictions() > 0);
+    }
+
+    #[test]
+    fn shard_hint_is_clamped_to_a_power_of_two() {
+        // A non-power-of-two hint rounds up; capacity still bounds it.
+        let cache = PolicyCache::with_shard_hint(1024, 100);
+        assert_eq!(cache.shard_count(), 128);
+        assert_eq!(cache.capacity(), 1024);
+        // An absurd hint hits the ceiling.
+        let cache = PolicyCache::with_shard_hint(1 << 20, 100_000);
+        assert_eq!(cache.shard_count(), MAX_SHARD_HINT);
+        // A big hint over a small cache halves down to exact LRU.
+        let cache = PolicyCache::with_shard_hint(4, 1024);
+        assert_eq!(cache.shard_count(), 1);
+        // Per-shard capacities always sum exactly to the total.
+        for (capacity, hint) in [(0, 64), (7, 64), (100, 64), (1000, 3)] {
+            let cache = PolicyCache::with_shard_hint(capacity, hint);
+            assert_eq!(
+                cache.shard_capacity.iter().sum::<usize>(),
+                capacity,
+                "capacity {capacity}, hint {hint}"
+            );
+            assert!(cache.shard_count().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn hinted_cache_keeps_exact_accounting() {
+        let cache = PolicyCache::with_shard_hint(256, 64);
+        assert_eq!(cache.shard_count(), 32);
+        for i in 0..1000u32 {
+            let k = key((i % 251) as u8, i % 40, 0);
+            if cache.get(&k).is_none() {
+                cache.insert(k, Perm::R);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits() + stats.misses(), 1000);
+        assert!(cache.len() <= 256);
     }
 
     #[test]

@@ -31,11 +31,16 @@
 //! engineered to scale with concurrent clients (PR 4):
 //!
 //! * **Sharded peer sessions** — the per-client-key KeyNote sessions
-//!   live in 16 shards keyed on the key's first byte, each behind its
-//!   own `RwLock`. Resolving a request takes one shard *read* lock to
-//!   clone the peer's `Arc`'d state; the session itself (behind a
-//!   per-peer mutex) is only locked on cache misses and credential
-//!   changes.
+//!   live in shards keyed on the key's first byte, each behind its
+//!   own `RwLock`. The shard count is **adaptive**: it is sized from
+//!   [`DiscfsConfig`]'s `peer_shards` hint (the expected concurrent
+//!   client population; default 16), clamped to a power of two in
+//!   `[1, 256]`, and the same hint shapes the policy-cache shard
+//!   geometry — a deployment expecting thousands of concurrent
+//!   tenants spreads both tables over more locks. Resolving a request
+//!   takes one shard *read* lock to clone the peer's `Arc`'d state;
+//!   the session itself (behind a per-peer mutex) is only locked on
+//!   cache misses and credential changes.
 //! * **Atomic epochs** — each peer carries an `AtomicU64` credential
 //!   epoch and the server keeps a global environment epoch (time of
 //!   day, virtual time, public grants, revocations). A cached decision
@@ -204,6 +209,45 @@ mod tests {
             .holder(&holder.public())
             .grant_handle_string("1.1", Perm::RWX)
             .issue()
+    }
+
+    #[test]
+    fn peer_shard_count_is_sized_from_the_config_hint() {
+        use std::sync::Arc;
+
+        let build = |peer_shards: usize| {
+            let fs = Arc::new(ffs::Ffs::format_in_memory(ffs::FsConfig::small()));
+            let admin = key(0xAD);
+            let server = key(0x5E);
+            let mut config = DiscfsConfig::standard(admin.public(), server);
+            config.peer_shards = peer_shards;
+            DiscfsService::new(fs, config)
+        };
+        // Default stays 16; odd hints clamp to the next power of two;
+        // absurd hints hit the first-byte routing ceiling of 256.
+        assert_eq!(build(server::PEER_SHARDS).peer_shard_count(), 16);
+        assert_eq!(build(5).peer_shard_count(), 8);
+        assert_eq!(build(0).peer_shard_count(), 1);
+        assert_eq!(build(10_000).peer_shard_count(), 256);
+
+        // The AuthStats invariants hold on a reshaped table: every
+        // decision is exactly one cache lookup, hits + misses ==
+        // decisions, and a warm decision takes no exclusive lock.
+        let service = build(64);
+        let peer = key(0x77).public();
+        let fh = nfsv2::FHandle::pack(1, 1, 0);
+        for _ in 0..10 {
+            let perm = service.permissions_for(&peer, &fh);
+            assert_eq!(perm, Perm::NONE, "no credentials, nothing granted");
+        }
+        let stats = service.auth_stats();
+        let cache = service.cache().stats();
+        assert_eq!(stats.decisions(), 10);
+        assert_eq!(cache.hits() + cache.misses(), stats.decisions());
+        assert_eq!(cache.misses(), 1, "one cold compliance check");
+        // 1 peer-map insert + 1 session lock + 1 cache insert on the
+        // miss; the nine warm decisions add nothing exclusive.
+        assert_eq!(stats.exclusive(), 3);
     }
 
     #[test]

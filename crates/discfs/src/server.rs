@@ -67,10 +67,18 @@ use crate::rpc::{
     DISCFS_VERSION,
 };
 
-/// Peer-session table shards. Sessions hash on the key's first byte:
-/// Ed25519 public keys are uniformly distributed, so shard load is
-/// even no matter how clients arrive.
+/// Default peer-session shard-count hint (the ROADMAP's adaptive
+/// peer-shard count sizes the real table from
+/// [`DiscfsConfig::peer_shards`]; this is what
+/// [`DiscfsConfig::standard`] asks for). Sessions hash on the key's
+/// first byte: Ed25519 public keys are uniformly distributed, so
+/// shard load is even no matter how clients arrive.
 pub const PEER_SHARDS: usize = 16;
+
+/// Hard ceiling on the peer-session shard count: routing keys on the
+/// public key's first byte, so more than 256 shards can never be
+/// addressed.
+pub const MAX_PEER_SHARDS: usize = 256;
 
 /// Server configuration.
 pub struct DiscfsConfig {
@@ -86,11 +94,18 @@ pub struct DiscfsConfig {
     pub cache_size: usize,
     /// Audit log capacity.
     pub audit_capacity: usize,
+    /// Hint for the expected concurrent client population: sizes the
+    /// peer-session shard count (clamped to a power of two in
+    /// `[1, `[`MAX_PEER_SHARDS`]`]`) and the policy-cache shard
+    /// geometry. Default [`PEER_SHARDS`] — a deployment expecting
+    /// thousands of concurrent tenants raises it so the session table
+    /// and decision cache spread over more locks.
+    pub peer_shards: usize,
 }
 
 impl DiscfsConfig {
     /// The standard setup: `admin` and the server key are policy roots;
-    /// `admin` may revoke; cache size 128.
+    /// `admin` may revoke; cache size 128; [`PEER_SHARDS`] shard hint.
     pub fn standard(admin: VerifyingKey, server_key: SigningKey) -> DiscfsConfig {
         let policy = vec![root_policy(&[admin, server_key.public()])];
         DiscfsConfig {
@@ -100,7 +115,22 @@ impl DiscfsConfig {
             admin_keys: vec![admin],
             cache_size: 128,
             audit_capacity: 4096,
+            peer_shards: PEER_SHARDS,
         }
+    }
+
+    /// The peer-session shard count this config resolves to: the hint
+    /// rounded up to a power of two and clamped to
+    /// `[1, `[`MAX_PEER_SHARDS`]`]` — a power of two keeps the
+    /// first-byte routing a mask, and uneven counts would skew the
+    /// uniform key distribution.
+    pub fn resolved_peer_shards(&self) -> usize {
+        // Clamp first so the rounding can never overflow; rounding a
+        // clamped value stays within the ceiling (256 is itself a
+        // power of two).
+        self.peer_shards
+            .clamp(1, MAX_PEER_SHARDS)
+            .next_power_of_two()
     }
 }
 
@@ -220,16 +250,17 @@ pub struct PolicyCharge {
 impl DiscfsService {
     /// Creates a service exporting `fs`.
     pub fn new(fs: Arc<Ffs>, config: DiscfsConfig) -> DiscfsService {
+        let peer_shards = config.resolved_peer_shards();
         DiscfsService {
             storage: FfsService::new(fs, config.fsid),
             server_key: config.server_key,
             admin_keys: config.admin_keys,
             policy: config.policy,
-            peer_shards: (0..PEER_SHARDS)
+            peer_shards: (0..peer_shards)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             epoch_counter: AtomicU64::new(1),
-            cache: PolicyCache::new(config.cache_size),
+            cache: PolicyCache::with_shard_hint(config.cache_size, peer_shards),
             revocations: RwLock::new(RevocationList::new()),
             audit: AuditLog::new(config.audit_capacity),
             env_hour: AtomicU32::new(12),
@@ -303,6 +334,18 @@ impl DiscfsService {
     /// Authorization-path lock and decision counters.
     pub fn auth_stats(&self) -> &AuthStats {
         &self.auth_stats
+    }
+
+    /// The resolved peer-session shard count (always a power of two —
+    /// see [`DiscfsConfig::resolved_peer_shards`]).
+    pub fn peer_shard_count(&self) -> usize {
+        self.peer_shards.len()
+    }
+
+    /// The shard holding `peer`'s session. The count is a power of
+    /// two, so first-byte routing is a mask.
+    fn peer_shard(&self, peer: &VerifyingKey) -> &RwLock<HashMap<[u8; 32], Arc<PeerState>>> {
+        &self.peer_shards[peer.0[0] as usize & (self.peer_shards.len() - 1)]
     }
 
     /// Sets the hour-of-day seen by `hour` conditions. Invalidates
@@ -379,7 +422,7 @@ impl DiscfsService {
     /// The peer's shared session state, created on first use. The
     /// steady-state path is a shard read lock plus an Arc clone.
     fn peer_state(&self, peer: &VerifyingKey) -> Arc<PeerState> {
-        let shard = &self.peer_shards[peer.0[0] as usize % PEER_SHARDS];
+        let shard = self.peer_shard(peer);
         self.auth_stats.shared.fetch_add(1, Ordering::Relaxed);
         if let Some(state) = shard.read().get(&peer.0) {
             return state.clone();
@@ -767,9 +810,7 @@ impl NfsService for DiscfsService {
         // client resubmits credentials next time (credential caching is
         // the client wallet's job, §4.1).
         if let Some(peer) = ctx.peer {
-            self.peer_shards[peer.0[0] as usize % PEER_SHARDS]
-                .write()
-                .remove(&peer.0);
+            self.peer_shard(&peer).write().remove(&peer.0);
         }
     }
 }

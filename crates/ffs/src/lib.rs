@@ -54,6 +54,45 @@
 //! records reach disk in one syscall per [`store::JOURNAL_BATCH_RECORDS`]
 //! batch with the on-disk record format unchanged.
 //!
+//! # Parallel I/O engine (the pipelined file path)
+//!
+//! File reads and writes no longer loop the store per block: each
+//! operation resolves its whole block mapping first, then moves the
+//! extent in **one vectored call** (`BlockStore::read_blocks` /
+//! `write_blocks`; a one-block extent stays scalar). Partial head and
+//! tail blocks are still read-modify-written through
+//! `read_block_into`, but the RMW'd buffers ride in the same vectored
+//! write as the full blocks, in ascending file order — so the journal
+//! records of a journaled backend are the same records, in the same
+//! order, as the per-block loop produced (the crash matrix is
+//! unchanged and passing). What the batching buys per backend:
+//!
+//! * `Sharded { workers: true, .. }` fans the extent out one job per
+//!   involved shard through bounded submission queues, so a *single*
+//!   client's streaming burst drives all N shards concurrently
+//!   (`crates/bench/benches/streaming.rs` pins the ≥ 2× speedup on
+//!   ≥ 4 cores).
+//! * `FileJournal` seals a W-block vectored write into exactly
+//!   `ceil(W / JOURNAL_BATCH_RECORDS)` journal append syscalls — the
+//!   vectored write is a durability unit (its records are sealed when
+//!   the call returns).
+//! * `CachedReadahead` detects ascending strides on the scalar read
+//!   path (NFS-style 8 KB transfers) and prefetches a configurable
+//!   window from the inner store vectored, so a sequential consumer
+//!   finds its next blocks already cached
+//!   (`StoreStats::readahead_blocks` counts the traffic).
+//! * `Timed` charges a contiguous run one seek + rotation plus
+//!   per-block transfer — exactly what the looped path charged for
+//!   the same access order, so the paper's virtual-time figures are
+//!   byte-stable.
+//!
+//! Shutdown/flush ordering: `Ffs::sync` still flushes before writing
+//! the clean marker and flushes again after; on a worker-enabled
+//! sharded backend each flush is a job submitted behind any queued
+//! work (FIFO), so the clean marker can never overtake an in-flight
+//! vectored write, and dropping the volume joins the workers before
+//! the per-shard journals seal their final batches.
+//!
 //! # Persistence lifecycle
 //!
 //! A volume is a long-lived entity: format once, then mount on every

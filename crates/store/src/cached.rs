@@ -38,6 +38,7 @@
 //! (the written-through dirty marker guarantees the sweep runs — a
 //! crashed cached volume never fast-paths on stale bitmaps).
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -72,6 +73,17 @@ struct Shard {
     /// queued, so it is re-queued with its current seq (the "second
     /// chance") instead of evicted. Amortized O(1) per eviction.
     clock: VecDeque<(u64, u64)>,
+    /// Bumped on every write into this shard. The vectored miss path
+    /// and the readahead prefetch fetch from the inner store with *no*
+    /// shard lock held (the scalar path holds it across the fetch);
+    /// before inserting the fetched data they re-check this version —
+    /// if a write landed in between, the fetch may predate it (and the
+    /// written entry may already have been evicted, so a Vacant slot
+    /// proves nothing), and caching it clean would serve stale bytes
+    /// forever. A changed version skips the insert; the fetched data
+    /// is still returned to the caller, which is linearizable for a
+    /// read that overlapped the write.
+    write_version: u64,
 }
 
 impl Shard {
@@ -113,9 +125,20 @@ pub struct CachedStore<S> {
     inner: S,
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
+    /// Sequential-readahead window in blocks (0 = disabled). See
+    /// [`CachedStore::with_readahead`].
+    readahead_window: usize,
+    /// Last scalar data-read index (`u64::MAX` = none yet) — the
+    /// stride detector's memory.
+    ra_last: AtomicU64,
+    /// Consecutive ascending-stride reads observed so far.
+    ra_streak: AtomicU64,
     seq: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    readahead: AtomicU64,
+    vectored_reads: AtomicU64,
+    vectored_writes: AtomicU64,
     writeback_batches: AtomicU64,
     writeback_blocks: AtomicU64,
 }
@@ -123,17 +146,37 @@ pub struct CachedStore<S> {
 impl<S: BlockStore> CachedStore<S> {
     /// Wraps `inner` with a cache of roughly `capacity` blocks
     /// (rounded up to a multiple of the shard count, minimum one block
-    /// per shard).
+    /// per shard), with readahead disabled.
     pub fn new(inner: S, capacity: usize) -> CachedStore<S> {
+        CachedStore::with_readahead(inner, capacity, 0)
+    }
+
+    /// Like [`CachedStore::new`] plus **sequential readahead**: once
+    /// the scalar data-read path sees three consecutive ascending
+    /// indices (two stride confirmations — one adjacent pair can be
+    /// luck, a run is a scan) and the current read *missed*, the next
+    /// `window` blocks are prefetched from the inner store in one
+    /// vectored call and inserted clean. Prefetched blocks served
+    /// later count as ordinary cache hits, so the accounting invariant
+    /// `cache_hits + cache_misses == reads issued` is untouched;
+    /// [`StoreStats::readahead_blocks`] counts the prefetched traffic
+    /// (zero for random access). A window of 0 disables readahead.
+    pub fn with_readahead(inner: S, capacity: usize, window: usize) -> CachedStore<S> {
         CachedStore {
             inner,
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            readahead_window: window,
+            ra_last: AtomicU64::new(u64::MAX),
+            ra_streak: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            readahead: AtomicU64::new(0),
+            vectored_reads: AtomicU64::new(0),
+            vectored_writes: AtomicU64::new(0),
             writeback_batches: AtomicU64::new(0),
             writeback_blocks: AtomicU64::new(0),
         }
@@ -142,6 +185,11 @@ impl<S: BlockStore> CachedStore<S> {
     /// The wrapped backend.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// The configured sequential-readahead window (0 = disabled).
+    pub fn readahead_window(&self) -> usize {
+        self.readahead_window
     }
 
     /// Blocks currently cached (across all shards).
@@ -217,7 +265,12 @@ impl<S: BlockStore> CachedStore<S> {
         if let Some(entry) = shard.map.get_mut(&idx) {
             entry.seq = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return entry.data.clone();
+            let data = entry.data.clone();
+            drop(shard);
+            if !meta {
+                self.maybe_readahead(idx, false);
+            }
+            return data;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let data = if meta {
@@ -239,7 +292,72 @@ impl<S: BlockStore> CachedStore<S> {
             .is_some();
         shard.note_insert(idx, stamp, was_present);
         self.evict_overflow(&mut shard);
+        drop(shard);
+        if !meta {
+            self.maybe_readahead(idx, true);
+        }
         data
+    }
+
+    /// The stride detector behind sequential readahead, fed by every
+    /// scalar data read (hits keep the streak alive; only a miss
+    /// triggers a prefetch — a scan inside the cached working set has
+    /// nothing to fetch). Runs strictly *after* the caller's shard
+    /// lock is released: the window spans every cache shard, and the
+    /// prefetch inserts take those locks one at a time.
+    fn maybe_readahead(&self, idx: u64, missed: bool) {
+        if self.readahead_window == 0 {
+            return;
+        }
+        let prev = self.ra_last.swap(idx, Ordering::Relaxed);
+        if prev == u64::MAX || idx != prev.wrapping_add(1) {
+            self.ra_streak.store(0, Ordering::Relaxed);
+            return;
+        }
+        let streak = self.ra_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if !missed || streak < 2 {
+            // Three consecutive ascending reads before the first
+            // prefetch: one adjacent pair can be luck, a run is a scan.
+            return;
+        }
+        let start = idx + 1;
+        let end = (start + self.readahead_window as u64).min(self.inner.block_count());
+        let wanted: Vec<(u64, u64)> = (start..end)
+            .filter_map(|b| {
+                let shard = self.shard(b).lock();
+                (!shard.map.contains_key(&b)).then_some((b, shard.write_version))
+            })
+            .collect();
+        if wanted.is_empty() {
+            return;
+        }
+        let idxs: Vec<u64> = wanted.iter().map(|(b, _)| *b).collect();
+        let fetched = self.inner.read_blocks(&idxs);
+        for ((b, version), data) in wanted.into_iter().zip(fetched) {
+            let mut shard = self.shard(b).lock();
+            // Same no-lock-across-the-fetch discipline as the vectored
+            // miss path: a write that landed since the block was
+            // selected (resident or already evicted again) is newer
+            // than the prefetched bytes — skip the insert.
+            if shard.write_version != version {
+                continue;
+            }
+            let stamp = self.stamp();
+            match shard.map.entry(b) {
+                MapEntry::Occupied(_) => continue,
+                MapEntry::Vacant(slot) => {
+                    slot.insert(Entry {
+                        data,
+                        dirty: false,
+                        meta: false,
+                        seq: stamp,
+                    });
+                }
+            }
+            shard.note_insert(b, stamp, false);
+            self.evict_overflow(&mut shard);
+            self.readahead.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn write_cached(&self, idx: u64, data: &[u8], meta: bool) {
@@ -247,6 +365,7 @@ impl<S: BlockStore> CachedStore<S> {
         assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
         let handle = Bytes::copy_from_slice(data);
         let mut shard = self.shard(idx).lock();
+        shard.write_version += 1;
         let stamp = self.stamp();
         // Block 0 (the superblock) is written through so the clean-flag
         // discipline survives: see the module docs.
@@ -290,6 +409,78 @@ impl<S: BlockStore> BlockStore for CachedStore<S> {
 
     fn write_block(&self, idx: u64, data: &[u8]) {
         self.write_cached(idx, data, false)
+    }
+
+    /// Vectored read with hit/miss partitioning: hits are served under
+    /// shard locks as handle clones, and the misses — however many,
+    /// wherever they land — are fetched from the inner store in
+    /// **one** vectored call, then inserted clean. (The scalar-path
+    /// stride detector is not fed here: a vectored caller already
+    /// batches its own extent.)
+    fn read_blocks(&self, idxs: &[u64]) -> Vec<Bytes> {
+        self.vectored_reads.fetch_add(1, Ordering::Relaxed);
+        let mut out: Vec<Option<Bytes>> = vec![None; idxs.len()];
+        let mut missed: Vec<(usize, u64, u64)> = Vec::new();
+        for (pos, &idx) in idxs.iter().enumerate() {
+            assert!(idx < self.inner.block_count(), "block {idx} out of range");
+            let mut shard = self.shard(idx).lock();
+            let stamp = self.stamp();
+            if let Some(entry) = shard.map.get_mut(&idx) {
+                entry.seq = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                out[pos] = Some(entry.data.clone());
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                missed.push((pos, idx, shard.write_version));
+            }
+        }
+        if !missed.is_empty() {
+            let wanted: Vec<u64> = missed.iter().map(|(_, idx, _)| *idx).collect();
+            let fetched = self.inner.read_blocks(&wanted);
+            for ((pos, idx, version), data) in missed.into_iter().zip(fetched) {
+                out[pos] = Some(data.clone());
+                let mut shard = self.shard(idx).lock();
+                // The fetch ran with no shard lock held: a write that
+                // landed since the miss was recorded (whether its
+                // entry is still resident or was already evicted) is
+                // newer than the fetched bytes, so caching them clean
+                // would serve stale data forever. A changed version —
+                // or an entry already present (concurrent write, or a
+                // duplicate index earlier in this very call) — skips
+                // the insert; the caller still gets the fetched data.
+                if shard.write_version != version {
+                    continue;
+                }
+                let stamp = self.stamp();
+                match shard.map.entry(idx) {
+                    MapEntry::Occupied(_) => continue,
+                    MapEntry::Vacant(slot) => {
+                        slot.insert(Entry {
+                            data,
+                            dirty: false,
+                            meta: false,
+                            seq: stamp,
+                        });
+                    }
+                }
+                shard.note_insert(idx, stamp, false);
+                self.evict_overflow(&mut shard);
+            }
+        }
+        out.into_iter()
+            .map(|block| block.expect("every position is a hit or a fetched miss"))
+            .collect()
+    }
+
+    /// Vectored write: each block lands dirty in its cache shard (the
+    /// write-back cache absorbs the burst; the inner store sees it as
+    /// sorted batches at flush/eviction time), with block 0 written
+    /// through as always.
+    fn write_blocks(&self, writes: &[(u64, &[u8])]) {
+        self.vectored_writes.fetch_add(1, Ordering::Relaxed);
+        for &(idx, data) in writes {
+            self.write_cached(idx, data, false);
+        }
     }
 
     fn read_block_meta(&self, idx: u64) -> Bytes {
@@ -341,6 +532,9 @@ impl<S: BlockStore> BlockStore for CachedStore<S> {
         let mut stats = self.inner.stats();
         stats.cache_hits += self.hits.load(Ordering::Relaxed);
         stats.cache_misses += self.misses.load(Ordering::Relaxed);
+        stats.readahead_blocks += self.readahead.load(Ordering::Relaxed);
+        stats.vectored_reads += self.vectored_reads.load(Ordering::Relaxed);
+        stats.vectored_writes += self.vectored_writes.load(Ordering::Relaxed);
         stats.writeback_batches += self.writeback_batches.load(Ordering::Relaxed);
         stats.writeback_blocks += self.writeback_blocks.load(Ordering::Relaxed);
         stats
@@ -461,6 +655,204 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_read_panics_at_the_call_site() {
         CachedStore::new(SimStore::untimed(16), 64).read_block(16);
+    }
+
+    #[test]
+    fn vectored_read_partitions_hits_and_misses() {
+        let inner = SimStore::untimed(32);
+        for i in 0..32u64 {
+            inner.write_block(i, &block_of(i as u8 + 1));
+        }
+        let store = CachedStore::new(inner, 32);
+        // Warm half the working set.
+        for i in (0..32u64).step_by(2) {
+            store.read_block(i);
+        }
+        let before = store.stats();
+        let idxs: Vec<u64> = (0..32).collect();
+        let blocks = store.read_blocks(&idxs);
+        for (i, block) in blocks.iter().enumerate() {
+            assert_eq!(block, &block_of(i as u8 + 1));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.cache_hits - before.cache_hits, 16, "warm half hits");
+        assert_eq!(stats.cache_misses - before.cache_misses, 16);
+        assert_eq!(
+            stats.vectored_reads - before.vectored_reads,
+            2,
+            "one call here, one forwarded miss fetch to the inner store"
+        );
+        // The misses are now cached: the same vectored read is all hits.
+        let before = store.stats();
+        store.read_blocks(&idxs);
+        let stats = store.stats();
+        assert_eq!(stats.cache_hits - before.cache_hits, 32);
+        assert_eq!(stats.cache_misses, before.cache_misses);
+    }
+
+    #[test]
+    fn sequential_scan_triggers_readahead_but_random_does_not() {
+        let blocks = 256u64;
+        let inner = SimStore::untimed(blocks);
+        for i in 0..blocks {
+            inner.write_block(i, &block_of((i % 251) as u8));
+        }
+        let store = CachedStore::with_readahead(inner, blocks as usize, 8);
+        let mut issued = 0u64;
+        for i in 0..blocks {
+            assert_eq!(store.read_block(i), block_of((i % 251) as u8));
+            issued += 1;
+        }
+        let stats = store.stats();
+        assert!(
+            stats.readahead_blocks > 0,
+            "a sequential scan must prefetch: {stats:?}"
+        );
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses,
+            issued,
+            "readahead never distorts the hit/miss accounting"
+        );
+        assert!(
+            stats.cache_hits > stats.cache_misses,
+            "most of the scan is served from prefetched blocks: {stats:?}"
+        );
+
+        // Random access on a fresh instance: the stride never forms.
+        let inner = SimStore::untimed(blocks);
+        for i in 0..blocks {
+            inner.write_block(i, &block_of((i % 251) as u8));
+        }
+        let store = CachedStore::with_readahead(inner, blocks as usize, 8);
+        let mut x = 0xDEADBEEFu64;
+        let mut issued = 0u64;
+        for _ in 0..blocks {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            store.read_block(x % blocks);
+            issued += 1;
+        }
+        let stats = store.stats();
+        assert_eq!(stats.readahead_blocks, 0, "random access never prefetches");
+        assert_eq!(stats.cache_hits + stats.cache_misses, issued);
+    }
+
+    #[test]
+    fn readahead_is_off_by_default() {
+        let store = CachedStore::new(SimStore::untimed(64), 64);
+        assert_eq!(store.readahead_window(), 0);
+        for i in 0..64u64 {
+            store.read_block(i);
+        }
+        assert_eq!(store.stats().readahead_blocks, 0);
+        assert_eq!(store.stats().cache_misses, 64, "every first touch misses");
+    }
+
+    /// An inner store whose first vectored fetch races the cache that
+    /// wraps it: while the fetch is "in flight" (no shard lock held),
+    /// it writes newer data for `victim` through the cache and then
+    /// forces that entry's eviction — so at insert time the victim's
+    /// slot is vacant again, but the fetched bytes predate the write.
+    /// The caches below are sized at one block per shard and `evictor`
+    /// shares the victim's shard, so one extra write is a guaranteed
+    /// eviction.
+    struct RacyInner {
+        inner: SimStore,
+        cache: std::sync::OnceLock<std::sync::Weak<CachedStore<std::sync::Arc<RacyInner>>>>,
+        fired: std::sync::atomic::AtomicBool,
+        victim: u64,
+        evictor: u64,
+    }
+
+    impl RacyInner {
+        fn new(blocks: u64, victim: u64, evictor: u64) -> RacyInner {
+            RacyInner {
+                inner: SimStore::untimed(blocks),
+                cache: std::sync::OnceLock::new(),
+                fired: std::sync::atomic::AtomicBool::new(false),
+                victim,
+                evictor,
+            }
+        }
+    }
+
+    impl BlockStore for RacyInner {
+        fn block_count(&self) -> u64 {
+            self.inner.block_count()
+        }
+        fn read_block(&self, idx: u64) -> Bytes {
+            self.inner.read_block(idx)
+        }
+        fn write_block(&self, idx: u64, data: &[u8]) {
+            self.inner.write_block(idx, data)
+        }
+        fn read_blocks(&self, idxs: &[u64]) -> Vec<Bytes> {
+            let out = self.inner.read_blocks(idxs);
+            if !self.fired.swap(true, Ordering::SeqCst) {
+                let cache = self
+                    .cache
+                    .get()
+                    .and_then(|weak| weak.upgrade())
+                    .expect("test wires the cache in before reading");
+                cache.write_block(self.victim, &block_of(0xEE));
+                cache.write_block(self.evictor, &block_of(0xF0));
+            }
+            out
+        }
+        fn stats(&self) -> StoreStats {
+            self.inner.stats()
+        }
+        fn label(&self) -> &'static str {
+            "racy"
+        }
+    }
+    use crate::StoreStats;
+    use std::sync::Arc;
+
+    #[test]
+    fn vectored_miss_never_caches_data_staler_than_a_racing_write() {
+        let racy = Arc::new(RacyInner::new(64, 1, 9));
+        racy.inner.write_block(1, &block_of(0x01)); // the stale bytes
+        let cache = Arc::new(CachedStore::new(Arc::clone(&racy), 8));
+        racy.cache.set(Arc::downgrade(&cache)).ok();
+        // The vectored miss fetch returns the pre-write bytes — legal
+        // for a read overlapping a write...
+        let got = cache.read_blocks(&[1]);
+        assert_eq!(got[0], block_of(0x01));
+        // ...but the cache must not have kept them: the racing write
+        // (already evicted down to the inner store) is newer.
+        assert_eq!(
+            cache.read_block(1),
+            block_of(0xEE),
+            "a stale vectored fetch must never be cached over a racing write"
+        );
+    }
+
+    #[test]
+    fn readahead_never_caches_data_staler_than_a_racing_write() {
+        let racy = Arc::new(RacyInner::new(64, 3, 11));
+        for i in 0..8u64 {
+            racy.inner.write_block(i, &block_of(i as u8 + 1));
+        }
+        let cache = Arc::new(CachedStore::with_readahead(Arc::clone(&racy), 8, 4));
+        racy.cache.set(Arc::downgrade(&cache)).ok();
+        // Three ascending scalar reads form the stride; the miss at 2
+        // prefetches [3, 7) — and the hook races a write to block 3
+        // into that unlocked fetch.
+        for i in 0..3u64 {
+            assert_eq!(cache.read_block(i), block_of(i as u8 + 1));
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.readahead_blocks, 3,
+            "blocks 4..7 prefetched; the raced block 3 skipped"
+        );
+        assert_eq!(
+            cache.read_block(3),
+            block_of(0xEE),
+            "a stale prefetch must never be cached over a racing write"
+        );
     }
 
     #[test]

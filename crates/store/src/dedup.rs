@@ -44,6 +44,11 @@ struct DedupState {
     writes: u64,
     dedup_hits: u64,
     zero_elisions: u64,
+    /// Vectored-call counters (not persisted in the snapshot — the
+    /// on-disk format predates them and reopen tolerates stale
+    /// workload counters anyway).
+    vectored_reads: u64,
+    vectored_writes: u64,
     flushes: u64,
     /// Whether anything snapshot-worthy changed since the last flush
     /// (any write path — content or write counters). Not persisted.
@@ -59,6 +64,8 @@ impl DedupState {
             writes: 0,
             dedup_hits: 0,
             zero_elisions: 0,
+            vectored_reads: 0,
+            vectored_writes: 0,
             flushes: 0,
             snap_dirty: false,
         }
@@ -212,6 +219,12 @@ impl DedupStore {
         assert!(idx < self.block_count, "block {idx} out of range");
         assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
         let mut s = self.state.lock();
+        Self::apply_write(&mut s, idx, data, count_stats);
+    }
+
+    /// One write applied under the state lock — shared by the scalar
+    /// and vectored paths so their dedup accounting is identical.
+    fn apply_write(s: &mut DedupState, idx: u64, data: &[u8], count_stats: bool) {
         s.snap_dirty = true;
 
         let zero = data.iter().all(|&b| b == 0);
@@ -323,6 +336,35 @@ impl BlockStore for DedupStore {
         self.write_common(idx, data, true)
     }
 
+    /// Vectored read: one lock acquisition; every block is a refcount
+    /// bump off the chunk table, exactly like the scalar path.
+    fn read_blocks(&self, idxs: &[u64]) -> Vec<Bytes> {
+        let mut s = self.state.lock();
+        s.vectored_reads += 1;
+        s.reads += idxs.len() as u64;
+        idxs.iter()
+            .map(|&idx| {
+                assert!(idx < self.block_count, "block {idx} out of range");
+                match s.table[idx as usize] {
+                    Some(id) => s.chunks[&id].data.clone(),
+                    None => zero_block(),
+                }
+            })
+            .collect()
+    }
+
+    /// Vectored write: one lock acquisition; hashing and dedup
+    /// accounting per block are identical to the looped path.
+    fn write_blocks(&self, writes: &[(u64, &[u8])]) {
+        let mut s = self.state.lock();
+        s.vectored_writes += 1;
+        for &(idx, data) in writes {
+            assert!(idx < self.block_count, "block {idx} out of range");
+            assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+            Self::apply_write(&mut s, idx, data, true);
+        }
+    }
+
     /// Metadata traffic (superblock, bitmaps, inode table, indirect
     /// blocks) is stored and deduplicated like any content but kept
     /// out of the workload counters: a sync-heavy run rewriting the
@@ -359,6 +401,8 @@ impl BlockStore for DedupStore {
             dedup_hits: s.dedup_hits,
             zero_elisions: s.zero_elisions,
             unique_blocks: s.chunks.len() as u64,
+            vectored_reads: s.vectored_reads,
+            vectored_writes: s.vectored_writes,
             flushes: s.flushes,
             ..StoreStats::default()
         }

@@ -106,6 +106,34 @@ impl<S: BlockStore> BlockStore for EncryptedStore<S> {
         self.inner.write_block(idx, &sealed);
     }
 
+    /// Vectored read: one inner vectored call, each block unsealed on
+    /// the way out.
+    fn read_blocks(&self, idxs: &[u64]) -> Vec<Bytes> {
+        self.inner
+            .read_blocks(idxs)
+            .into_iter()
+            .zip(idxs)
+            .map(|(data, &idx)| self.unseal(idx, data))
+            .collect()
+    }
+
+    /// Vectored write: every block is sealed with its per-block
+    /// keystream, then the ciphertext extent goes to the inner store
+    /// as one vectored call (preserving its journal batching).
+    fn write_blocks(&self, writes: &[(u64, &[u8])]) {
+        let sealed: Vec<(u64, Vec<u8>)> = writes
+            .iter()
+            .map(|&(idx, data)| {
+                assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+                let mut buf = data.to_vec();
+                self.transform(idx, &mut buf);
+                (idx, buf)
+            })
+            .collect();
+        let refs: Vec<(u64, &[u8])> = sealed.iter().map(|(idx, buf)| (*idx, &buf[..])).collect();
+        self.inner.write_blocks(&refs);
+    }
+
     fn read_block_meta(&self, idx: u64) -> Bytes {
         let data = self.inner.read_block_meta(idx);
         self.unseal(idx, data)

@@ -59,6 +59,21 @@ impl DiskModel {
         }
         Duration::from_nanos((bytes as u64).saturating_mul(1_000_000_000) / self.transfer_rate)
     }
+
+    /// The model's cost for one **contiguous run** of `run_len` data
+    /// blocks starting from a cold head position: one average seek +
+    /// rotational delay for the run, then media-rate transfer per
+    /// block. This is exactly what the per-block charge produces for
+    /// an ascending run (sequential accesses skip the seek), exposed
+    /// so benchmarks can assert that vectored and looped charging
+    /// agree — the contract behind the virtual-time figures staying
+    /// unchanged for non-vectored workloads.
+    pub fn run_cost(&self, run_len: usize) -> Duration {
+        if run_len == 0 {
+            return Duration::ZERO;
+        }
+        self.avg_seek + self.rotational + self.transfer_time(BLOCK_SIZE) * run_len as u32
+    }
 }
 
 struct SimState {
@@ -66,6 +81,8 @@ struct SimState {
     last_block: Option<u64>,
     reads: u64,
     writes: u64,
+    vectored_reads: u64,
+    vectored_writes: u64,
 }
 
 /// An in-memory block device with virtual-time charging.
@@ -85,6 +102,8 @@ impl SimStore {
                 last_block: None,
                 reads: 0,
                 writes: 0,
+                vectored_reads: 0,
+                vectored_writes: 0,
             }),
             block_count,
             model,
@@ -151,6 +170,37 @@ impl BlockStore for SimStore {
         s.blocks[idx as usize] = Bytes::copy_from_slice(data);
     }
 
+    /// Vectored read: one lock acquisition for the whole extent; the
+    /// per-block charge still sees each index, so an ascending run
+    /// pays one seek and a scattered one pays one per jump — identical
+    /// to the looped path.
+    fn read_blocks(&self, idxs: &[u64]) -> Vec<Bytes> {
+        let mut s = self.state.lock();
+        s.vectored_reads += 1;
+        idxs.iter()
+            .map(|&idx| {
+                assert!(idx < self.block_count, "block {idx} out of range");
+                self.charge(&mut s, idx);
+                s.reads += 1;
+                s.blocks[idx as usize].clone()
+            })
+            .collect()
+    }
+
+    /// Vectored write: one lock acquisition, charging per block like
+    /// the loop.
+    fn write_blocks(&self, writes: &[(u64, &[u8])]) {
+        let mut s = self.state.lock();
+        s.vectored_writes += 1;
+        for &(idx, data) in writes {
+            assert!(idx < self.block_count, "block {idx} out of range");
+            assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+            self.charge(&mut s, idx);
+            s.writes += 1;
+            s.blocks[idx as usize] = Bytes::copy_from_slice(data);
+        }
+    }
+
     fn read_block_meta(&self, idx: u64) -> Bytes {
         assert!(idx < self.block_count, "block {idx} out of range");
         let s = self.state.lock();
@@ -175,6 +225,8 @@ impl BlockStore for SimStore {
         StoreStats {
             reads: s.reads,
             writes: s.writes,
+            vectored_reads: s.vectored_reads,
+            vectored_writes: s.vectored_writes,
             ..StoreStats::default()
         }
     }
@@ -242,6 +294,41 @@ mod tests {
         disk.write_block_meta(5, &vec![1u8; BLOCK_SIZE]);
         assert_eq!(disk.read_block_meta(5)[0], 1);
         assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn vectored_charging_matches_the_looped_path() {
+        let model = DiskModel::quantum_fireball_ct10();
+        // Looped sequential reads over a contiguous run.
+        let clock_loop = SimClock::new();
+        let looped = SimStore::new(&clock_loop, model, 64);
+        for i in 0..16u64 {
+            looped.read_block(i);
+        }
+        // The same run as one vectored call.
+        let clock_vec = SimClock::new();
+        let vectored = SimStore::new(&clock_vec, model, 64);
+        let idxs: Vec<u64> = (0..16).collect();
+        assert_eq!(vectored.read_blocks(&idxs).len(), 16);
+        assert_eq!(clock_vec.now(), clock_loop.now(), "identical charges");
+        // And both equal the exposed run model: one seek, 16 transfers.
+        assert_eq!(clock_vec.now(), model.run_cost(16));
+        let stats = vectored.stats();
+        assert_eq!(stats.reads, 16);
+        assert_eq!(stats.vectored_reads, 1);
+    }
+
+    #[test]
+    fn vectored_write_roundtrips_and_counts() {
+        let disk = SimStore::untimed(8);
+        let a = vec![1u8; BLOCK_SIZE];
+        let b = vec![2u8; BLOCK_SIZE];
+        disk.write_blocks(&[(1, &a), (5, &b), (1, &b)]);
+        assert_eq!(disk.read_block(1), b, "later pair for the same index wins");
+        assert_eq!(disk.read_block(5), b);
+        let stats = disk.stats();
+        assert_eq!(stats.writes, 3);
+        assert_eq!(stats.vectored_writes, 1);
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn all_backends(tag: &str) -> Vec<(Box<dyn BlockStore>, Option<std::path::PathBu
                 FileStore::open(&dir.join("enc"), BLOCKS).expect("temp store"),
                 &[0x44; 32],
             )),
-            Some(dir),
+            None,
         ),
         (
             Box::new(EncryptedStore::new(DedupStore::new(BLOCKS), &[0x42; 32])),
@@ -104,6 +104,38 @@ fn all_backends(tag: &str) -> Vec<(Box<dyn BlockStore>, Option<std::path::PathBu
                 6,
             )),
             None,
+        ),
+        // The parallel I/O engine compositions: worker threads behind
+        // the stripe, a readahead cache, and the full
+        // Cached{Sharded{FileJournal}} stack with workers on.
+        (
+            Box::new(ShardedStore::with_workers(
+                (0..4)
+                    .map(|_| Arc::new(SimStore::untimed(BLOCKS.div_ceil(4))) as Arc<dyn BlockStore>)
+                    .collect(),
+                BLOCKS,
+            )),
+            None,
+        ),
+        (
+            Box::new(CachedStore::with_readahead(SimStore::untimed(BLOCKS), 8, 4)),
+            None,
+        ),
+        (
+            Box::new(
+                StoreBackend::Cached {
+                    capacity: 6,
+                    inner: Box::new(StoreBackend::Sharded {
+                        shards: 4,
+                        workers: true,
+                        inner: Box::new(StoreBackend::FileJournal {
+                            dir: dir.join("cached-sharded-workers"),
+                        }),
+                    }),
+                }
+                .build(&clock, BLOCKS),
+            ),
+            Some(dir),
         ),
     ]
 }
@@ -311,7 +343,18 @@ proptest! {
             },
             StoreBackend::Sharded {
                 shards: 4,
+                workers: false,
                 inner: Box::new(StoreBackend::FileJournal { dir: dir.join("sharded") }),
+            },
+            StoreBackend::Sharded {
+                shards: 4,
+                workers: true,
+                inner: Box::new(StoreBackend::FileJournal { dir: dir.join("sharded-w") }),
+            },
+            StoreBackend::CachedReadahead {
+                capacity: 8,
+                window: 4,
+                inner: Box::new(StoreBackend::SimInstant),
             },
             StoreBackend::Timed { inner: Box::new(StoreBackend::Dedup) },
         ];
@@ -323,6 +366,57 @@ proptest! {
             store.flush().unwrap();
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The parallel I/O engine's core contract: a vectored
+    /// write-then-read of any extent is byte-identical to the
+    /// per-block loop, on every backend of the wrapper matrix —
+    /// including `Cached{Sharded{FileJournal}}` with worker threads
+    /// on. Duplicate indices resolve like the loop (last pair wins).
+    #[test]
+    fn vectored_ops_match_per_block_loop(
+        ops in proptest::collection::vec((0u64..BLOCKS, 0u8..16), 1..40)
+    ) {
+        for (store, dir) in all_backends("props-vectored") {
+            // The model: the same ops applied as a scalar loop to a
+            // plain in-memory store.
+            let model = SimStore::untimed(BLOCKS);
+            for (idx, seed) in &ops {
+                model.write_block(*idx, &block_for(*seed));
+            }
+            // The subject: one vectored write of the whole op list.
+            let blocks: Vec<Vec<u8>> = ops.iter().map(|(_, seed)| block_for(*seed)).collect();
+            let writes: Vec<(u64, &[u8])> = ops
+                .iter()
+                .zip(&blocks)
+                .map(|((idx, _), data)| (*idx, data.as_slice()))
+                .collect();
+            store.write_blocks(&writes);
+            // One vectored read over the full device must agree with
+            // the model AND with the store's own scalar reads.
+            let idxs: Vec<u64> = (0..BLOCKS).collect();
+            let vectored = store.read_blocks(&idxs);
+            for idx in 0..BLOCKS {
+                prop_assert_eq!(
+                    &vectored[idx as usize],
+                    &model.read_block(idx),
+                    "backend {}, block {}",
+                    store.label(),
+                    idx
+                );
+                prop_assert_eq!(
+                    &store.read_block(idx),
+                    &vectored[idx as usize],
+                    "backend {}, scalar vs vectored, block {}",
+                    store.label(),
+                    idx
+                );
+            }
+            store.flush().unwrap();
+            if let Some(dir) = dir {
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
     }
 
     /// Equivalence: any workload over `CachedStore(X)` or
@@ -391,7 +485,16 @@ proptest! {
                 "sharded",
                 StoreBackend::Sharded {
                     shards: 4,
+                    workers: false,
                     inner: Box::new(StoreBackend::FileJournal { dir: dir.join("sharded") }),
+                },
+            ),
+            (
+                "sharded-workers",
+                StoreBackend::Sharded {
+                    shards: 4,
+                    workers: true,
+                    inner: Box::new(StoreBackend::FileJournal { dir: dir.join("sharded-w") }),
                 },
             ),
             (
@@ -400,7 +503,19 @@ proptest! {
                     capacity: 6,
                     inner: Box::new(StoreBackend::Sharded {
                         shards: 3,
+                        workers: false,
                         inner: Box::new(StoreBackend::FileJournal { dir: dir.join("both") }),
+                    }),
+                },
+            ),
+            (
+                "cached-sharded-workers",
+                StoreBackend::Cached {
+                    capacity: 6,
+                    inner: Box::new(StoreBackend::Sharded {
+                        shards: 3,
+                        workers: true,
+                        inner: Box::new(StoreBackend::FileJournal { dir: dir.join("both-w") }),
                     }),
                 },
             ),
@@ -427,6 +542,105 @@ proptest! {
         }
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// A torn vectored write through the worker pool must be
+/// indistinguishable from the sequential (workers-off) path at the
+/// journal level: each shard's journal holds the same records in the
+/// same order, and truncating one shard's journal replays exactly a
+/// record prefix of that shard's write order.
+#[test]
+fn torn_vectored_write_through_workers_replays_to_a_record_prefix() {
+    let clock = SimClock::new();
+    let base = store::temp_dir_for_tests("props-vectored-torn");
+    const SHARDS: u64 = 4;
+    // A scattered burst touching every shard, no duplicate indices.
+    let spec: Vec<(u64, u8)> = (0..20u64)
+        .map(|i| ((i * 7) % BLOCKS, (i % 13) as u8 + 1))
+        .collect();
+    for (name, workers) in [("workers", true), ("plain", false)] {
+        let backend = StoreBackend::Sharded {
+            shards: SHARDS as u32,
+            workers,
+            inner: Box::new(StoreBackend::FileJournal {
+                dir: base.join(name),
+            }),
+        };
+        let store = backend.build(&clock, BLOCKS);
+        let blocks: Vec<Vec<u8>> = spec.iter().map(|(_, seed)| block_for(*seed)).collect();
+        let writes: Vec<(u64, &[u8])> = spec
+            .iter()
+            .zip(&blocks)
+            .map(|((idx, _), data)| (*idx, data.as_slice()))
+            .collect();
+        store.write_blocks(&writes);
+        // Crash: drop without flush. Workers are joined and each
+        // shard's pending journal batch is sealed on the way down.
+        drop(store);
+    }
+    // The journals are byte-identical with workers on or off: the
+    // worker pool changes who executes the I/O, not what is journaled.
+    for shard in 0..SHARDS {
+        let with = std::fs::read(base.join(format!("workers/shard-{shard}/journal.wal"))).unwrap();
+        let without = std::fs::read(base.join(format!("plain/shard-{shard}/journal.wal"))).unwrap();
+        assert_eq!(
+            with, without,
+            "shard {shard}: worker journal differs from the sequential path"
+        );
+        assert!(!with.is_empty(), "shard {shard} saw part of the burst");
+    }
+    // Tear one worker-written shard journal at every record boundary
+    // (and mid-record): the reopened shard holds exactly the prefix of
+    // its per-shard write order.
+    let victim = 1u64;
+    let shard_writes: Vec<(u64, u8)> = spec
+        .iter()
+        .filter(|(idx, _)| idx % SHARDS == victim)
+        .map(|(idx, seed)| (idx / SHARDS, *seed))
+        .collect();
+    let per_shard = BLOCKS.div_ceil(SHARDS);
+    let master = base.join(format!("workers/shard-{victim}"));
+    let journal_len = std::fs::metadata(master.join("journal.wal")).unwrap().len();
+    assert_eq!(
+        journal_len,
+        (shard_writes.len() * JOURNAL_RECORD_LEN) as u64,
+        "one journal record per block routed to the shard"
+    );
+    for kept in 0..=shard_writes.len() {
+        for extra in [0u64, 17] {
+            let cut = (kept * JOURNAL_RECORD_LEN) as u64 + extra;
+            if cut > journal_len {
+                continue;
+            }
+            let scratch = base.join(format!("cut-{cut}"));
+            std::fs::create_dir_all(&scratch).unwrap();
+            for file in ["blocks.dat", "journal.wal"] {
+                std::fs::copy(master.join(file), scratch.join(file)).unwrap();
+            }
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(scratch.join("journal.wal"))
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+            let store = FileStore::open(&scratch, per_shard).unwrap();
+            let mut model: HashMap<u64, u8> = HashMap::new();
+            for (idx, seed) in shard_writes.iter().take(kept) {
+                model.insert(*idx, *seed);
+            }
+            for idx in 0..per_shard {
+                let expected = block_for(model.get(&idx).copied().unwrap_or(0));
+                assert_eq!(
+                    store.read_block(idx),
+                    expected,
+                    "cut {cut}: shard block {idx} must hold the {kept}-record prefix"
+                );
+            }
+            drop(store);
+            std::fs::remove_dir_all(&scratch).ok();
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
 }
 
 #[test]

@@ -76,12 +76,14 @@ fn main() {
         },
         StoreBackend::Sharded {
             shards: 4,
+            workers: false,
             inner: Box::new(StoreBackend::SimInstant),
         },
         StoreBackend::Cached {
             capacity: 256,
             inner: Box::new(StoreBackend::Sharded {
                 shards: 4,
+                workers: true,
                 inner: Box::new(StoreBackend::FileJournal {
                     dir: dir.join("tour-cached-sharded"),
                 }),

@@ -180,10 +180,13 @@ fn server_reboot_on_cached_sharded_volume_preserves_synced_state() {
     // all survive, and the cache's dirty blocks are written back by
     // the reboot's sync before the volume reopens.
     let dir = store::temp_dir_for_tests("testbed-reboot-wrapped");
+    // Workers on: the reboot cycle must also join the per-shard worker
+    // threads cleanly before the volume reopens.
     let backend = StoreBackend::Cached {
         capacity: 256,
         inner: Box::new(StoreBackend::Sharded {
             shards: 4,
+            workers: true,
             inner: Box::new(StoreBackend::FileJournal { dir: dir.clone() }),
         }),
     };
