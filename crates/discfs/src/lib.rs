@@ -133,6 +133,41 @@
 //! bed.fs().check().unwrap();
 //! ```
 //!
+//! ## Distributed volume tier
+//!
+//! The paper's volumes live on network-attached storage nodes; the
+//! `store` crate now models that tier. A `store::BlockServer` exports
+//! any block store over a simulated link with a length-prefixed,
+//! checksummed wire protocol; `store::RemoteStore` is its client —
+//! an ordinary `BlockStore` with per-request timeout and retry — and
+//! `store::ReplicatedStore` stripes a volume R-way across N such
+//! nodes, committing each flush under an epoch record so a torn
+//! write replays to one consistent epoch. Two backend presets
+//! compose the tier under the credential stack unchanged:
+//!
+//! * `Remote { ethernet, inner }` — one storage node behind the wire
+//!   protocol (100 Mbps Ethernet timing or instant links);
+//! * `Replicated { nodes, replicas, spares, ethernet, inner }` — an
+//!   N-node volume that keeps serving every read through the death
+//!   of any single node and rebuilds the lost replicas onto a spare.
+//!
+//! ```
+//! use discfs::Testbed;
+//! use ffs::{FsConfig, StoreBackend};
+//! use netsim::LinkConfig;
+//!
+//! let backend = StoreBackend::Replicated {
+//!     nodes: 4,
+//!     replicas: 2,
+//!     spares: 1,
+//!     ethernet: false,
+//!     inner: Box::new(StoreBackend::SimInstant),
+//! };
+//! let bed = Testbed::with_backend(FsConfig::small(), LinkConfig::instant(), 128, &backend);
+//! bed.fs().check().unwrap();
+//! assert!(bed.store_stats().rpc_calls > 0); // every block crossed the wire
+//! ```
+//!
 //! # Quickstart
 //!
 //! ```

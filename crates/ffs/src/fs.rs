@@ -322,11 +322,13 @@ impl Ffs {
             inner: Mutex::new(inner),
         };
 
-        // Zero the inode table (one shared zero block, no allocation).
+        // Zero the inode table: one shared zero block (no allocation),
+        // one vectored metadata call for the whole region.
         let zero = zero_block();
-        for b in fs.layout.itable_start..fs.layout.data_start {
-            fs.disk.write_block_meta(b, &zero);
-        }
+        let writes: Vec<(u64, &[u8])> = (fs.layout.itable_start..fs.layout.data_start)
+            .map(|b| (b, &zero[..]))
+            .collect();
+        fs.disk.write_blocks_meta(&writes);
 
         // Create the root directory (inode 1), with "." and ".." both
         // pointing at itself.
@@ -551,15 +553,26 @@ impl Ffs {
     }
 
     fn write_bitmap_region(&self, start: u64, bits: &[bool]) {
-        for (i, chunk) in bits.chunks(BITS_PER_BLOCK as usize).enumerate() {
-            let mut block = vec![0u8; BLOCK_SIZE];
-            for (j, &bit) in chunk.iter().enumerate() {
-                if bit {
-                    block[j / 8] |= 1 << (j % 8);
+        // Pack the whole region, then push it as one vectored metadata
+        // call: one lock/journal batch/RPC instead of one per block.
+        let blocks: Vec<Vec<u8>> = bits
+            .chunks(BITS_PER_BLOCK as usize)
+            .map(|chunk| {
+                let mut block = vec![0u8; BLOCK_SIZE];
+                for (j, &bit) in chunk.iter().enumerate() {
+                    if bit {
+                        block[j / 8] |= 1 << (j % 8);
+                    }
                 }
-            }
-            self.disk.write_block_meta(start + i as u64, &block);
-        }
+                block
+            })
+            .collect();
+        let writes: Vec<(u64, &[u8])> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, block)| (start + i as u64, &block[..]))
+            .collect();
+        self.disk.write_blocks_meta(&writes);
     }
 
     pub(crate) fn read_bitmap_region(&self, start: u64, nbits: u64) -> Vec<bool> {

@@ -194,6 +194,13 @@ impl Endpoint {
     pub fn clock(&self) -> &SimClock {
         &self.clock
     }
+
+    /// The latency/bandwidth parameters of the link this endpoint
+    /// belongs to — request/response layers (the `store` crate's
+    /// `RemoteStore`) use it to rank replicas by link latency.
+    pub fn link_config(&self) -> LinkConfig {
+        self.config
+    }
 }
 
 impl Transport for Endpoint {

@@ -495,6 +495,16 @@ impl<S: BlockStore> BlockStore for CachedStore<S> {
         self.write_cached(idx, data, true)
     }
 
+    /// Vectored metadata write: each block lands dirty with the meta
+    /// flag set (write-backs replay through the inner meta path), with
+    /// block 0 written through as always.
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        self.vectored_writes.fetch_add(1, Ordering::Relaxed);
+        for &(idx, data) in writes {
+            self.write_cached(idx, data, true);
+        }
+    }
+
     /// Writes every dirty block back to the inner store (per shard, in
     /// block order), then forwards the flush so journaled inners apply
     /// their WAL. The write-backs happen *under each shard's lock*: an

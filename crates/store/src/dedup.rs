@@ -378,6 +378,17 @@ impl BlockStore for DedupStore {
         self.write_common(idx, data, false)
     }
 
+    /// Vectored metadata write: one lock acquisition, kept out of the
+    /// workload counters like the scalar meta path.
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        let mut s = self.state.lock();
+        for &(idx, data) in writes {
+            assert!(idx < self.block_count, "block {idx} out of range");
+            assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+            Self::apply_write(&mut s, idx, data, false);
+        }
+    }
+
     fn flush(&self) -> std::io::Result<()> {
         let mut s = self.state.lock();
         s.flushes += 1;

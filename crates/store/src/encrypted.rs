@@ -151,6 +151,23 @@ impl<S: BlockStore> BlockStore for EncryptedStore<S> {
         self.inner.write_block_meta(idx, &sealed);
     }
 
+    /// Vectored metadata write: sealed per block like
+    /// [`EncryptedStore::write_blocks`], forwarded as one inner
+    /// vectored meta call.
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        let sealed: Vec<(u64, Vec<u8>)> = writes
+            .iter()
+            .map(|&(idx, data)| {
+                assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+                let mut buf = data.to_vec();
+                self.transform(idx, &mut buf);
+                (idx, buf)
+            })
+            .collect();
+        let refs: Vec<(u64, &[u8])> = sealed.iter().map(|(idx, buf)| (*idx, &buf[..])).collect();
+        self.inner.write_blocks_meta(&refs);
+    }
+
     fn flush(&self) -> std::io::Result<()> {
         self.inner.flush()
     }

@@ -353,6 +353,14 @@ impl BlockStore for FileStore {
         s.seal_batch().expect("journal batch append");
     }
 
+    /// Vectored metadata write: the file store has no separate meta
+    /// path — the sweep rides the same journaled durability unit as
+    /// [`BlockStore::write_blocks`], one lock and
+    /// `ceil(W / JOURNAL_BATCH_RECORDS)` batch appends.
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        self.write_blocks(writes)
+    }
+
     fn flush(&self) -> std::io::Result<()> {
         let mut s = self.state.lock();
         // The journal must hold every acknowledged record before the

@@ -99,6 +99,37 @@
 //! extent into one vectored call, which is what turns these per-layer
 //! optimizations into end-to-end streaming throughput.
 //!
+//! # Distributed volume tier
+//!
+//! The paper's DisCFS is a *distributed* filesystem; this tier puts
+//! the block layer itself behind simulated network boundaries:
+//!
+//! * [`BlockServer`] serves any backend over a [`netsim::Transport`]
+//!   with a checksummed, length-prefixed request/response protocol —
+//!   one simulated storage node per server thread.
+//! * [`RemoteStore`] is the client: a [`BlockStore`] whose every call
+//!   is an RPC (vectored calls are single round-trips), with per-node
+//!   timeout/retry and a **dead-node latch** once the link fails. The
+//!   [`StoreBackend::Remote`] preset composes it under the cache and
+//!   sharding wrappers — `Cached { Sharded { Remote } }` is a buffer
+//!   cache over a striped set of network nodes.
+//! * [`ReplicatedStore`] stripes one volume R-way across N nodes with
+//!   **epoch-stamped commits**: each flush lands on every node as one
+//!   journaled durability unit whose last record stamps the new
+//!   epoch, so a node torn mid-flush replays to the *previous* epoch
+//!   and reopening rebuilds it from the fresh replicas — the volume
+//!   always recovers to one consistent epoch, never a mix of old and
+//!   new shards. A node death is detected on the failing RPC, reads
+//!   fail over to the nearest live replica
+//!   ([`StoreStats::replica_reads`]), and the dead node's replica set
+//!   is rebuilt onto a spare ([`StoreStats::rebuilds`]). The
+//!   [`StoreBackend::Replicated`] preset builds the whole fleet.
+//!
+//! Wire traffic shows up in the stats ([`StoreStats::rpc_calls`],
+//! [`StoreStats::bytes_on_wire`], [`StoreStats::retries`]) and is
+//! charged to the shared [`netsim::SimClock`], so virtual-time figures
+//! capture network latency and serialization alongside disk time.
+//!
 //! Backend choice is threaded through the stack as a [`StoreBackend`]
 //! value (`ffs::Ffs::format_backend`, `discfs::Testbed::with_backend`,
 //! `bench_harness::build_world_on`), so benchmarks can compare
@@ -128,6 +159,8 @@ mod cached;
 mod dedup;
 mod encrypted;
 mod file;
+mod remote;
+mod replicated;
 mod sharded;
 mod sim;
 mod timed;
@@ -139,6 +172,8 @@ pub use encrypted::EncryptedStore;
 #[doc(hidden)]
 pub use file::temp_dir_for_tests;
 pub use file::{FileStore, JOURNAL_BATCH_RECORDS, JOURNAL_RECORD_LEN};
+pub use remote::{BlockServer, RemoteError, RemoteOptions, RemoteStore};
+pub use replicated::ReplicatedStore;
 pub use sharded::{ShardedStore, WORKER_QUEUE_DEPTH};
 pub use sim::{DiskModel, SimStore};
 pub use timed::TimedStore;
@@ -220,6 +255,20 @@ pub struct StoreStats {
     pub readahead_blocks: u64,
     /// Completed [`BlockStore::flush`] calls.
     pub flushes: u64,
+    /// RPC round-trips a `RemoteStore` client issued: one per request
+    /// frame that reached the wire, retries included.
+    pub rpc_calls: u64,
+    /// Request plus response frame bytes a `RemoteStore` moved over
+    /// its link.
+    pub bytes_on_wire: u64,
+    /// Request frames a `RemoteStore` re-sent after a timeout.
+    pub retries: u64,
+    /// Reads a `ReplicatedStore` served from a non-primary replica —
+    /// failover traffic, zero while every node is healthy.
+    pub replica_reads: u64,
+    /// Replica sets a `ReplicatedStore` rebuilt onto a spare node
+    /// after declaring a node dead.
+    pub rebuilds: u64,
 }
 
 impl StoreStats {
@@ -265,6 +314,11 @@ impl StoreStats {
             worker_jobs: self.worker_jobs + other.worker_jobs,
             readahead_blocks: self.readahead_blocks + other.readahead_blocks,
             flushes: self.flushes + other.flushes,
+            rpc_calls: self.rpc_calls + other.rpc_calls,
+            bytes_on_wire: self.bytes_on_wire + other.bytes_on_wire,
+            retries: self.retries + other.retries,
+            replica_reads: self.replica_reads + other.replica_reads,
+            rebuilds: self.rebuilds + other.rebuilds,
         }
     }
 }
@@ -338,6 +392,18 @@ pub trait BlockStore: Send + Sync {
         self.write_block(idx, data)
     }
 
+    /// Writes every `(idx, block)` pair through the metadata path —
+    /// the vectored counterpart of [`BlockStore::write_block_meta`],
+    /// with the same in-order, later-pair-wins semantics as
+    /// [`BlockStore::write_blocks`]. Backends override it so a bitmap
+    /// or inode-table sweep pays one lock / journal batch / RPC
+    /// instead of one per block.
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        for (idx, data) in writes {
+            self.write_block_meta(*idx, data);
+        }
+    }
+
     /// Makes completed writes durable (write-back caches write their
     /// dirty blocks down; journaled backends apply and truncate their
     /// journal).
@@ -386,6 +452,9 @@ macro_rules! forward_block_store {
             }
             fn write_block_meta(&self, idx: u64, data: &[u8]) {
                 (**self).write_block_meta(idx, data)
+            }
+            fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+                (**self).write_blocks_meta(writes)
             }
             fn flush(&self) -> std::io::Result<()> {
                 (**self).flush()
@@ -493,6 +562,35 @@ pub enum StoreBackend {
         /// The wrapped backend.
         inner: Box<StoreBackend>,
     },
+    /// The inner backend served from a [`BlockServer`] thread behind a
+    /// simulated network link, accessed through a [`RemoteStore`]
+    /// client — one storage node, so caching/sharding presets compose
+    /// over the network exactly as they do locally.
+    Remote {
+        /// Charge the paper's 100 Mbps Ethernet timing on the link
+        /// (`false` = an instant link for correctness tests).
+        ethernet: bool,
+        /// The backend the node serves. Persistent inners get a
+        /// `node` subdirectory.
+        inner: Box<StoreBackend>,
+    },
+    /// One volume replicated R-way across N [`RemoteStore`] nodes
+    /// (plus idle spares) with epoch-stamped commits and
+    /// rebuild-onto-spare after a node death ([`ReplicatedStore`]).
+    /// Persistent inners get per-node subdirectories (`node-0`, …,
+    /// `spare-0`, …).
+    Replicated {
+        /// Number of storage nodes.
+        nodes: u32,
+        /// Copies kept of every block (1 ≤ replicas ≤ nodes).
+        replicas: u32,
+        /// Idle spare nodes available for rebuilds.
+        spares: u32,
+        /// Charge the paper's 100 Mbps Ethernet timing on every link.
+        ethernet: bool,
+        /// The backend each node serves.
+        inner: Box<StoreBackend>,
+    },
 }
 
 impl StoreBackend {
@@ -565,6 +663,49 @@ impl StoreBackend {
                 clock,
                 DiskModel::quantum_fireball_ct10(),
             )),
+            StoreBackend::Remote { ethernet, inner } => {
+                let node = inner.with_subdir("node").build(clock, block_count);
+                Arc::new(RemoteStore::serve_local(
+                    node,
+                    clock,
+                    link_config(*ethernet),
+                    RemoteOptions::default(),
+                ))
+            }
+            StoreBackend::Replicated {
+                nodes,
+                replicas,
+                spares,
+                ethernet,
+                inner,
+            } => {
+                assert!(*nodes > 0, "replicated store needs at least one node");
+                let node_bc = ReplicatedStore::node_block_count(
+                    block_count,
+                    *nodes as usize,
+                    *replicas as usize,
+                );
+                let serve = |spec: StoreBackend| {
+                    RemoteStore::serve_local(
+                        spec.build(clock, node_bc),
+                        clock,
+                        link_config(*ethernet),
+                        RemoteOptions::default(),
+                    )
+                };
+                let node_stores: Vec<RemoteStore> = (0..*nodes)
+                    .map(|i| serve(inner.with_subdir(&format!("node-{i}"))))
+                    .collect();
+                let spare_stores: Vec<RemoteStore> = (0..*spares)
+                    .map(|i| serve(inner.with_subdir(&format!("spare-{i}"))))
+                    .collect();
+                Arc::new(ReplicatedStore::new(
+                    node_stores,
+                    spare_stores,
+                    block_count,
+                    *replicas as usize,
+                ))
+            }
         }
     }
 
@@ -608,6 +749,23 @@ impl StoreBackend {
             StoreBackend::Timed { inner } => StoreBackend::Timed {
                 inner: Box::new(inner.with_subdir(name)),
             },
+            StoreBackend::Remote { ethernet, inner } => StoreBackend::Remote {
+                ethernet: *ethernet,
+                inner: Box::new(inner.with_subdir(name)),
+            },
+            StoreBackend::Replicated {
+                nodes,
+                replicas,
+                spares,
+                ethernet,
+                inner,
+            } => StoreBackend::Replicated {
+                nodes: *nodes,
+                replicas: *replicas,
+                spares: *spares,
+                ethernet: *ethernet,
+                inner: Box::new(inner.with_subdir(name)),
+            },
             other => other.clone(),
         }
     }
@@ -623,7 +781,9 @@ impl StoreBackend {
             StoreBackend::Cached { inner, .. }
             | StoreBackend::CachedReadahead { inner, .. }
             | StoreBackend::Sharded { inner, .. }
-            | StoreBackend::Timed { inner } => inner.is_persistent(),
+            | StoreBackend::Timed { inner }
+            | StoreBackend::Remote { inner, .. }
+            | StoreBackend::Replicated { inner, .. } => inner.is_persistent(),
             _ => false,
         }
     }
@@ -642,7 +802,18 @@ impl StoreBackend {
             StoreBackend::CachedReadahead { .. } => "cached-readahead",
             StoreBackend::Sharded { .. } => "sharded",
             StoreBackend::Timed { .. } => "timed",
+            StoreBackend::Remote { .. } => "remote",
+            StoreBackend::Replicated { .. } => "replicated",
         }
+    }
+}
+
+/// Link parameters for the network-backed presets.
+fn link_config(ethernet: bool) -> netsim::LinkConfig {
+    if ethernet {
+        netsim::LinkConfig::ethernet_100mbps()
+    } else {
+        netsim::LinkConfig::instant()
     }
 }
 
@@ -704,6 +875,32 @@ mod tests {
                 capacity: 8,
                 window: 4,
                 inner: Box::new(StoreBackend::SimInstant),
+            },
+            StoreBackend::Remote {
+                ethernet: false,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: dir.join("remote"),
+                }),
+            },
+            StoreBackend::Cached {
+                capacity: 8,
+                inner: Box::new(StoreBackend::Sharded {
+                    shards: 2,
+                    workers: false,
+                    inner: Box::new(StoreBackend::Remote {
+                        ethernet: false,
+                        inner: Box::new(StoreBackend::SimInstant),
+                    }),
+                }),
+            },
+            StoreBackend::Replicated {
+                nodes: 4,
+                replicas: 2,
+                spares: 1,
+                ethernet: false,
+                inner: Box::new(StoreBackend::FileJournal {
+                    dir: dir.join("replicated"),
+                }),
             },
         ];
         for spec in backends {

@@ -1,0 +1,856 @@
+//! The network block server and its client — the distributed volume
+//! tier's transport layer.
+//!
+//! The paper's DisCFS vision is *global* file sharing, but every
+//! backend so far lived inside one process. This module puts a
+//! [`BlockStore`] behind a network boundary: a [`BlockServer`] serves
+//! any store over a [`netsim::Transport`] (one simulated storage
+//! node), and a [`RemoteStore`] is the client-side [`BlockStore`] that
+//! speaks to it — so dedup, encryption, caching and sharding compose
+//! over remote storage exactly as they do over local backends
+//! (`Cached { Sharded { Remote } }` is just another preset nest).
+//!
+//! # Wire format
+//!
+//! Every message — request or response — is one checksummed frame:
+//!
+//! ```text
+//! [u32 LE remaining length] [u64 LE request id] [u8 op] [body]
+//! [32-byte SHA-256 over (request id ‖ op ‖ body)]
+//! ```
+//!
+//! Request ops carry the operand layout of the [`BlockStore`] call
+//! they mirror (indices as `u64` LE, blocks as raw 8 KB payloads,
+//! vectored bodies prefixed with a `u32` LE count); responses echo the
+//! request id, so a client that timed out and re-sent can drain the
+//! stale first reply. Block payloads ride the zero-copy [`Bytes`]
+//! path: the server reads handles from its store and the client slices
+//! response frames into handles without re-copying per block.
+//!
+//! # Failure model
+//!
+//! [`RemoteStore`] retries a timed-out request (same id, so a late
+//! first reply is recognized and drained) up to its configured retry
+//! budget, then declares the node **dead** — as it does immediately on
+//! a disconnected link, which is how a killed [`BlockServer`] thread
+//! manifests. A dead node fails every later call without touching the
+//! wire; `ReplicatedStore` uses that latch to fail over and rebuild
+//! (see [`crate::ReplicatedStore`]). Frame corruption is surfaced as a
+//! protocol error and also declares the node dead: a node that cannot
+//! frame correctly cannot be trusted with retries.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use discfs_crypto::sha256::Sha256;
+use discfs_crypto::Digest;
+use netsim::{Endpoint, Link, LinkConfig, NetError, SimClock, Transport};
+use parking_lot::Mutex;
+
+use crate::{BlockStore, StoreStats, BLOCK_SIZE};
+
+// Request opcodes.
+const OP_READ: u8 = 1;
+const OP_READ_BLOCKS: u8 = 2;
+const OP_WRITE: u8 = 3;
+const OP_WRITE_BLOCKS: u8 = 4;
+const OP_FLUSH: u8 = 5;
+const OP_LEN: u8 = 6;
+const OP_READ_META: u8 = 7;
+const OP_WRITE_META: u8 = 8;
+const OP_WRITE_BLOCKS_META: u8 = 9;
+const OP_SHUTDOWN: u8 = 10;
+
+// Response opcodes (high bit set).
+const RESP_BLOCKS: u8 = 0x81;
+const RESP_OK: u8 = 0x82;
+const RESP_LEN: u8 = 0x83;
+const RESP_ERR: u8 = 0x84;
+
+/// Length prefix + request id + op + trailing checksum.
+const FRAME_OVERHEAD: usize = 4 + 8 + 1 + 32;
+
+/// Errors a [`RemoteStore`] request can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The link failed (node dead or request timed out past the retry
+    /// budget).
+    Net(NetError),
+    /// A frame failed to parse or checksum, or an unexpected response
+    /// op arrived.
+    Protocol(String),
+    /// The server reported an error (e.g. a failed flush).
+    Server(String),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Net(e) => write!(f, "network error: {e}"),
+            RemoteError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            RemoteError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+fn frame_checksum(req_id: u64, op: u8, body: &[u8]) -> Vec<u8> {
+    let mut h = Sha256::new();
+    h.update(&req_id.to_le_bytes());
+    h.update(&[op]);
+    h.update(body);
+    h.finalize()
+}
+
+fn encode_frame(req_id: u64, op: u8, body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + body.len());
+    frame.extend_from_slice(&((FRAME_OVERHEAD - 4 + body.len()) as u32).to_le_bytes());
+    frame.extend_from_slice(&req_id.to_le_bytes());
+    frame.push(op);
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&frame_checksum(req_id, op, body));
+    frame
+}
+
+fn decode_frame(msg: &[u8]) -> Result<(u64, u8, &[u8]), RemoteError> {
+    if msg.len() < FRAME_OVERHEAD {
+        return Err(RemoteError::Protocol(format!(
+            "frame too short: {} bytes",
+            msg.len()
+        )));
+    }
+    let len = u32::from_le_bytes(msg[0..4].try_into().expect("4 bytes")) as usize;
+    if len != msg.len() - 4 {
+        return Err(RemoteError::Protocol(format!(
+            "length prefix {len} != {} remaining bytes",
+            msg.len() - 4
+        )));
+    }
+    let req_id = u64::from_le_bytes(msg[4..12].try_into().expect("8 bytes"));
+    let op = msg[12];
+    let body = &msg[13..msg.len() - 32];
+    if frame_checksum(req_id, op, body) != msg[msg.len() - 32..] {
+        return Err(RemoteError::Protocol("frame checksum mismatch".into()));
+    }
+    Ok((req_id, op, body))
+}
+
+/// Serves one [`BlockStore`] over a [`Transport`] — one simulated
+/// storage node.
+///
+/// The serve loop handles one request frame at a time (the paper's
+/// sequential RPC model) and exits on a disconnected link, a shutdown
+/// request, or — without replying, simulating a crashed node — when
+/// its kill switch is set (see [`RemoteStore::kill_server`]).
+pub struct BlockServer<S> {
+    store: S,
+}
+
+impl<S: BlockStore> BlockServer<S> {
+    /// Wraps `store` for serving.
+    pub fn new(store: S) -> BlockServer<S> {
+        BlockServer { store }
+    }
+
+    /// Serves requests until the peer disconnects or sends a shutdown
+    /// request.
+    pub fn serve<T: Transport>(&self, link: &T) {
+        self.serve_until(link, &AtomicBool::new(false));
+    }
+
+    /// Like [`BlockServer::serve`], plus a kill switch: once `kill` is
+    /// set, the next incoming request wakes the loop and it exits
+    /// *without replying* — the client observes the dropped link as a
+    /// dead node, exactly like a crashed machine.
+    pub fn serve_until<T: Transport>(&self, link: &T, kill: &AtomicBool) {
+        while let Ok(msg) = link.recv() {
+            if kill.load(Ordering::SeqCst) {
+                return;
+            }
+            // A malformed frame is dropped: the client times out and
+            // retries (or declares this node dead).
+            let Ok((req_id, op, body)) = decode_frame(&msg) else {
+                continue;
+            };
+            let shutdown = op == OP_SHUTDOWN;
+            let reply = self.handle(req_id, op, body);
+            if link.send(reply).is_err() || shutdown {
+                return;
+            }
+        }
+    }
+
+    fn handle(&self, req_id: u64, op: u8, body: &[u8]) -> Vec<u8> {
+        match op {
+            OP_READ | OP_READ_META if body.len() == 8 => {
+                let idx = u64::from_le_bytes(body.try_into().expect("8 bytes"));
+                let block = if op == OP_READ {
+                    self.store.read_block(idx)
+                } else {
+                    self.store.read_block_meta(idx)
+                };
+                encode_blocks_resp(req_id, &[block])
+            }
+            OP_READ_BLOCKS => match decode_idx_list(body) {
+                Some(idxs) => encode_blocks_resp(req_id, &self.store.read_blocks(&idxs)),
+                None => encode_frame(req_id, RESP_ERR, b"malformed index list"),
+            },
+            OP_WRITE | OP_WRITE_META if body.len() == 8 + BLOCK_SIZE => {
+                let idx = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+                if op == OP_WRITE {
+                    self.store.write_block(idx, &body[8..]);
+                } else {
+                    self.store.write_block_meta(idx, &body[8..]);
+                }
+                encode_frame(req_id, RESP_OK, &[])
+            }
+            OP_WRITE_BLOCKS | OP_WRITE_BLOCKS_META => match decode_write_list(body) {
+                Some(writes) => {
+                    if op == OP_WRITE_BLOCKS {
+                        self.store.write_blocks(&writes);
+                    } else {
+                        self.store.write_blocks_meta(&writes);
+                    }
+                    encode_frame(req_id, RESP_OK, &[])
+                }
+                None => encode_frame(req_id, RESP_ERR, b"malformed write list"),
+            },
+            OP_FLUSH => match self.store.flush() {
+                Ok(()) => encode_frame(req_id, RESP_OK, &[]),
+                Err(e) => encode_frame(req_id, RESP_ERR, e.to_string().as_bytes()),
+            },
+            OP_LEN => encode_frame(req_id, RESP_LEN, &self.store.block_count().to_le_bytes()),
+            OP_SHUTDOWN => encode_frame(req_id, RESP_OK, &[]),
+            _ => encode_frame(req_id, RESP_ERR, format!("bad request op {op}").as_bytes()),
+        }
+    }
+}
+
+fn encode_blocks_resp(req_id: u64, blocks: &[Bytes]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(4 + blocks.len() * BLOCK_SIZE);
+    body.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for block in blocks {
+        body.extend_from_slice(block);
+    }
+    encode_frame(req_id, RESP_BLOCKS, &body)
+}
+
+fn decode_idx_list(body: &[u8]) -> Option<Vec<u64>> {
+    let count = u32::from_le_bytes(body.get(..4)?.try_into().ok()?) as usize;
+    let rest = &body[4..];
+    if rest.len() != count * 8 {
+        return None;
+    }
+    Some(
+        rest.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect(),
+    )
+}
+
+fn decode_write_list(body: &[u8]) -> Option<Vec<(u64, &[u8])>> {
+    let count = u32::from_le_bytes(body.get(..4)?.try_into().ok()?) as usize;
+    let rest = &body[4..];
+    if rest.len() != count * (8 + BLOCK_SIZE) {
+        return None;
+    }
+    Some(
+        rest.chunks_exact(8 + BLOCK_SIZE)
+            .map(|c| {
+                (
+                    u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                    &c[8..],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Timeout/retry policy for a [`RemoteStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteOptions {
+    /// Wall-clock wait per request attempt before it counts as timed
+    /// out.
+    pub timeout: Duration,
+    /// Re-sends after a timeout before the node is declared dead.
+    pub retries: u32,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> RemoteOptions {
+        RemoteOptions {
+            timeout: Duration::from_secs(1),
+            retries: 2,
+        }
+    }
+}
+
+/// The local server thread behind a [`RemoteStore::serve_local`]
+/// store: its kill switch and join handle.
+struct ServerHandle {
+    kill: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A client-side [`BlockStore`] speaking the block-server wire
+/// protocol over a [`Transport`].
+///
+/// Requests are issued sequentially under one link lock (the paper's
+/// single-flow RPC model; the virtual clock charges each frame's
+/// latency and serialization time). A request that times out is
+/// re-sent up to [`RemoteOptions::retries`] times — response frames
+/// echo the request id, so a stale reply from an earlier attempt is
+/// drained, never mistaken for the current one. A disconnected link or
+/// an exhausted retry budget declares the node **dead**: every later
+/// call fails immediately, and the fallible `try_*` methods surface
+/// that to `ReplicatedStore`'s failover. The infallible [`BlockStore`]
+/// methods panic on a dead node — using a bare `RemoteStore` as a
+/// volume's backend (the `StoreBackend::Remote` preset) treats node
+/// death like any other fatal storage failure.
+pub struct RemoteStore {
+    link: Mutex<Box<dyn Transport>>,
+    next_req_id: AtomicU64,
+    block_count: u64,
+    opts: RemoteOptions,
+    /// One-way link latency, used by `ReplicatedStore` to rank
+    /// replicas (read-from-nearest).
+    latency_hint: Duration,
+    dead: AtomicBool,
+    server: Mutex<Option<ServerHandle>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    vectored_reads: AtomicU64,
+    vectored_writes: AtomicU64,
+    flushes: AtomicU64,
+    rpc_calls: AtomicU64,
+    bytes_on_wire: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl RemoteStore {
+    /// Connects over an arbitrary transport, learning the node's block
+    /// count with an initial length request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`] from the length request.
+    pub fn connect<T: Transport + 'static>(
+        link: T,
+        opts: RemoteOptions,
+    ) -> Result<RemoteStore, RemoteError> {
+        RemoteStore::connect_with_hint(link, opts, Duration::ZERO)
+    }
+
+    /// Connects over a [`netsim::Endpoint`], recording the link's
+    /// latency as the replica-ranking hint.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`] from the length request.
+    pub fn connect_endpoint(
+        link: Endpoint,
+        opts: RemoteOptions,
+    ) -> Result<RemoteStore, RemoteError> {
+        let hint = link.link_config().latency;
+        RemoteStore::connect_with_hint(link, opts, hint)
+    }
+
+    fn connect_with_hint<T: Transport + 'static>(
+        link: T,
+        opts: RemoteOptions,
+        latency_hint: Duration,
+    ) -> Result<RemoteStore, RemoteError> {
+        let store = RemoteStore {
+            link: Mutex::new(Box::new(link)),
+            next_req_id: AtomicU64::new(1),
+            block_count: 0,
+            opts,
+            latency_hint,
+            dead: AtomicBool::new(false),
+            server: Mutex::new(None),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            vectored_reads: AtomicU64::new(0),
+            vectored_writes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            rpc_calls: AtomicU64::new(0),
+            bytes_on_wire: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        };
+        let mut store = store;
+        let (op, body) = store.rpc(OP_LEN, &[])?;
+        if op != RESP_LEN || body.len() != 8 {
+            return Err(RemoteError::Protocol("bad length response".into()));
+        }
+        store.block_count = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        Ok(store)
+    }
+
+    /// Spawns a [`BlockServer`] thread over a fresh link on `clock`
+    /// and connects to it — one self-contained simulated storage node.
+    /// Dropping the returned store shuts the server down cleanly and
+    /// joins the thread (so e.g. a journaled node store seals its
+    /// batches deterministically).
+    pub fn serve_local<S: BlockStore + Send + 'static>(
+        store: S,
+        clock: &SimClock,
+        config: LinkConfig,
+        opts: RemoteOptions,
+    ) -> RemoteStore {
+        let (client_end, server_end) = Link::pair(clock, config);
+        let kill = Arc::new(AtomicBool::new(false));
+        let server_kill = Arc::clone(&kill);
+        let handle = std::thread::spawn(move || {
+            BlockServer::new(store).serve_until(&server_end, &server_kill);
+        });
+        let remote = RemoteStore::connect_with_hint(client_end, opts, config.latency)
+            .expect("local block server must answer the length request");
+        *remote.server.lock() = Some(ServerHandle {
+            kill,
+            handle: Some(handle),
+        });
+        remote
+    }
+
+    /// Number of addressable blocks on the node (learned at connect).
+    pub fn remote_block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    /// Whether this node has been declared dead (disconnected link,
+    /// exhausted retries, or a protocol violation).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// The one-way link latency hint used for replica ranking.
+    pub fn latency_hint(&self) -> Duration {
+        self.latency_hint
+    }
+
+    /// Crashes the local server thread (test/bench hook): the kill
+    /// switch is set, so the server exits without replying on the next
+    /// request — the client then observes a dead node. No-op for
+    /// stores connected over an external transport.
+    pub fn kill_server(&self) {
+        if let Some(server) = self.server.lock().as_ref() {
+            server.kill.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// One request/response exchange: send, await the matching reply,
+    /// re-send on timeout, fail fast on a dead node or link.
+    fn rpc(&self, op: u8, body: &[u8]) -> Result<(u8, Vec<u8>), RemoteError> {
+        if self.is_dead() {
+            return Err(RemoteError::Net(NetError::Disconnected));
+        }
+        let link = self.link.lock();
+        let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed);
+        let frame = encode_frame(req_id, op, body);
+        let mut attempt = 0;
+        loop {
+            self.rpc_calls.fetch_add(1, Ordering::Relaxed);
+            self.bytes_on_wire
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            if link.send(frame.clone()).is_err() {
+                self.mark_dead();
+                return Err(RemoteError::Net(NetError::Disconnected));
+            }
+            loop {
+                match link.recv_timeout(self.opts.timeout) {
+                    Ok(msg) => {
+                        self.bytes_on_wire
+                            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+                        let (resp_id, resp_op, resp_body) = match decode_frame(&msg) {
+                            Ok(frame) => frame,
+                            Err(e) => {
+                                // A node that cannot frame cannot be
+                                // trusted with a retry.
+                                self.mark_dead();
+                                return Err(e);
+                            }
+                        };
+                        if resp_id != req_id {
+                            // Stale reply from a timed-out attempt.
+                            continue;
+                        }
+                        if resp_op == RESP_ERR {
+                            return Err(RemoteError::Server(
+                                String::from_utf8_lossy(resp_body).into_owned(),
+                            ));
+                        }
+                        return Ok((resp_op, resp_body.to_vec()));
+                    }
+                    Err(NetError::Timeout) => {
+                        if attempt >= self.opts.retries {
+                            self.mark_dead();
+                            return Err(RemoteError::Net(NetError::Timeout));
+                        }
+                        attempt += 1;
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        break; // re-send the same frame (same id)
+                    }
+                    Err(NetError::Disconnected) => {
+                        self.mark_dead();
+                        return Err(RemoteError::Net(NetError::Disconnected));
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_blocks(resp: (u8, Vec<u8>), want: usize) -> Result<Vec<Bytes>, RemoteError> {
+        let (op, body) = resp;
+        if op != RESP_BLOCKS {
+            return Err(RemoteError::Protocol(format!("bad response op {op}")));
+        }
+        let count = u32::from_le_bytes(
+            body.get(..4)
+                .ok_or_else(|| RemoteError::Protocol("short blocks response".into()))?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if count != want || body.len() != 4 + count * BLOCK_SIZE {
+            return Err(RemoteError::Protocol(
+                "blocks response size mismatch".into(),
+            ));
+        }
+        // One allocation for the whole response: each block is a
+        // zero-copy slice handle into it.
+        let payload = Bytes::from(body).slice(4..);
+        Ok((0..count)
+            .map(|i| payload.slice(i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE))
+            .collect())
+    }
+
+    fn expect_ok(resp: (u8, Vec<u8>)) -> Result<(), RemoteError> {
+        if resp.0 != RESP_OK {
+            return Err(RemoteError::Protocol(format!("bad response op {}", resp.0)));
+        }
+        Ok(())
+    }
+
+    /// Fallible scalar read (`meta` selects the metadata path).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`]; network errors declare the node dead.
+    pub fn try_read_block(&self, idx: u64, meta: bool) -> Result<Bytes, RemoteError> {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        let op = if meta { OP_READ_META } else { OP_READ };
+        let blocks = Self::expect_blocks(self.rpc(op, &idx.to_le_bytes())?, 1)?;
+        if !meta {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(blocks.into_iter().next().expect("one block"))
+    }
+
+    /// Fallible vectored read.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`]; network errors declare the node dead.
+    pub fn try_read_blocks(&self, idxs: &[u64]) -> Result<Vec<Bytes>, RemoteError> {
+        let mut body = Vec::with_capacity(4 + idxs.len() * 8);
+        body.extend_from_slice(&(idxs.len() as u32).to_le_bytes());
+        for &idx in idxs {
+            assert!(idx < self.block_count, "block {idx} out of range");
+            body.extend_from_slice(&idx.to_le_bytes());
+        }
+        let blocks = Self::expect_blocks(self.rpc(OP_READ_BLOCKS, &body)?, idxs.len())?;
+        self.vectored_reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.fetch_add(idxs.len() as u64, Ordering::Relaxed);
+        Ok(blocks)
+    }
+
+    /// Fallible scalar write (`meta` selects the metadata path).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`]; network errors declare the node dead.
+    pub fn try_write_block(&self, idx: u64, data: &[u8], meta: bool) -> Result<(), RemoteError> {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+        let mut body = Vec::with_capacity(8 + BLOCK_SIZE);
+        body.extend_from_slice(&idx.to_le_bytes());
+        body.extend_from_slice(data);
+        let op = if meta { OP_WRITE_META } else { OP_WRITE };
+        Self::expect_ok(self.rpc(op, &body)?)?;
+        if !meta {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fallible vectored write (`meta` selects the metadata path).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`]; network errors declare the node dead.
+    pub fn try_write_blocks(&self, writes: &[(u64, &[u8])], meta: bool) -> Result<(), RemoteError> {
+        let mut body = Vec::with_capacity(4 + writes.len() * (8 + BLOCK_SIZE));
+        body.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+        for &(idx, data) in writes {
+            assert!(idx < self.block_count, "block {idx} out of range");
+            assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+            body.extend_from_slice(&idx.to_le_bytes());
+            body.extend_from_slice(data);
+        }
+        let op = if meta {
+            OP_WRITE_BLOCKS_META
+        } else {
+            OP_WRITE_BLOCKS
+        };
+        Self::expect_ok(self.rpc(op, &body)?)?;
+        if !meta {
+            self.vectored_writes.fetch_add(1, Ordering::Relaxed);
+            self.writes
+                .fetch_add(writes.len() as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fallible flush.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`]; network errors declare the node dead,
+    /// server errors carry the node's flush failure.
+    pub fn try_flush(&self) -> Result<(), RemoteError> {
+        Self::expect_ok(self.rpc(OP_FLUSH, &[])?)?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl Drop for RemoteStore {
+    fn drop(&mut self) {
+        if let Some(mut server) = self.server.lock().take() {
+            // Best-effort clean shutdown; a killed or disconnected
+            // server ignores it but still wakes and exits, so the join
+            // is deterministic either way.
+            let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed);
+            let _ = self
+                .link
+                .lock()
+                .send(encode_frame(req_id, OP_SHUTDOWN, &[]));
+            if let Some(handle) = server.handle.take() {
+                handle.join().ok();
+            }
+        }
+    }
+}
+
+impl BlockStore for RemoteStore {
+    fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    fn read_block(&self, idx: u64) -> Bytes {
+        self.try_read_block(idx, false).expect("remote read failed")
+    }
+
+    fn write_block(&self, idx: u64, data: &[u8]) {
+        self.try_write_block(idx, data, false)
+            .expect("remote write failed")
+    }
+
+    fn read_blocks(&self, idxs: &[u64]) -> Vec<Bytes> {
+        self.try_read_blocks(idxs).expect("remote read failed")
+    }
+
+    fn write_blocks(&self, writes: &[(u64, &[u8])]) {
+        self.try_write_blocks(writes, false)
+            .expect("remote write failed")
+    }
+
+    fn read_block_meta(&self, idx: u64) -> Bytes {
+        self.try_read_block(idx, true).expect("remote read failed")
+    }
+
+    fn write_block_meta(&self, idx: u64, data: &[u8]) {
+        self.try_write_block(idx, data, true)
+            .expect("remote write failed")
+    }
+
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        self.try_write_blocks(writes, true)
+            .expect("remote write failed")
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        self.try_flush().map_err(std::io::Error::other)
+    }
+
+    /// Client-side counters only: logical reads/writes as issued by
+    /// callers, plus the wire-level `rpc_calls` / `bytes_on_wire` /
+    /// `retries`. The node's own store counters live on the server
+    /// side of the link.
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            vectored_reads: self.vectored_reads.load(Ordering::Relaxed),
+            vectored_writes: self.vectored_writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            rpc_calls: self.rpc_calls.load(Ordering::Relaxed),
+            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            ..StoreStats::default()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "remote"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimStore;
+
+    fn local_node(blocks: u64) -> RemoteStore {
+        RemoteStore::serve_local(
+            SimStore::untimed(blocks),
+            &SimClock::new(),
+            LinkConfig::instant(),
+            RemoteOptions::default(),
+        )
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_corruption() {
+        let frame = encode_frame(7, OP_READ, &42u64.to_le_bytes());
+        let (id, op, body) = decode_frame(&frame).unwrap();
+        assert_eq!((id, op), (7, OP_READ));
+        assert_eq!(body, 42u64.to_le_bytes());
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_frame(&bad).is_err(), "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn remote_round_trip_scalar_and_vectored() {
+        let store = local_node(16);
+        assert_eq!(store.block_count(), 16);
+        let a = vec![0xA1u8; BLOCK_SIZE];
+        let b = vec![0xB2u8; BLOCK_SIZE];
+        store.write_block(3, &a);
+        store.write_blocks(&[(5, &b), (6, &a)]);
+        store.write_block_meta(0, &b);
+        assert_eq!(store.read_block(3), a);
+        assert_eq!(
+            store.read_blocks(&[5, 6, 3]),
+            vec![
+                Bytes::from(b.clone()),
+                Bytes::from(a.clone()),
+                Bytes::from(a.clone())
+            ]
+        );
+        assert_eq!(store.read_block_meta(0), b);
+        store.flush().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.reads, 4);
+        assert_eq!(stats.writes, 3, "meta writes uncounted");
+        assert_eq!(stats.flushes, 1);
+        // connect (LEN) + 3 writes + 3 reads + flush.
+        assert_eq!(stats.rpc_calls, 8);
+        assert_eq!(stats.retries, 0);
+        assert!(stats.bytes_on_wire > 6 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn virtual_clock_charges_wire_time() {
+        let clock = SimClock::new();
+        let store = RemoteStore::serve_local(
+            SimStore::untimed(8),
+            &clock,
+            LinkConfig::ethernet_100mbps(),
+            RemoteOptions::default(),
+        );
+        clock.reset();
+        store.write_block(1, &vec![1u8; BLOCK_SIZE]);
+        // Request carries 8 KB at 12.5 MB/s (~655 µs) + 120 µs latency
+        // each way.
+        let t = clock.now();
+        assert!(t > Duration::from_micros(700), "write charged {t:?}");
+    }
+
+    #[test]
+    fn killed_server_declares_the_node_dead() {
+        let store = local_node(8);
+        store.write_block(2, &vec![9u8; BLOCK_SIZE]);
+        assert!(!store.is_dead());
+        store.kill_server();
+        assert!(store.try_read_block(2, false).is_err());
+        assert!(store.is_dead());
+        // Dead latch: later calls fail without touching the wire.
+        let calls = store.stats().rpc_calls;
+        assert!(store.try_flush().is_err());
+        assert_eq!(store.stats().rpc_calls, calls);
+    }
+
+    #[test]
+    fn timeout_retries_then_succeeds() {
+        // A transport that swallows the first request (send succeeds,
+        // reply never comes) — the retry must carry the same id and
+        // the late... nothing: the swallowed request simply never
+        // reaches the server.
+        struct Flaky {
+            inner: Endpoint,
+            drop_first: AtomicBool,
+        }
+        impl Transport for Flaky {
+            fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
+                if self.drop_first.swap(false, Ordering::SeqCst) {
+                    return Ok(()); // swallowed
+                }
+                self.inner.send(msg)
+            }
+            fn recv(&self) -> Result<Vec<u8>, NetError> {
+                self.inner.recv()
+            }
+            fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+                self.inner.recv_timeout(timeout)
+            }
+        }
+        // Armed from the start: the connect-time LEN request itself is
+        // swallowed, times out, and the retry succeeds.
+        let clock = SimClock::new();
+        let (client_end, server_end) = Link::loopback(&clock);
+        let node = SimStore::untimed(8);
+        let server = std::thread::spawn(move || BlockServer::new(node).serve(&server_end));
+        let store = RemoteStore::connect(
+            Flaky {
+                inner: client_end,
+                drop_first: AtomicBool::new(true),
+            },
+            RemoteOptions {
+                timeout: Duration::from_millis(50),
+                retries: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(store.block_count(), 8);
+        assert_eq!(store.stats().retries, 1);
+        drop(store);
+        server.join().ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_is_caught_client_side() {
+        local_node(4).read_block(4);
+    }
+}

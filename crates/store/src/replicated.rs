@@ -1,0 +1,768 @@
+//! R-way replication across simulated storage nodes, with
+//! epoch-stamped commits and node-failure rebuild — the distributed
+//! volume tier's redundancy layer.
+//!
+//! A [`ReplicatedStore`] stripes one logical volume across N
+//! [`RemoteStore`] nodes and keeps R copies of every block: replica
+//! `r` of logical block `idx` lives on node `(idx % N + r) % N` at
+//! inner index `(idx / N) * R + r` (for `r < R ≤ N` the replica nodes
+//! are distinct, and the inner indices of different logical blocks
+//! never collide). Each node additionally reserves its **last** block
+//! for an epoch record, so a node store needs
+//! [`ReplicatedStore::node_block_count`] blocks.
+//!
+//! # Epochs: cross-node crash atomicity
+//!
+//! Writes are buffered coordinator-side (a dirty map, exactly like the
+//! buffer cache's write-back discipline): between flushes, no node
+//! sees a partial burst. [`BlockStore::flush`] then pushes each node's
+//! replica writes as **one vectored write whose last record is the
+//! epoch record for `epoch + 1`** — on a journaled node store that is
+//! a single durability unit, so a torn node journal replays to a
+//! *prefix*: either the epoch record is present (the node has every
+//! write of that epoch) or the node's epoch block still reads the old
+//! epoch. Reopening the volume compares node epochs: any node behind
+//! the maximum **committed** epoch (or torn mid-epoch, which reads as
+//! behind) is rebuilt block-for-block from the fresh replicas and
+//! re-stamped — so the volume always replays to one consistent epoch,
+//! never a mix. Block 0 (the filesystem's superblock dirty/clean
+//! marker) is the one exception: it is written through to its replicas
+//! immediately, outside the epoch transaction, preserving the
+//! recovery-sweep ordering discipline (see `CachedStore`'s module
+//! docs for why that marker cannot be buffered).
+//!
+//! # Node death and rebuild
+//!
+//! A node is **declared dead** when an RPC to it fails: a disconnected
+//! link (a killed server thread — a crashed machine) or a request that
+//! stayed unanswered past the client's retry budget. Reads fail over
+//! to the next live replica ([`StoreStats::replica_reads`] counts
+//! them, and replicas are ranked nearest-first by link latency); the
+//! failed operation is then retried, after the dead node's replica set
+//! is **rebuilt onto a spare**: every block it hosted is copied from
+//! the surviving replicas, the current epoch is stamped, and the spare
+//! takes the dead node's place in the table
+//! ([`StoreStats::rebuilds`]). With R = 2 and a spare, a volume
+//! survives the death of any single node with zero failed reads; with
+//! no spare left it keeps serving degraded from the surviving
+//! replicas.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use discfs_crypto::sha256::Sha256;
+use discfs_crypto::Digest;
+
+use crate::{BlockStore, RemoteStore, StoreStats, BLOCK_SIZE};
+
+/// Epoch record magic.
+const EPOCH_MAGIC: [u8; 8] = *b"DISCEPOC";
+
+fn epoch_record(epoch: u64) -> Vec<u8> {
+    let mut block = vec![0u8; BLOCK_SIZE];
+    block[..8].copy_from_slice(&EPOCH_MAGIC);
+    block[8..16].copy_from_slice(&epoch.to_le_bytes());
+    let mut h = Sha256::new();
+    h.update(&EPOCH_MAGIC);
+    h.update(&epoch.to_le_bytes());
+    block[16..48].copy_from_slice(&h.finalize());
+    block
+}
+
+/// A zero, corrupt, or torn epoch block reads as epoch 0 — the node is
+/// then (at worst) rebuilt from scratch.
+fn decode_epoch(block: &[u8]) -> u64 {
+    if block.len() != BLOCK_SIZE || block[..8] != EPOCH_MAGIC {
+        return 0;
+    }
+    let epoch = u64::from_le_bytes(block[8..16].try_into().expect("8 bytes"));
+    let mut h = Sha256::new();
+    h.update(&EPOCH_MAGIC);
+    h.update(&epoch.to_le_bytes());
+    if h.finalize() != block[16..48] {
+        return 0;
+    }
+    epoch
+}
+
+struct ReplState {
+    nodes: Vec<RemoteStore>,
+    spares: Vec<RemoteStore>,
+    /// Coordinator-side write-back buffer: `idx -> (block, meta)`.
+    dirty: BTreeMap<u64, (Bytes, bool)>,
+    epoch: u64,
+    /// Set by block-0 write-throughs: the next flush must commit an
+    /// epoch even if the dirty map is empty, so node content never
+    /// stays ahead of the last committed epoch across a clean flush.
+    pending_commit: bool,
+}
+
+/// N-node, R-replica block store over [`RemoteStore`] clients (see the
+/// module docs for placement, epochs, and the failure model).
+pub struct ReplicatedStore {
+    state: parking_lot::Mutex<ReplState>,
+    block_count: u64,
+    replicas: usize,
+    failover_budget: usize,
+    replica_reads: AtomicU64,
+    rebuilds: AtomicU64,
+    vectored_reads: AtomicU64,
+    vectored_writes: AtomicU64,
+    flushes: AtomicU64,
+}
+
+fn node_of(idx: u64, r: usize, n: usize) -> usize {
+    ((idx as usize % n) + r) % n
+}
+
+fn inner_of(idx: u64, r: usize, n: usize, replicas: usize) -> u64 {
+    (idx / n as u64) * replicas as u64 + r as u64
+}
+
+fn epoch_slot(block_count: u64, n: usize, replicas: usize) -> u64 {
+    block_count.div_ceil(n as u64) * replicas as u64
+}
+
+/// Copies every block hosted by `nodes[target]` from the freshest
+/// surviving replicas and stamps `epoch` — one vectored write per
+/// source node for the reads, one for the target (epoch record last,
+/// so a torn rebuild reads as still-stale and is simply redone).
+fn rebuild_node(
+    nodes: &[RemoteStore],
+    target: usize,
+    fresh: &[bool],
+    block_count: u64,
+    replicas: usize,
+    epoch: u64,
+) {
+    let n = nodes.len();
+    let per = block_count.div_ceil(n as u64);
+    // Per source node: (source inner indices, target inner indices).
+    let mut per_source: Vec<(Vec<u64>, Vec<u64>)> =
+        (0..n).map(|_| (Vec::new(), Vec::new())).collect();
+    for r in 0..replicas {
+        let residue = (target + n - r) % n;
+        for k in 0..per {
+            let idx = k * n as u64 + residue as u64;
+            if idx >= block_count {
+                continue;
+            }
+            let source = (0..replicas)
+                .filter(|&r2| r2 != r)
+                .map(|r2| (node_of(idx, r2, n), r2))
+                .find(|&(m, _)| m != target && fresh[m] && !nodes[m].is_dead());
+            let Some((m, r2)) = source else {
+                panic!("no fresh replica of block {idx} to rebuild node {target} from");
+            };
+            let (src, dst) = &mut per_source[m];
+            src.push(inner_of(idx, r2, n, replicas));
+            dst.push(k * replicas as u64 + r as u64);
+        }
+    }
+    let mut writes: Vec<(u64, Bytes)> = Vec::new();
+    for (m, (src, dst)) in per_source.into_iter().enumerate() {
+        if src.is_empty() {
+            continue;
+        }
+        let blocks = nodes[m]
+            .try_read_blocks(&src)
+            .expect("rebuild source node failed mid-copy");
+        writes.extend(dst.into_iter().zip(blocks));
+    }
+    writes.push((
+        epoch_slot(block_count, n, replicas),
+        Bytes::from(epoch_record(epoch)),
+    ));
+    let refs: Vec<(u64, &[u8])> = writes.iter().map(|(i, b)| (*i, &b[..])).collect();
+    nodes[target]
+        .try_write_blocks(&refs, false)
+        .expect("rebuild target node failed");
+}
+
+impl ReplicatedStore {
+    /// Blocks each node store must hold for a volume of `block_count`
+    /// logical blocks over `nodes` nodes with `replicas` copies:
+    /// `ceil(block_count / nodes) * replicas` data slots plus the
+    /// epoch record.
+    pub fn node_block_count(block_count: u64, nodes: usize, replicas: usize) -> u64 {
+        block_count.div_ceil(nodes as u64) * replicas as u64 + 1
+    }
+
+    /// Assembles a replicated volume from connected node clients (plus
+    /// idle spares), then runs **recovery**: node epochs are read, and
+    /// any node behind the maximum committed epoch — a torn flush, a
+    /// stale disk — is rebuilt from the fresh replicas and re-stamped,
+    /// so the reopened volume reads at one consistent epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas` is zero, exceeds the node count, or a
+    /// node store is too small; and when recovery finds a block with
+    /// no fresh replica (more simultaneous failures than R − 1).
+    pub fn new(
+        nodes: Vec<RemoteStore>,
+        spares: Vec<RemoteStore>,
+        block_count: u64,
+        replicas: usize,
+    ) -> ReplicatedStore {
+        let n = nodes.len();
+        assert!(replicas >= 1, "need at least one replica");
+        assert!(replicas <= n, "more replicas than nodes");
+        let needed = Self::node_block_count(block_count, n, replicas);
+        for (i, node) in nodes.iter().chain(spares.iter()).enumerate() {
+            assert!(
+                node.remote_block_count() >= needed,
+                "node {i} holds {} blocks, needs {needed}",
+                node.remote_block_count()
+            );
+        }
+        let mut st = ReplState {
+            nodes,
+            spares,
+            dirty: BTreeMap::new(),
+            epoch: 0,
+            pending_commit: false,
+        };
+        let failover_budget = n + st.spares.len() + 2;
+        let slot = epoch_slot(block_count, n, replicas);
+        let epochs: Vec<Option<u64>> = st
+            .nodes
+            .iter()
+            .map(|node| {
+                node.try_read_block(slot, true)
+                    .ok()
+                    .map(|b| decode_epoch(&b))
+            })
+            .collect();
+        let e_max = epochs.iter().flatten().copied().max().unwrap_or(0);
+        st.epoch = e_max;
+        let mut recovered = 0;
+        if e_max > 0 {
+            let fresh: Vec<bool> = epochs.iter().map(|e| *e == Some(e_max)).collect();
+            for target in 0..n {
+                if fresh[target] {
+                    continue;
+                }
+                if st.nodes[target].is_dead() {
+                    let Some(spare) = st.spares.pop() else {
+                        continue; // degraded: no spare for a dead node
+                    };
+                    st.nodes[target] = spare;
+                }
+                rebuild_node(&st.nodes, target, &fresh, block_count, replicas, e_max);
+                recovered += 1;
+            }
+        }
+        ReplicatedStore {
+            state: parking_lot::Mutex::new(st),
+            block_count,
+            replicas,
+            failover_budget,
+            replica_reads: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(recovered),
+            vectored_reads: AtomicU64::new(0),
+            vectored_writes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Replicas kept per block.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The last committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Nodes currently alive (not declared dead).
+    pub fn live_nodes(&self) -> usize {
+        self.state
+            .lock()
+            .nodes
+            .iter()
+            .filter(|n| !n.is_dead())
+            .count()
+    }
+
+    /// Spare nodes still available for rebuilds.
+    pub fn spare_count(&self) -> usize {
+        self.state.lock().spares.len()
+    }
+
+    /// Crashes node `n`'s local server thread (test/bench hook): the
+    /// next RPC to it fails and the store declares it dead, fails the
+    /// read over, and rebuilds onto a spare.
+    pub fn kill_node(&self, n: usize) {
+        self.state.lock().nodes[n].kill_server();
+    }
+
+    /// Declares node `n` dead and — when a spare is available — swaps
+    /// the spare in and rebuilds every block the node hosted from the
+    /// surviving replicas, stamped with the current epoch.
+    fn handle_failure(&self, st: &mut ReplState, n: usize) {
+        if !st.nodes[n].is_dead() {
+            // A server-side error without a dead link (e.g. a refused
+            // request) — nothing to rebuild; the caller's retry loop
+            // handles or gives up on it.
+            return;
+        }
+        let Some(spare) = st.spares.pop() else {
+            return; // degraded: keep serving from surviving replicas
+        };
+        let old = std::mem::replace(&mut st.nodes[n], spare);
+        drop(old); // joins the dead node's server thread
+        let fresh: Vec<bool> = st.nodes.iter().map(|node| !node.is_dead()).collect();
+        rebuild_node(
+            &st.nodes,
+            n,
+            &fresh,
+            self.block_count,
+            self.replicas,
+            st.epoch,
+        );
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rebuilds every node currently declared dead onto a spare (when
+    /// one is available) — run *after* a read has been served from the
+    /// surviving replicas, so the detecting read fails over instead of
+    /// waiting out the rebuild.
+    fn repair(&self, st: &mut ReplState) {
+        for n in 0..st.nodes.len() {
+            if st.nodes[n].is_dead() {
+                self.handle_failure(st, n);
+            }
+        }
+    }
+
+    /// Replica order for `idx`: nearest link first (ties broken by
+    /// replica number, so equal-latency volumes read primary-first).
+    fn replica_order(&self, st: &ReplState, idx: u64) -> Vec<usize> {
+        let n = st.nodes.len();
+        let mut order: Vec<usize> = (0..self.replicas).collect();
+        order.sort_by_key(|&r| (st.nodes[node_of(idx, r, n)].latency_hint(), r));
+        order
+    }
+
+    fn read_impl(&self, idx: u64, meta: bool) -> Bytes {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        let mut st = self.state.lock();
+        if let Some((block, _)) = st.dirty.get(&idx) {
+            return block.clone();
+        }
+        let n = st.nodes.len();
+        let order = self.replica_order(&st, idx);
+        let mut served = None;
+        for &r in &order {
+            let node = node_of(idx, r, n);
+            if st.nodes[node].is_dead() {
+                continue;
+            }
+            if let Ok(block) =
+                st.nodes[node].try_read_block(inner_of(idx, r, n, self.replicas), meta)
+            {
+                served = Some((r, block));
+                break;
+            }
+            // The failed node just declared itself dead; fail over to
+            // the next live replica, repair afterwards.
+        }
+        self.repair(&mut st);
+        let Some((r, block)) = served else {
+            panic!("no live replica for block {idx}");
+        };
+        if r != 0 {
+            self.replica_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        block
+    }
+
+    /// Block 0 is written through to every live replica immediately —
+    /// outside the epoch transaction — so the filesystem's
+    /// dirty-marker ordering survives (module docs). Idempotent, so a
+    /// mid-loop node failure restarts the whole pass after the rebuild.
+    fn write_through_zero(&self, st: &mut ReplState, data: &[u8], meta: bool) {
+        let n = st.nodes.len();
+        'retry: for _ in 0..self.failover_budget {
+            for r in 0..self.replicas {
+                let node = node_of(0, r, n);
+                if st.nodes[node].is_dead() {
+                    continue;
+                }
+                if st.nodes[node]
+                    .try_write_block(inner_of(0, r, n, self.replicas), data, meta)
+                    .is_err()
+                {
+                    self.handle_failure(st, node);
+                    continue 'retry;
+                }
+            }
+            st.pending_commit = true;
+            return;
+        }
+        panic!("block 0 write-through kept failing");
+    }
+
+    fn write_impl(&self, st: &mut ReplState, idx: u64, data: &[u8], meta: bool) {
+        assert!(idx < self.block_count, "block {idx} out of range");
+        assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+        if idx == 0 {
+            self.write_through_zero(st, data, meta);
+        } else {
+            st.dirty.insert(idx, (Bytes::copy_from_slice(data), meta));
+        }
+    }
+}
+
+impl BlockStore for ReplicatedStore {
+    fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    fn read_block(&self, idx: u64) -> Bytes {
+        self.read_impl(idx, false)
+    }
+
+    fn write_block(&self, idx: u64, data: &[u8]) {
+        let mut st = self.state.lock();
+        self.write_impl(&mut st, idx, data, false);
+    }
+
+    /// Vectored read: dirty blocks are served from the write-back
+    /// buffer; the misses are grouped into **one RPC per involved
+    /// node** (nearest live replica per block). A node failure mid-read
+    /// reroutes the unserved remainder to the surviving replicas, then
+    /// repairs the dead node.
+    fn read_blocks(&self, idxs: &[u64]) -> Vec<Bytes> {
+        self.vectored_reads.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        let n = st.nodes.len();
+        let mut out: Vec<Option<Bytes>> = vec![None; idxs.len()];
+        for (pos, &idx) in idxs.iter().enumerate() {
+            assert!(idx < self.block_count, "block {idx} out of range");
+            if let Some((block, _)) = st.dirty.get(&idx) {
+                out[pos] = Some(block.clone());
+            }
+        }
+        for _ in 0..self.failover_budget {
+            if out.iter().all(|b| b.is_some()) {
+                break;
+            }
+            // Per node: (positions, inner indices, replica-served count).
+            let mut per_node: Vec<(Vec<usize>, Vec<u64>, u64)> =
+                (0..n).map(|_| (Vec::new(), Vec::new(), 0)).collect();
+            for (pos, &idx) in idxs.iter().enumerate() {
+                if out[pos].is_some() {
+                    continue;
+                }
+                let order = self.replica_order(&st, idx);
+                let Some(&r) = order
+                    .iter()
+                    .find(|&&r| !st.nodes[node_of(idx, r, n)].is_dead())
+                else {
+                    panic!("no live replica for block {idx}");
+                };
+                let (positions, inners, via_replica) = &mut per_node[node_of(idx, r, n)];
+                positions.push(pos);
+                inners.push(inner_of(idx, r, n, self.replicas));
+                if r != 0 {
+                    *via_replica += 1;
+                }
+            }
+            for (node, (positions, inners, via_replica)) in per_node.into_iter().enumerate() {
+                if positions.is_empty() {
+                    continue;
+                }
+                // On failure the node declares itself dead; the next
+                // pass reroutes its positions to the surviving
+                // replicas.
+                if let Ok(blocks) = st.nodes[node].try_read_blocks(&inners) {
+                    for (pos, block) in positions.into_iter().zip(blocks) {
+                        out[pos] = Some(block);
+                    }
+                    self.replica_reads.fetch_add(via_replica, Ordering::Relaxed);
+                }
+            }
+        }
+        self.repair(&mut st);
+        out.into_iter()
+            .map(|b| b.expect("every block served from the buffer or a live replica"))
+            .collect()
+    }
+
+    fn write_blocks(&self, writes: &[(u64, &[u8])]) {
+        self.vectored_writes.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        for &(idx, data) in writes {
+            self.write_impl(&mut st, idx, data, false);
+        }
+    }
+
+    fn read_block_meta(&self, idx: u64) -> Bytes {
+        self.read_impl(idx, true)
+    }
+
+    fn write_block_meta(&self, idx: u64, data: &[u8]) {
+        let mut st = self.state.lock();
+        self.write_impl(&mut st, idx, data, true);
+    }
+
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        let mut st = self.state.lock();
+        for &(idx, data) in writes {
+            self.write_impl(&mut st, idx, data, true);
+        }
+    }
+
+    /// Commits the buffered epoch: every live node receives its
+    /// replica writes as one durability unit whose last record stamps
+    /// `epoch + 1` (meta writes ride ahead through the metadata path —
+    /// the epoch record still commits strictly after them). A node
+    /// failure mid-flush rebuilds onto a spare and restarts the push —
+    /// the writes are idempotent, so the surviving nodes just re-apply
+    /// them. Node journals are deliberately *not* flushed here: the
+    /// journal is each node's durability channel, and keeping the
+    /// epoch history in it is what the torn-write recovery replays.
+    fn flush(&self) -> std::io::Result<()> {
+        let mut st = self.state.lock();
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        if st.dirty.is_empty() && !st.pending_commit {
+            return Ok(());
+        }
+        let n = st.nodes.len();
+        let next = st.epoch + 1;
+        let record = Bytes::from(epoch_record(next));
+        let slot = epoch_slot(self.block_count, n, self.replicas);
+        'retry: for _ in 0..self.failover_budget {
+            for node in 0..n {
+                if st.nodes[node].is_dead() {
+                    continue; // degraded: recovery rebuilds it on reopen
+                }
+                let mut meta_writes: Vec<(u64, &Bytes)> = Vec::new();
+                let mut data_writes: Vec<(u64, &Bytes)> = Vec::new();
+                for (&idx, (block, meta)) in &st.dirty {
+                    for r in 0..self.replicas {
+                        if node_of(idx, r, n) != node {
+                            continue;
+                        }
+                        let inner = inner_of(idx, r, n, self.replicas);
+                        if *meta {
+                            meta_writes.push((inner, block));
+                        } else {
+                            data_writes.push((inner, block));
+                        }
+                    }
+                }
+                if !meta_writes.is_empty() {
+                    let refs: Vec<(u64, &[u8])> =
+                        meta_writes.iter().map(|(i, b)| (*i, &b[..][..])).collect();
+                    if st.nodes[node].try_write_blocks(&refs, true).is_err() {
+                        self.handle_failure(&mut st, node);
+                        continue 'retry;
+                    }
+                }
+                let mut refs: Vec<(u64, &[u8])> =
+                    data_writes.iter().map(|(i, b)| (*i, &b[..][..])).collect();
+                refs.push((slot, &record));
+                if st.nodes[node].try_write_blocks(&refs, false).is_err() {
+                    self.handle_failure(&mut st, node);
+                    continue 'retry;
+                }
+            }
+            st.epoch = next;
+            st.dirty.clear();
+            st.pending_commit = false;
+            return Ok(());
+        }
+        Err(std::io::Error::other("replicated flush kept failing"))
+    }
+
+    /// Sum of the node clients' stats (so node-level `writes` shows
+    /// the R-way write amplification and `bytes_on_wire` the wire
+    /// traffic) plus this layer's own counters; `flushes` reports
+    /// replicated flush calls.
+    fn stats(&self) -> StoreStats {
+        let st = self.state.lock();
+        let mut stats = st
+            .nodes
+            .iter()
+            .chain(st.spares.iter())
+            .fold(StoreStats::default(), |acc, node| acc.merge(&node.stats()));
+        stats.flushes = self.flushes.load(Ordering::Relaxed);
+        stats.vectored_reads += self.vectored_reads.load(Ordering::Relaxed);
+        stats.vectored_writes += self.vectored_writes.load(Ordering::Relaxed);
+        stats.replica_reads += self.replica_reads.load(Ordering::Relaxed);
+        stats.rebuilds += self.rebuilds.load(Ordering::Relaxed);
+        stats
+    }
+
+    fn label(&self) -> &'static str {
+        "replicated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RemoteOptions, SimStore};
+    use netsim::{LinkConfig, SimClock};
+
+    fn volume(blocks: u64, nodes: usize, replicas: usize, spares: usize) -> ReplicatedStore {
+        let clock = SimClock::new();
+        let node_bc = ReplicatedStore::node_block_count(blocks, nodes, replicas);
+        let make = |_i: usize| {
+            RemoteStore::serve_local(
+                SimStore::untimed(node_bc),
+                &clock,
+                LinkConfig::instant(),
+                RemoteOptions::default(),
+            )
+        };
+        ReplicatedStore::new(
+            (0..nodes).map(make).collect(),
+            (0..spares).map(make).collect(),
+            blocks,
+            replicas,
+        )
+    }
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn placement_is_a_bijection_onto_distinct_nodes() {
+        let (n, replicas, bc) = (4usize, 2usize, 37u64);
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..bc {
+            let nodes: Vec<usize> = (0..replicas).map(|r| node_of(idx, r, n)).collect();
+            assert_eq!(
+                nodes.iter().collect::<std::collections::HashSet<_>>().len(),
+                replicas,
+                "replicas of {idx} must land on distinct nodes"
+            );
+            for r in 0..replicas {
+                let slot = (node_of(idx, r, n), inner_of(idx, r, n, replicas));
+                assert!(seen.insert(slot), "slot collision at {slot:?}");
+                assert!(
+                    slot.1 < epoch_slot(bc, n, replicas),
+                    "data below the epoch slot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_and_commits_epochs() {
+        let store = volume(32, 4, 2, 0);
+        for i in 0..32u64 {
+            store.write_block(i, &block_of(i as u8 + 1));
+        }
+        assert_eq!(store.epoch(), 0, "writes are buffered before flush");
+        store.flush().unwrap();
+        assert_eq!(store.epoch(), 1);
+        for i in 0..32u64 {
+            assert_eq!(store.read_block(i)[0], i as u8 + 1);
+        }
+        store.flush().unwrap();
+        assert_eq!(store.epoch(), 1, "clean flush commits nothing");
+        let stats = store.stats();
+        assert_eq!(stats.replica_reads, 0);
+        assert_eq!(stats.rebuilds, 0);
+        // 32 logical writes × 2 replicas reached the nodes.
+        assert_eq!(
+            stats.writes,
+            64 + 4,
+            "R× amplification plus 4 epoch records"
+        );
+    }
+
+    #[test]
+    fn node_death_fails_over_and_rebuilds_onto_the_spare() {
+        let store = volume(32, 4, 2, 1);
+        for i in 0..32u64 {
+            store.write_block(i, &block_of(i as u8 + 1));
+        }
+        store.flush().unwrap();
+        store.kill_node(2);
+        for i in 0..32u64 {
+            assert_eq!(store.read_block(i)[0], i as u8 + 1, "zero failed reads");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.rebuilds, 1, "spare took the dead node's place");
+        assert!(stats.replica_reads >= 1, "the detecting read failed over");
+        assert_eq!(store.live_nodes(), 4);
+        assert_eq!(store.spare_count(), 0);
+        // The rebuilt node serves its share: kill another node.
+        store.kill_node(3);
+        for i in 0..32u64 {
+            assert_eq!(store.read_block(i)[0], i as u8 + 1, "degraded reads");
+        }
+        assert_eq!(store.live_nodes(), 3, "no spare left: degraded");
+    }
+
+    #[test]
+    fn write_amplification_is_r_times() {
+        let r1 = volume(16, 4, 1, 0);
+        let r2 = volume(16, 4, 2, 0);
+        for store in [&r1, &r2] {
+            for i in 0..16u64 {
+                store.write_block(i, &block_of(7));
+            }
+            store.flush().unwrap();
+        }
+        let (w1, w2) = (r1.stats(), r2.stats());
+        assert_eq!(w2.writes - 4, (w1.writes - 4) * 2, "data writes double");
+        assert!(
+            w2.bytes_on_wire > w1.bytes_on_wire * 3 / 2,
+            "wire traffic grows"
+        );
+    }
+
+    #[test]
+    fn nearest_replica_serves_reads() {
+        // Node 1 (replica 1 of block 0's stripe-mates) on a fast link,
+        // node 0 on a slow one: reads of blocks whose primary is the
+        // slow node are served by the fast replica.
+        let clock = SimClock::new();
+        let node_bc = ReplicatedStore::node_block_count(8, 2, 2);
+        let slow = RemoteStore::serve_local(
+            SimStore::untimed(node_bc),
+            &clock,
+            LinkConfig {
+                latency: std::time::Duration::from_millis(5),
+                bandwidth: u64::MAX,
+            },
+            RemoteOptions::default(),
+        );
+        let fast = RemoteStore::serve_local(
+            SimStore::untimed(node_bc),
+            &clock,
+            LinkConfig::instant(),
+            RemoteOptions::default(),
+        );
+        let store = ReplicatedStore::new(vec![slow, fast], vec![], 8, 2);
+        for i in 1..8u64 {
+            store.write_block(i, &block_of(i as u8));
+        }
+        store.flush().unwrap();
+        clock.reset();
+        // Block 2's primary is node 0 (slow); its replica on node 1.
+        assert_eq!(store.read_block(2)[0], 2);
+        assert!(
+            clock.now() < std::time::Duration::from_millis(5),
+            "read avoided the slow link: {:?}",
+            clock.now()
+        );
+        assert_eq!(store.stats().replica_reads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        volume(8, 2, 2, 0).read_block(8);
+    }
+}

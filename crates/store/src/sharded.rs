@@ -72,9 +72,11 @@ enum Job {
         idxs: Vec<u64>,
         reply: mpsc::Sender<Vec<Bytes>>,
     },
-    /// Write these `(shard-local index, block)` pairs in order.
+    /// Write these `(shard-local index, block)` pairs in order,
+    /// through the metadata path when `meta` is set.
     Write {
         blocks: Vec<(u64, Bytes)>,
+        meta: bool,
         reply: mpsc::Sender<()>,
     },
     /// Flush the shard (FIFO: drains everything queued before it).
@@ -96,10 +98,18 @@ fn worker_loop(shard: Arc<dyn BlockStore>, jobs: mpsc::Receiver<Job>) {
                 // A dropped caller is not an error for the worker.
                 let _ = reply.send(shard.read_blocks(&idxs));
             }
-            Job::Write { blocks, reply } => {
+            Job::Write {
+                blocks,
+                meta,
+                reply,
+            } => {
                 let refs: Vec<(u64, &[u8])> =
                     blocks.iter().map(|(idx, data)| (*idx, &data[..])).collect();
-                shard.write_blocks(&refs);
+                if meta {
+                    shard.write_blocks_meta(&refs);
+                } else {
+                    shard.write_blocks(&refs);
+                }
                 let _ = reply.send(());
             }
             Job::Flush { reply } => {
@@ -215,6 +225,60 @@ impl ShardedStore {
         per_shard
     }
 
+    /// The shared vectored-write body: partition by shard, fan out one
+    /// (meta-flagged) write job per involved shard with workers, run
+    /// inline otherwise. Per-shard order is the caller's order on both
+    /// paths.
+    fn write_blocks_impl(&self, writes: &[(u64, &[u8])], meta: bool) {
+        let idxs: Vec<u64> = writes.iter().map(|(idx, _)| *idx).collect();
+        let per_shard = self.partition(&idxs);
+        let involved = per_shard.iter().filter(|(p, _)| !p.is_empty()).count();
+        if involved > 1 && self.workers.is_some() {
+            let mut pending: Vec<mpsc::Receiver<()>> = Vec::new();
+            for (shard, (positions, inner_idxs)) in per_shard.into_iter().enumerate() {
+                if positions.is_empty() {
+                    continue;
+                }
+                // Copied into the job: the bounded queue crosses a
+                // thread boundary, so the caller's slices cannot ride.
+                let blocks: Vec<(u64, Bytes)> = positions
+                    .into_iter()
+                    .zip(inner_idxs)
+                    .map(|(pos, inner)| (inner, Bytes::copy_from_slice(writes[pos].1)))
+                    .collect();
+                let (reply, rx) = mpsc::channel();
+                self.submit(
+                    shard,
+                    Job::Write {
+                        blocks,
+                        meta,
+                        reply,
+                    },
+                );
+                pending.push(rx);
+            }
+            for rx in pending {
+                rx.recv().expect("shard worker reply");
+            }
+        } else {
+            for (shard, (positions, inner_idxs)) in per_shard.into_iter().enumerate() {
+                if positions.is_empty() {
+                    continue;
+                }
+                let blocks: Vec<(u64, &[u8])> = positions
+                    .into_iter()
+                    .zip(inner_idxs)
+                    .map(|(pos, inner)| (inner, writes[pos].1))
+                    .collect();
+                if meta {
+                    self.shards[shard].write_blocks_meta(&blocks);
+                } else {
+                    self.shards[shard].write_blocks(&blocks);
+                }
+            }
+        }
+    }
+
     fn submit(&self, shard: usize, job: Job) {
         let pool = self.workers.as_ref().expect("submit requires workers");
         self.worker_jobs.fetch_add(1, Ordering::Relaxed);
@@ -315,42 +379,7 @@ impl BlockStore for ShardedStore {
     /// Per-shard order is the caller's order either way.
     fn write_blocks(&self, writes: &[(u64, &[u8])]) {
         self.vectored_writes.fetch_add(1, Ordering::Relaxed);
-        let idxs: Vec<u64> = writes.iter().map(|(idx, _)| *idx).collect();
-        let per_shard = self.partition(&idxs);
-        let involved = per_shard.iter().filter(|(p, _)| !p.is_empty()).count();
-        if involved > 1 && self.workers.is_some() {
-            let mut pending: Vec<mpsc::Receiver<()>> = Vec::new();
-            for (shard, (positions, inner_idxs)) in per_shard.into_iter().enumerate() {
-                if positions.is_empty() {
-                    continue;
-                }
-                // Copied into the job: the bounded queue crosses a
-                // thread boundary, so the caller's slices cannot ride.
-                let blocks: Vec<(u64, Bytes)> = positions
-                    .into_iter()
-                    .zip(inner_idxs)
-                    .map(|(pos, inner)| (inner, Bytes::copy_from_slice(writes[pos].1)))
-                    .collect();
-                let (reply, rx) = mpsc::channel();
-                self.submit(shard, Job::Write { blocks, reply });
-                pending.push(rx);
-            }
-            for rx in pending {
-                rx.recv().expect("shard worker reply");
-            }
-        } else {
-            for (shard, (positions, inner_idxs)) in per_shard.into_iter().enumerate() {
-                if positions.is_empty() {
-                    continue;
-                }
-                let blocks: Vec<(u64, &[u8])> = positions
-                    .into_iter()
-                    .zip(inner_idxs)
-                    .map(|(pos, inner)| (inner, writes[pos].1))
-                    .collect();
-                self.shards[shard].write_blocks(&blocks);
-            }
-        }
+        self.write_blocks_impl(writes, false);
     }
 
     fn read_block_meta(&self, idx: u64) -> Bytes {
@@ -366,6 +395,14 @@ impl BlockStore for ShardedStore {
     fn write_block_meta(&self, idx: u64, data: &[u8]) {
         let (shard, inner_idx) = self.route(idx);
         shard.write_block_meta(inner_idx, data)
+    }
+
+    /// Vectored metadata write: same partition/fan-out as
+    /// [`ShardedStore::write_blocks`], but each shard receives its
+    /// sublist through the metadata path (no timing charge, no data
+    /// counters — matching the scalar meta ops).
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        self.write_blocks_impl(writes, true);
     }
 
     /// Flushes every shard **in parallel** — through the worker queues

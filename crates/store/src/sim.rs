@@ -220,6 +220,17 @@ impl BlockStore for SimStore {
         s.blocks[idx as usize] = Bytes::copy_from_slice(data);
     }
 
+    /// Vectored metadata write: one lock acquisition, no timing charge
+    /// and no counters, like the scalar meta path.
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        let mut s = self.state.lock();
+        for &(idx, data) in writes {
+            assert!(idx < self.block_count, "block {idx} out of range");
+            assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
+            s.blocks[idx as usize] = Bytes::copy_from_slice(data);
+        }
+    }
+
     fn stats(&self) -> StoreStats {
         let s = self.state.lock();
         StoreStats {

@@ -124,6 +124,10 @@ impl<S: BlockStore> BlockStore for TimedStore<S> {
         self.inner.write_block_meta(idx, data)
     }
 
+    fn write_blocks_meta(&self, writes: &[(u64, &[u8])]) {
+        self.inner.write_blocks_meta(writes)
+    }
+
     fn flush(&self) -> std::io::Result<()> {
         self.inner.flush()
     }

@@ -12,12 +12,15 @@ use std::sync::Arc;
 /// A cheaply-clonable handle to an immutable byte buffer.
 ///
 /// Like the real crate's `Bytes`: cloning bumps a reference count
-/// instead of copying the payload, so passing block-sized buffers
-/// around is pointer-cheap. Backed by `Arc<[u8]>` (no unsafe, no
-/// sub-slicing views — the workspace hands whole blocks around).
+/// instead of copying the payload, and [`Bytes::slice`] returns a
+/// zero-copy sub-view sharing the same allocation (the remote block
+/// protocol slices one response frame into per-block handles). Backed
+/// by `Arc<[u8]>` plus view bounds — no unsafe.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -26,29 +29,67 @@ impl Bytes {
         Bytes::default()
     }
 
+    fn from_arc(data: Arc<[u8]>) -> Bytes {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
     /// Copies `data` into a new shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: data.into() }
+        Bytes::from_arc(data.into())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a fresh, mutable `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
     /// Borrows the contents.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
+    }
+
+    /// A zero-copy sub-view of this handle: the returned `Bytes`
+    /// shares the same allocation, narrowed to `range` (relative to
+    /// this view).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice range inverted: {begin} > {end}");
+        assert!(end <= len, "slice end {end} out of bounds (len {len})");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
     }
 }
 
@@ -56,37 +97,37 @@ impl std::ops::Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Bytes(len={})", self.data.len())
+        write!(f, "Bytes(len={})", self.len())
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: v.into() }
+        Bytes::from_arc(v.into())
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Bytes {
-        Bytes { data: v.into() }
+        Bytes::from_arc(v.into())
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Bytes) -> bool {
-        self.data == other.data
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -94,43 +135,43 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        *self.data == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        *self.data == **other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        *self.data == other[..]
+        *self.as_slice() == other[..]
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == *other.data
+        self[..] == *other.as_slice()
     }
 }
 
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == *other.data
+        *self == *other.as_slice()
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
@@ -139,7 +180,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type IntoIter = std::slice::Iter<'a, u8>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -291,5 +332,27 @@ impl From<BytesMut> for Vec<u8> {
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5, 6]);
+        let mid = b.slice(1..5);
+        assert_eq!(mid, [2u8, 3, 4, 5][..]);
+        let inner = mid.slice(1..=2);
+        assert_eq!(inner, [3u8, 4][..]);
+        assert_eq!(mid.slice(..), mid);
+        assert_eq!(b.slice(6..).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8, 2]).slice(..3);
     }
 }
