@@ -75,6 +75,44 @@
 //!    (`AuthStats::exclusive` is flat across a hit-only run), and
 //!    `AuthStats::decisions == cache hits + misses` at all times.
 //!
+//! # Request engine
+//!
+//! The connection layer in front of that decision path is the
+//! event-driven engine of `nfsv2::engine` (PR 7). The paper's testbed
+//! model — one synchronous server thread per connection — cannot reach
+//! the client populations the hot path was built for, so the engine
+//! multiplexes every session onto a **fixed** pool:
+//!
+//! * **Threading model** — exactly `workers + 1` server threads
+//!   regardless of connection count: one readiness loop polling the
+//!   `netsim` channels (edge-triggered tokens via `netsim::ReadySet`),
+//!   plus a worker pool draining a shared job queue. IKE responder
+//!   handshakes run as worker jobs too, so even connection setup
+//!   spawns nothing.
+//! * **Bounded queues, backpressure** — the loop decodes frames into a
+//!   per-connection request queue capped at `queue_bound`; a full
+//!   queue pauses reading that connection (the flood stays in the
+//!   network, not in server memory) until a worker drains it. A
+//!   stalled or slow-loris client therefore sheds **its own** load
+//!   while healthy neighbors keep their latency — the fairness bound
+//!   pinned by `tests/engine.rs` and the `fleet` bench.
+//! * **Batched serving** — a worker serves up to `batch` requests per
+//!   scheduling quantum, encoding all replies into one buffer and one
+//!   transport send (one ESP seal per batch) over the zero-copy
+//!   `Bytes` frame path, then requeues the connection at the tail for
+//!   round-robin fairness. Per-connection execution stays serialized,
+//!   so pipelined requests observe FIFO order.
+//! * **Clean failure** — malformed frames (bad checksum, oversized
+//!   length, truncation) condemn only the offending connection, which
+//!   is dropped and recorded in the [`audit`] log; disconnects drain
+//!   quietly. [`Testbed::reboot`] quiesces the engine — joins the loop
+//!   and every worker, draining accepted requests — before the store
+//!   syncs and drops.
+//!
+//! [`Testbed`] runs every connection through the engine, so the whole
+//! integration suite exercises this path; `EngineStats` exposes the
+//! counters the tests pin.
+//!
 //! # Storage backends
 //!
 //! The server's volume is built on the pluggable block-store subsystem

@@ -813,6 +813,23 @@ impl NfsService for DiscfsService {
             self.peer_shard(&peer).write().remove(&peer.0);
         }
     }
+
+    fn connection_aborted(&self, ctx: &RequestCtx, reason: &str) {
+        // A protocol violation (malformed frame, broken record stream)
+        // is an auditable event: log which authenticated key sent
+        // garbage before the session state is torn down.
+        let peer = ctx.peer.map(|p| p.0).unwrap_or([0u8; 32]);
+        self.audit.record(
+            self.env_time.load(Ordering::Relaxed),
+            &peer,
+            "abort",
+            reason,
+            Perm::NONE,
+            Perm::NONE,
+            false,
+            std::sync::Arc::new(Vec::new()),
+        );
+    }
 }
 
 impl DiscfsService {

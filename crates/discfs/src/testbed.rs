@@ -4,13 +4,21 @@
 //!
 //! Examples, integration tests and the benchmark harness all build
 //! their worlds through this module so the topology stays consistent.
+//!
+//! Since the engine migration the server side is **not**
+//! thread-per-connection: every accepted endpoint — including its IKE
+//! responder handshake — is multiplexed onto one [`nfsv2::Engine`]
+//! with a fixed worker pool. A testbed serving 10 000 clients still
+//! runs `workers + 1` server threads.
 
 use std::sync::Arc;
 
 use discfs_crypto::ed25519::{SigningKey, VerifyingKey};
 use discfs_crypto::rng::DetRng;
 use ffs::{Ffs, FsConfig, StoreBackend};
-use netsim::{Link, LinkConfig, SimClock};
+use ipsec::ike::SecureChannel;
+use netsim::{Endpoint, Link, LinkConfig, SimClock};
+use nfsv2::{Engine, EngineConfig};
 
 use crate::client::{DiscfsClient, DiscfsClientError};
 use crate::server::{DiscfsConfig, DiscfsService};
@@ -23,13 +31,11 @@ pub struct Testbed {
     cache_size: usize,
     backend: StoreBackend,
     service: Arc<DiscfsService>,
-    server_key_seed: [u8; 32],
     server_public: VerifyingKey,
     admin: SigningKey,
     connection_counter: std::sync::atomic::AtomicU64,
-    /// Per-connection server threads; joined by [`Testbed::reboot`] so
-    /// no thread still holds the old store when the volume reopens.
-    connections: std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The event-driven request engine serving every connection.
+    engine: Engine,
 }
 
 impl Testbed {
@@ -69,16 +75,33 @@ impl Testbed {
         cache_size: usize,
         backend: &StoreBackend,
     ) -> Testbed {
+        Testbed::with_engine_config(
+            fs_config,
+            link_config,
+            cache_size,
+            backend,
+            EngineConfig::default(),
+        )
+    }
+
+    /// As [`Testbed::with_backend`], with explicit engine sizing
+    /// (worker count, per-connection queue bound, batch quantum).
+    pub fn with_engine_config(
+        fs_config: FsConfig,
+        link_config: LinkConfig,
+        cache_size: usize,
+        backend: &StoreBackend,
+        engine_config: EngineConfig,
+    ) -> Testbed {
         let clock = SimClock::new();
         let fs = Arc::new(
             Ffs::open_or_format_backend(backend, &clock, fs_config)
                 .expect("mount or format the server volume"),
         );
         let admin = SigningKey::from_seed(&[0xAD; 32]);
-        let server_key_seed = [0x5E; 32];
-        let server_key = SigningKey::from_seed(&server_key_seed);
+        let server_key = SigningKey::from_seed(&SERVER_KEY_SEED);
         let server_public = server_key.public();
-        let mut config = DiscfsConfig::standard(admin.public(), server_key);
+        let mut config = DiscfsConfig::standard(admin.public(), server_key.clone());
         config.cache_size = cache_size;
         let service = Arc::new(DiscfsService::new(fs, config));
         // Charge policy decisions to the virtual clock: a cache hit is a
@@ -89,6 +112,7 @@ impl Testbed {
             cache_hit: std::time::Duration::from_micros(2),
             cache_miss: std::time::Duration::from_micros(200),
         });
+        let engine = Engine::start(service.clone(), server_key, engine_config);
         Testbed {
             clock,
             fs_config,
@@ -96,11 +120,10 @@ impl Testbed {
             cache_size,
             backend: backend.clone(),
             service,
-            server_key_seed,
             server_public,
             admin,
             connection_counter: std::sync::atomic::AtomicU64::new(1),
-            connections: std::sync::Mutex::new(Vec::new()),
+            engine,
         }
     }
 
@@ -115,8 +138,9 @@ impl Testbed {
         self.fs().sync()
     }
 
-    /// Simulates a server reboot: syncs the volume, tears this testbed
-    /// down, and builds a fresh one on the same backend configuration.
+    /// Simulates a server reboot: quiesces the engine, syncs the
+    /// volume, tears this testbed down, and builds a fresh one on the
+    /// same backend configuration.
     ///
     /// On a persistent backend ([`StoreBackend::is_persistent`]) the
     /// new instance mounts the old volume — every file, directory and
@@ -124,24 +148,17 @@ impl Testbed {
     /// the reboot necessarily formats from scratch (there is nothing
     /// durable to come back to).
     ///
-    /// Any clients connected to the old instance must be dropped
-    /// first: reboot **joins** their server threads (so no stale
-    /// handle to the old store survives into the new life), and a
-    /// still-connected client would make that join wait forever.
+    /// The engine shutdown **joins** every server thread after
+    /// draining all queued requests, so no thread still holds the old
+    /// store — and no acknowledged write is in flight — when the sync
+    /// runs and the volume reopens. Clients of the old instance simply
+    /// observe a dead connection.
     pub fn reboot(self) -> Testbed {
-        // Join the per-connection threads FIRST — each owns a clone of
-        // the service (and through it the store), and a straggler
-        // finishing an acknowledged write after the sync would leave
-        // that write uncovered by it. They exit once their client end
-        // is dropped.
-        for handle in self
-            .connections
-            .lock()
-            .expect("connection list lock")
-            .drain(..)
-        {
-            handle.join().ok();
-        }
+        // Quiesce FIRST: the engine threads own a clone of the service
+        // (and through it the store); a straggler finishing an
+        // acknowledged write after the sync would leave that write
+        // uncovered by it.
+        self.engine.shutdown();
         self.sync().expect("sync volume before reboot");
         let Testbed {
             fs_config,
@@ -149,8 +166,10 @@ impl Testbed {
             cache_size,
             backend,
             service,
+            engine,
             ..
         } = self;
+        drop(engine);
         drop(service);
         Testbed::with_backend(fs_config, link_config, cache_size, &backend)
     }
@@ -176,6 +195,11 @@ impl Testbed {
         &self.service
     }
 
+    /// The request engine (stats, per-connection queue high-water).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// The administrator signing key (root of the trust graph).
     pub fn admin(&self) -> &SigningKey {
         &self.admin
@@ -187,32 +211,14 @@ impl Testbed {
     }
 
     /// Connects a new client with `identity`, running IKE and mounting
-    /// the root export. A fresh server thread handles the connection —
-    /// one connection per client, as in the paper's setup.
+    /// the root export. The server side joins the shared engine — no
+    /// thread is spawned per connection.
     ///
     /// # Errors
     ///
     /// Handshake or mount failures.
     pub fn connect(&self, identity: &SigningKey) -> Result<DiscfsClient, DiscfsClientError> {
-        let conn_id = self
-            .connection_counter
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let (client_end, server_end) = Link::pair(&self.clock, self.link_config);
-        let service = self.service.clone();
-        let server_key = SigningKey::from_seed(&self.server_key_seed);
-        let handle = std::thread::spawn(move || {
-            let mut rng = DetRng::new(0x5EED_0000 + conn_id);
-            match ipsec::ike::respond(server_end, &server_key, &mut rng) {
-                Ok(chan) => nfsv2::server::serve_connection(service, Box::new(chan)),
-                Err(_) => { /* handshake failed; connection dropped */ }
-            }
-        });
-        let mut connections = self.connections.lock().expect("connection list lock");
-        // Reap handles of threads that already exited so a long-lived
-        // testbed churning through connections stays bounded.
-        connections.retain(|h| !h.is_finished());
-        connections.push(handle);
-        drop(connections);
+        let (client_end, conn_id, _token) = self.accept_endpoint();
         let mut rng = DetRng::new(0xC11E_0000 + conn_id);
         DiscfsClient::attach(
             client_end,
@@ -222,7 +228,60 @@ impl Testbed {
             &mut rng,
         )
     }
+
+    /// Connects like [`Testbed::connect`] but also returns the engine
+    /// token of the server-side connection, for tests that inspect
+    /// per-connection engine state (queue high-water, liveness).
+    ///
+    /// # Errors
+    ///
+    /// Handshake or mount failures.
+    pub fn connect_tracked(
+        &self,
+        identity: &SigningKey,
+    ) -> Result<(DiscfsClient, u64), DiscfsClientError> {
+        let (client_end, conn_id, token) = self.accept_endpoint();
+        let mut rng = DetRng::new(0xC11E_0000 + conn_id);
+        let client = DiscfsClient::attach(
+            client_end,
+            identity,
+            Some(&self.server_public),
+            "/",
+            &mut rng,
+        )?;
+        Ok((client, token))
+    }
+
+    /// Runs IKE as `identity` and returns the **raw** secure channel
+    /// plus the engine token, without mounting anything — for tests
+    /// that speak the wire protocol directly (e.g. sending malformed
+    /// frames).
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures.
+    pub fn connect_raw(
+        &self,
+        identity: &SigningKey,
+    ) -> Result<(SecureChannel<Endpoint>, u64), ipsec::IpsecError> {
+        let (client_end, conn_id, token) = self.accept_endpoint();
+        let mut rng = DetRng::new(0xC11E_0000 + conn_id);
+        let chan = ipsec::ike::initiate(client_end, identity, Some(&self.server_public), &mut rng)?;
+        Ok((chan, token))
+    }
+
+    fn accept_endpoint(&self) -> (Endpoint, u64, u64) {
+        let conn_id = self
+            .connection_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (client_end, server_end) = Link::pair(&self.clock, self.link_config);
+        let token = self.engine.accept(server_end);
+        (client_end, conn_id, token)
+    }
 }
+
+/// Deterministic server key seed (identity survives reboots).
+const SERVER_KEY_SEED: [u8; 32] = [0x5E; 32];
 
 impl Default for Testbed {
     fn default() -> Self {

@@ -71,6 +71,21 @@ impl<T: Transport> SecureTransport for SecureChannel<T> {
     fn peer_identity(&self) -> Option<VerifyingKey> {
         Some(self.peer)
     }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, IpsecError> {
+        match self.transport.try_recv()? {
+            Some(record) => {
+                let (seq, payload) = self.recv_sa.open(&record)?;
+                self.recv_window.accept(seq)?;
+                Ok(Some(payload))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn register_ready(&self, set: &std::sync::Arc<netsim::ReadySet>, token: u64) {
+        self.transport.register_ready(set, token);
+    }
 }
 
 /// Derived key material for both directions.

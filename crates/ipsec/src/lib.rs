@@ -106,13 +106,27 @@ impl std::error::Error for IpsecError {}
 ///
 /// Implemented by [`SecureChannel`] (IPsec identity from IKE) and by
 /// [`PlainChannel`] (no authentication — the CFS-NE baseline).
-pub trait SecureTransport: Send {
+pub trait SecureTransport: Send + Sync {
     /// Sends one protected message.
     fn send(&self, msg: Vec<u8>) -> Result<(), IpsecError>;
     /// Receives one message, blocking.
     fn recv(&self) -> Result<Vec<u8>, IpsecError>;
     /// The peer's authenticated public key, if the channel provides one.
     fn peer_identity(&self) -> Option<VerifyingKey>;
+
+    /// Receives one message without blocking: `Ok(None)` when nothing is
+    /// ready. The request engine's readiness loop drains channels through
+    /// this; the default (for channels that never feed an event loop)
+    /// simply reports nothing ready.
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, IpsecError> {
+        Ok(None)
+    }
+
+    /// Forwards a readiness registration to the underlying transport (see
+    /// [`netsim::Transport::register_ready`]). Default: no-op.
+    fn register_ready(&self, set: &std::sync::Arc<netsim::ReadySet>, token: u64) {
+        let _ = (set, token);
+    }
 }
 
 /// An unauthenticated pass-through channel (the paper's CFS-NE baseline
@@ -139,5 +153,13 @@ impl<T: netsim::Transport> SecureTransport for PlainChannel<T> {
 
     fn peer_identity(&self) -> Option<VerifyingKey> {
         None
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, IpsecError> {
+        Ok(self.transport.try_recv()?)
+    }
+
+    fn register_ready(&self, set: &std::sync::Arc<netsim::ReadySet>, token: u64) {
+        self.transport.register_ready(set, token);
     }
 }

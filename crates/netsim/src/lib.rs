@@ -23,8 +23,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -122,13 +123,123 @@ impl LinkConfig {
 }
 
 /// Byte-message transport: the interface RPC and IPsec layers build on.
-pub trait Transport: Send {
+pub trait Transport: Send + Sync {
     /// Sends one message.
     fn send(&self, msg: Vec<u8>) -> Result<(), NetError>;
     /// Receives one message, blocking until available.
     fn recv(&self) -> Result<Vec<u8>, NetError>;
     /// Receives with a timeout.
     fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError>;
+
+    /// Receives without blocking: `Ok(None)` when no message is ready.
+    ///
+    /// The default delegates to a zero-duration [`Transport::recv_timeout`]
+    /// so every existing transport keeps working; [`Endpoint`] overrides
+    /// it with a true non-blocking receive.
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.recv_timeout(Duration::ZERO) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(NetError::Timeout) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Registers a readiness watcher: after this call, every message that
+    /// becomes receivable on this transport pushes `token` into `set`.
+    ///
+    /// The default is a no-op (readiness-oblivious transports simply never
+    /// wake the set); [`Endpoint`] implements real edge wakeups.
+    fn register_ready(&self, set: &Arc<ReadySet>, token: u64) {
+        let _ = (set, token);
+    }
+}
+
+/// An edge-triggered readiness queue: the wait surface of the request
+/// engine's event loop.
+///
+/// Producers ([`Endpoint::send`], endpoint drops) push the consumer-chosen
+/// `u64` token of the connection that became readable; the single loop
+/// thread blocks in [`ReadySet::wait`] and drains whatever accumulated.
+/// Tokens are deduplicated while queued, so a pipelined burst of N
+/// messages costs one wakeup, and a token re-armed after being drained
+/// costs exactly one more — O(ready) work per loop iteration regardless
+/// of how many connections are registered.
+#[derive(Default)]
+pub struct ReadySet {
+    inner: Mutex<ReadyInner>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct ReadyInner {
+    queue: VecDeque<u64>,
+    queued: HashSet<u64>,
+}
+
+impl ReadySet {
+    /// Creates an empty set.
+    pub fn new() -> Arc<ReadySet> {
+        Arc::new(ReadySet::default())
+    }
+
+    /// Marks `token` ready, waking one waiter. Idempotent while the token
+    /// is still queued.
+    pub fn push(&self, token: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.queued.insert(token) {
+            inner.queue.push_back(token);
+            self.cv.notify_one();
+        }
+    }
+
+    /// Blocks until at least one token is ready (or `timeout` expires),
+    /// then drains and returns every queued token, oldest first.
+    pub fn wait(&self, timeout: Duration) -> Vec<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.queue.is_empty() {
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout_while(inner, timeout, |i| i.queue.is_empty())
+                .unwrap();
+            inner = guard;
+        }
+        inner.queued.clear();
+        inner.queue.drain(..).collect()
+    }
+
+    /// Drains ready tokens without blocking.
+    pub fn drain(&self) -> Vec<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.queued.clear();
+        inner.queue.drain(..).collect()
+    }
+
+    /// Number of tokens currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether no token is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-direction shared state backing readiness wakeups: how many
+/// messages are in flight, and which [`ReadySet`]/token to poke when one
+/// lands.
+#[derive(Default)]
+struct DirState {
+    pending: AtomicUsize,
+    watcher: Mutex<Option<(Arc<ReadySet>, u64)>>,
+}
+
+impl DirState {
+    fn notify(&self) {
+        if let Some((set, token)) = self.watcher.lock().unwrap().as_ref() {
+            set.push(*token);
+        }
+    }
 }
 
 /// Traffic counters for one endpoint.
@@ -145,6 +256,10 @@ pub struct Endpoint {
     clock: SimClock,
     config: LinkConfig,
     stats: Arc<Stats>,
+    /// Direction peer → us: what our `recv` drains.
+    incoming: Arc<DirState>,
+    /// Direction us → peer: what our `send` fills.
+    outgoing: Arc<DirState>,
 }
 
 /// Constructor namespace for link pairs.
@@ -155,6 +270,8 @@ impl Link {
     pub fn pair(clock: &SimClock, config: LinkConfig) -> (Endpoint, Endpoint) {
         let (tx_a, rx_b) = unbounded();
         let (tx_b, rx_a) = unbounded();
+        let dir_ab = Arc::new(DirState::default());
+        let dir_ba = Arc::new(DirState::default());
         (
             Endpoint {
                 tx: tx_a,
@@ -162,6 +279,8 @@ impl Link {
                 clock: clock.clone(),
                 config,
                 stats: Arc::new(Stats::default()),
+                incoming: Arc::clone(&dir_ba),
+                outgoing: Arc::clone(&dir_ab),
             },
             Endpoint {
                 tx: tx_b,
@@ -169,6 +288,8 @@ impl Link {
                 clock: clock.clone(),
                 config,
                 stats: Arc::new(Stats::default()),
+                incoming: dir_ab,
+                outgoing: dir_ba,
             },
         )
     }
@@ -210,18 +331,62 @@ impl Transport for Endpoint {
         self.stats
             .bytes_sent
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
-        self.tx.send(msg).map_err(|_| NetError::Disconnected)
+        // Count the message before enqueuing it: a receiver can only
+        // decrement after the send below succeeds, so `pending` never
+        // underflows, and it over-counts for at most this call's duration.
+        self.outgoing.pending.fetch_add(1, Ordering::Release);
+        if self.tx.send(msg).is_err() {
+            self.outgoing.pending.fetch_sub(1, Ordering::Release);
+            return Err(NetError::Disconnected);
+        }
+        // Wake any watcher only after the message is enqueued, so a woken
+        // loop that polls immediately always finds it.
+        self.outgoing.notify();
+        Ok(())
     }
 
     fn recv(&self) -> Result<Vec<u8>, NetError> {
-        self.rx.recv().map_err(|_| NetError::Disconnected)
+        let msg = self.rx.recv().map_err(|_| NetError::Disconnected)?;
+        self.incoming.pending.fetch_sub(1, Ordering::Release);
+        Ok(msg)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
+        let msg = self.rx.recv_timeout(timeout).map_err(|e| match e {
             crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
             crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })
+        })?;
+        self.incoming.pending.fetch_sub(1, Ordering::Release);
+        Ok(msg)
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.rx.try_recv() {
+            Ok(msg) => {
+                self.incoming.pending.fetch_sub(1, Ordering::Release);
+                Ok(Some(msg))
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn register_ready(&self, set: &Arc<ReadySet>, token: u64) {
+        *self.incoming.watcher.lock().unwrap() = Some((Arc::clone(set), token));
+        // Messages that arrived before registration would otherwise never
+        // produce an edge: arm the token once if anything is pending.
+        if self.incoming.pending.load(Ordering::Acquire) > 0 {
+            set.push(token);
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // A dropped endpoint is a disconnect from the peer's point of
+        // view: wake whoever watches the direction we used to feed so the
+        // loop observes `Disconnected` instead of sleeping forever.
+        self.outgoing.notify();
     }
 }
 
@@ -307,6 +472,91 @@ mod tests {
         assert_eq!(clock.now(), Duration::from_secs(5));
         clock.reset();
         assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn ready_set_wakes_on_send_and_dedups_tokens() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        let set = ReadySet::new();
+        b.register_ready(&set, 7);
+        assert!(set.wait(Duration::from_millis(1)).is_empty());
+        a.send(vec![1]).unwrap();
+        a.send(vec![2]).unwrap();
+        a.send(vec![3]).unwrap();
+        // Three sends, one queued token.
+        assert_eq!(set.wait(Duration::from_secs(1)), vec![7]);
+        assert_eq!(b.try_recv().unwrap().unwrap(), vec![1]);
+        assert_eq!(b.try_recv().unwrap().unwrap(), vec![2]);
+        assert_eq!(b.try_recv().unwrap().unwrap(), vec![3]);
+        assert_eq!(b.try_recv().unwrap(), None);
+        // Edge re-arms after the drain.
+        a.send(vec![4]).unwrap();
+        assert_eq!(set.wait(Duration::from_secs(1)), vec![7]);
+    }
+
+    #[test]
+    fn register_after_send_still_arms_token() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        a.send(vec![9]).unwrap();
+        let set = ReadySet::new();
+        b.register_ready(&set, 3);
+        assert_eq!(set.wait(Duration::from_secs(1)), vec![3]);
+        assert_eq!(b.try_recv().unwrap().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn peer_drop_wakes_watcher() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        let set = ReadySet::new();
+        b.register_ready(&set, 11);
+        drop(a);
+        assert_eq!(set.wait(Duration::from_secs(1)), vec![11]);
+        assert_eq!(b.try_recv(), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn ready_wakeup_crosses_threads() {
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        let set = ReadySet::new();
+        b.register_ready(&set, 1);
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            a.send(vec![42]).unwrap();
+            a // keep the endpoint alive until we joined
+        });
+        assert_eq!(set.wait(Duration::from_secs(5)), vec![1]);
+        assert_eq!(b.try_recv().unwrap().unwrap(), vec![42]);
+        drop(sender.join().unwrap());
+    }
+
+    #[test]
+    fn default_try_recv_via_recv_timeout() {
+        // Exercise the trait-default path used by transports that do not
+        // override `try_recv`.
+        struct Wrapper(Endpoint);
+        impl Transport for Wrapper {
+            fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
+                self.0.send(msg)
+            }
+            fn recv(&self) -> Result<Vec<u8>, NetError> {
+                self.0.recv()
+            }
+            fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, NetError> {
+                self.0.recv_timeout(timeout)
+            }
+        }
+        let clock = SimClock::new();
+        let (a, b) = Link::pair(&clock, LinkConfig::instant());
+        let w = Wrapper(b);
+        assert_eq!(w.try_recv().unwrap(), None);
+        a.send(vec![5]).unwrap();
+        assert_eq!(w.try_recv().unwrap().unwrap(), vec![5]);
+        drop(a);
+        assert_eq!(w.try_recv(), Err(NetError::Disconnected));
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! (resolve/read/write whole files) that examples and benchmarks use as
 //! their "mounted filesystem".
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
+use bytes::Bytes;
 use ipsec::{IpsecError, SecureTransport};
+use netsim::NetError;
+use onc_rpc::frame::{self, FrameDecoder};
 use onc_rpc::{AcceptStat, AuthSys, Decoder, Encoder, ReplyBody, RpcCall, RpcReply, XdrError};
 
 use crate::proto::{
@@ -61,11 +66,48 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// Reply-side state: the incremental frame decoder plus replies that
+/// arrived for transactions nobody has collected yet (pipelining means
+/// replies can land out of order relative to who asks first).
+#[derive(Default)]
+struct Inbox {
+    decoder: FrameDecoder,
+    pending: HashMap<u32, Result<Vec<u8>, ClientError>>,
+}
+
+impl Inbox {
+    /// Decodes every frame of one received message into `pending`.
+    fn absorb(&mut self, msg: Vec<u8>) -> Result<(), ClientError> {
+        self.decoder
+            .feed(Bytes::from(msg))
+            .map_err(|_| ClientError::Xdr(XdrError::BadValue))?;
+        while let Some(bytes) = self.decoder.pop_frame() {
+            let reply = RpcReply::decode(&bytes)?;
+            let outcome = match reply.body {
+                ReplyBody::Success(results) => Ok(results),
+                ReplyBody::Error(stat) => Err(ClientError::Rpc(stat)),
+                ReplyBody::Denied(_) => Err(ClientError::Denied),
+            };
+            self.pending.insert(reply.xid, outcome);
+        }
+        Ok(())
+    }
+}
+
 /// A typed NFSv2 client over one connection.
+///
+/// Calls are framed ([`onc_rpc::frame`]) so a server batch can answer
+/// many of them in one transport message. Besides the synchronous
+/// [`NfsClient::call_raw`] path, the client supports *pipelining*:
+/// [`NfsClient::send_call`] issues a request without waiting, and
+/// [`NfsClient::try_take_reply`] / [`NfsClient::wait_reply`] collect
+/// replies by transaction id — the fleet bench drives thousands of
+/// virtual clients this way from one thread.
 pub struct NfsClient {
     chan: Box<dyn SecureTransport>,
     xid: AtomicU32,
     auth: Option<AuthSys>,
+    inbox: Mutex<Inbox>,
 }
 
 impl NfsClient {
@@ -75,12 +117,93 @@ impl NfsClient {
             chan,
             xid: AtomicU32::new(1),
             auth: None,
+            inbox: Mutex::new(Inbox::default()),
         }
     }
 
     /// Attaches `AUTH_SYS` credentials to subsequent calls.
     pub fn set_auth(&mut self, auth: AuthSys) {
         self.auth = Some(auth);
+    }
+
+    /// Sends a call without waiting for its reply, returning the
+    /// transaction id to collect it with.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Net`] on transport failure.
+    pub fn send_call(
+        &self,
+        prog: u32,
+        vers: u32,
+        proc_num: u32,
+        args: Vec<u8>,
+    ) -> Result<u32, ClientError> {
+        let xid = self.xid.fetch_add(1, Ordering::Relaxed);
+        let mut call = RpcCall::new(xid, prog, vers, proc_num, args);
+        if let Some(auth) = &self.auth {
+            call.cred = auth.to_opaque();
+        }
+        self.chan.send(frame::encode_frame(&call.encode()))?;
+        Ok(xid)
+    }
+
+    /// Collects the reply to `xid` if it has arrived, draining whatever
+    /// the transport has ready without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode failures, or the reply's own error outcome.
+    pub fn try_take_reply(&self, xid: u32) -> Result<Option<Vec<u8>>, ClientError> {
+        let mut inbox = self.inbox.lock().expect("inbox poisoned");
+        loop {
+            if let Some(outcome) = inbox.pending.remove(&xid) {
+                return outcome.map(Some);
+            }
+            match self.chan.try_recv()? {
+                Some(msg) => inbox.absorb(msg)?,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Blocks until the reply to `xid` arrives and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode failures, or the reply's own error outcome.
+    pub fn wait_reply(&self, xid: u32) -> Result<Vec<u8>, ClientError> {
+        let mut inbox = self.inbox.lock().expect("inbox poisoned");
+        loop {
+            if let Some(outcome) = inbox.pending.remove(&xid) {
+                return outcome;
+            }
+            let msg = self.chan.recv()?;
+            inbox.absorb(msg)?;
+        }
+    }
+
+    /// Number of requests sent whose replies have not been collected.
+    pub fn replies_pending(&self) -> usize {
+        self.inbox.lock().expect("inbox poisoned").pending.len()
+    }
+
+    /// Whether the transport still has a live peer (probes without
+    /// consuming data beyond buffering it in the inbox).
+    pub fn peer_alive(&self) -> bool {
+        let mut inbox = self.inbox.lock().expect("inbox poisoned");
+        loop {
+            match self.chan.try_recv() {
+                Ok(Some(msg)) => {
+                    if inbox.absorb(msg).is_err() {
+                        return false;
+                    }
+                }
+                Ok(None) => return true,
+                Err(IpsecError::Net(NetError::Disconnected)) => return false,
+                Err(_) => return false,
+            }
+        }
     }
 
     /// Issues a raw RPC and returns the result bytes.
@@ -96,22 +219,8 @@ impl NfsClient {
         proc_num: u32,
         args: Vec<u8>,
     ) -> Result<Vec<u8>, ClientError> {
-        let xid = self.xid.fetch_add(1, Ordering::Relaxed);
-        let mut call = RpcCall::new(xid, prog, vers, proc_num, args);
-        if let Some(auth) = &self.auth {
-            call.cred = auth.to_opaque();
-        }
-        self.chan.send(call.encode())?;
-        let reply_bytes = self.chan.recv()?;
-        let reply = RpcReply::decode(&reply_bytes)?;
-        if reply.xid != xid {
-            return Err(ClientError::XidMismatch);
-        }
-        match reply.body {
-            ReplyBody::Success(results) => Ok(results),
-            ReplyBody::Error(stat) => Err(ClientError::Rpc(stat)),
-            ReplyBody::Denied(_) => Err(ClientError::Denied),
-        }
+        let xid = self.send_call(prog, vers, proc_num, args)?;
+        self.wait_reply(xid)
     }
 
     fn call_nfs(&self, proc_num: u32, args: Vec<u8>) -> Result<Vec<u8>, ClientError> {

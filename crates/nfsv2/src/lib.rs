@@ -10,6 +10,8 @@
 //! * [`NfsService`] — the dispatch trait servers implement.
 //! * [`server`] — the per-connection RPC loop over any
 //!   [`ipsec::SecureTransport`] (plain or IPsec).
+//! * [`engine`] — the event-driven request engine multiplexing
+//!   thousands of connections onto a fixed worker pool.
 //! * [`NfsClient`] / [`RemoteFs`] — typed stubs and path helpers used
 //!   by examples and the Bonnie benchmarks as the "mounted" filesystem
 //!   (no kernel VFS exists in a pure-userspace reproduction).
@@ -40,12 +42,14 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod engine;
 mod ffs_service;
 pub mod proto;
 pub mod server;
 mod service;
 
 pub use client::{ClientError, NfsClient, RemoteFs};
+pub use engine::{Engine, EngineConfig, EngineStats};
 pub use ffs_service::FfsService;
 pub use proto::{
     DirOpArgs, FHandle, FType, Fattr, NfsStat, ReaddirEntry, Sattr, StatfsRes, TimeVal, MAX_DATA,

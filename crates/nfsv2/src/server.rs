@@ -1,13 +1,22 @@
 //! The generic user-level NFS server loop.
 //!
-//! One thread per connection (matching the paper's user-level daemon
-//! model): receive an RPC message from the secure transport, decode,
-//! dispatch into an [`NfsService`], encode the reply.
+//! The historical model (matching the paper's user-level daemon): one
+//! thread per connection — receive a framed RPC message from the secure
+//! transport, decode, dispatch into an [`NfsService`], encode the
+//! reply. The event-driven alternative that multiplexes thousands of
+//! connections onto a fixed worker pool lives in
+//! [`engine`](crate::engine); both share the wire format (frames from
+//! [`onc_rpc::frame`] inside each transport message) and the
+//! [`dispatch`](self) logic below.
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use ipsec::{IpsecError, SecureTransport};
-use onc_rpc::{AcceptStat, AuthFlavor, AuthSys, Decoder, Encoder, RpcCall, RpcReply, XdrError};
+use onc_rpc::frame::{self, FrameDecoder};
+use onc_rpc::{
+    AcceptStat, AuthFlavor, AuthSys, Decoder, Encoder, OpaqueAuth, RpcCallView, RpcReply, XdrError,
+};
 
 use crate::proto::{
     proc_mount, proc_nfs, DirOpArgs, FHandle, NfsStat, Sattr, MAX_DATA, MOUNT_PROGRAM,
@@ -15,13 +24,34 @@ use crate::proto::{
 };
 use crate::service::{NfsService, RequestCtx};
 
+/// Builds the per-request context from the channel identity and the
+/// call's `AUTH_SYS` credential (when present).
+pub(crate) fn request_ctx(
+    peer: Option<discfs_crypto::ed25519::VerifyingKey>,
+    cred: &OpaqueAuth,
+) -> RequestCtx {
+    let mut ctx = RequestCtx {
+        peer,
+        uid: u32::MAX,
+        gid: u32::MAX,
+    };
+    if cred.flavor == AuthFlavor::Sys {
+        if let Ok(sys) = AuthSys::from_opaque(cred) {
+            ctx.uid = sys.uid;
+            ctx.gid = sys.gid;
+        }
+    }
+    ctx
+}
+
 /// Serves RPC requests on `chan` until the peer disconnects.
 ///
 /// This function blocks; use [`spawn`] for a background thread.
 pub fn serve_connection<S: NfsService + ?Sized>(service: Arc<S>, chan: Box<dyn SecureTransport>) {
     let peer = chan.peer_identity();
     let mut last_ctx = RequestCtx::anonymous();
-    loop {
+    let mut decoder = FrameDecoder::new();
+    'serve: loop {
         let msg = match chan.recv() {
             Ok(m) => m,
             Err(IpsecError::Net(_)) => break,
@@ -29,26 +59,30 @@ pub fn serve_connection<S: NfsService + ?Sized>(service: Arc<S>, chan: Box<dyn S
             // connection (ESP semantics).
             Err(_) => continue,
         };
-        let call = match RpcCall::decode(&msg) {
-            Ok(c) => c,
-            // Garbage that does not even parse as a call is ignored.
-            Err(_) => continue,
-        };
-        let mut ctx = RequestCtx {
-            peer,
-            uid: u32::MAX,
-            gid: u32::MAX,
-        };
-        if call.cred.flavor == AuthFlavor::Sys {
-            if let Ok(sys) = AuthSys::from_opaque(&call.cred) {
-                ctx.uid = sys.uid;
-                ctx.gid = sys.gid;
-            }
-        }
-        last_ctx = ctx;
-        let reply = dispatch(&*service, &ctx, &call);
-        if chan.send(reply.encode()).is_err() {
+        if decoder.feed(Bytes::from(msg)).is_err() {
+            // A torn frame stream cannot be resynchronized: kill the
+            // connection, as the engine does.
+            service.connection_aborted(&last_ctx, "malformed frame");
             break;
+        }
+        // A transport message may carry a pipelined batch of frames;
+        // answer them all in one framed reply message.
+        let mut out = Vec::new();
+        while let Some(req) = decoder.pop_frame() {
+            let call = match RpcCallView::decode(&req) {
+                Ok(c) => c,
+                // Garbage that does not even parse as a call is ignored.
+                Err(_) => continue,
+            };
+            let ctx = request_ctx(peer, &call.cred);
+            last_ctx = ctx;
+            let reply = dispatch(&*service, &ctx, &call);
+            let start = frame::begin_frame(&mut out);
+            reply.encode_into(&mut out);
+            frame::end_frame(&mut out, start);
+        }
+        if !out.is_empty() && chan.send(out).is_err() {
+            break 'serve;
         }
     }
     service.connection_closed(&last_ctx);
@@ -62,7 +96,13 @@ pub fn spawn<S: NfsService + ?Sized + 'static>(
     std::thread::spawn(move || serve_connection(service, chan))
 }
 
-fn dispatch<S: NfsService + ?Sized>(service: &S, ctx: &RequestCtx, call: &RpcCall) -> RpcReply {
+/// Routes one decoded call into the service. Shared by the
+/// thread-per-connection loop above and the event engine's workers.
+pub(crate) fn dispatch<S: NfsService + ?Sized>(
+    service: &S,
+    ctx: &RequestCtx,
+    call: &RpcCallView<'_>,
+) -> RpcReply {
     match (call.prog, call.vers) {
         (NFS_PROGRAM, NFS_VERSION) => match nfs_dispatch(service, ctx, call) {
             Ok(results) => RpcReply::success(call.xid, results),
@@ -75,7 +115,7 @@ fn dispatch<S: NfsService + ?Sized>(service: &S, ctx: &RequestCtx, call: &RpcCal
         (NFS_PROGRAM, _) | (MOUNT_PROGRAM, _) => {
             RpcReply::error(call.xid, AcceptStat::ProgMismatch)
         }
-        (prog, _) => match service.extension(ctx, prog, call.proc_num, &call.args) {
+        (prog, _) => match service.extension(ctx, prog, call.proc_num, call.args) {
             Some(Ok(results)) => RpcReply::success(call.xid, results),
             Some(Err(stat)) => RpcReply::error(call.xid, stat),
             None => RpcReply::error(call.xid, AcceptStat::ProgUnavail),
@@ -105,9 +145,9 @@ fn garbage(_: XdrError) -> AcceptStat {
 fn nfs_dispatch<S: NfsService + ?Sized>(
     service: &S,
     ctx: &RequestCtx,
-    call: &RpcCall,
+    call: &RpcCallView<'_>,
 ) -> Result<Vec<u8>, AcceptStat> {
-    let mut d = Decoder::new(&call.args);
+    let mut d = Decoder::new(call.args);
     match call.proc_num {
         proc_nfs::NULL => Ok(Vec::new()),
         proc_nfs::GETATTR => {
@@ -261,9 +301,9 @@ fn nfs_dispatch<S: NfsService + ?Sized>(
 fn mount_dispatch<S: NfsService + ?Sized>(
     service: &S,
     ctx: &RequestCtx,
-    call: &RpcCall,
+    call: &RpcCallView<'_>,
 ) -> Result<Vec<u8>, AcceptStat> {
-    let mut d = Decoder::new(&call.args);
+    let mut d = Decoder::new(call.args);
     match call.proc_num {
         proc_mount::NULL => Ok(Vec::new()),
         proc_mount::MNT => {

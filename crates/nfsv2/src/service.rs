@@ -112,4 +112,10 @@ pub trait NfsService: Send + Sync {
     /// Called when a connection ends (DisCFS tears down the per-
     /// connection KeyNote session).
     fn connection_closed(&self, _ctx: &RequestCtx) {}
+
+    /// Called when the server kills a connection for a protocol
+    /// violation (malformed frame, broken record stream) *before*
+    /// [`NfsService::connection_closed`]. DisCFS writes an audit record
+    /// so operators can see who sent garbage; the default ignores it.
+    fn connection_aborted(&self, _ctx: &RequestCtx, _reason: &str) {}
 }

@@ -1,13 +1,21 @@
 //! Server robustness: the RPC dispatch layer under malformed and
 //! hostile traffic. A user-level NFS daemon faces the raw network; no
 //! input may crash it or corrupt the volume.
+//!
+//! All wire traffic is framed (`onc_rpc::frame`). A well-formed frame
+//! whose payload is not a valid RPC call is *skipped* and the
+//! connection survives; a malformed frame (bad length or checksum)
+//! condemns the connection — that path is exercised by the engine
+//! tests in the `discfs` integration suite.
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use ffs::{Ffs, FsConfig};
 use ipsec::{PlainChannel, SecureTransport};
 use netsim::{Link, SimClock, Transport};
 use nfsv2::{FfsService, NfsClient, RemoteFs};
+use onc_rpc::frame::{self, FrameDecoder};
 use onc_rpc::{AcceptStat, ReplyBody, RpcCall, RpcReply};
 use proptest::prelude::*;
 
@@ -20,12 +28,49 @@ fn spawn_server() -> (netsim::Endpoint, Arc<Ffs>) {
     (client_end, fs)
 }
 
+/// Sends one RPC call as a single framed message.
+fn send_call(endpoint: &netsim::Endpoint, call: &RpcCall) {
+    endpoint.send(frame::encode_frame(&call.encode())).unwrap();
+}
+
+/// Pulls framed replies off an endpoint, skipping non-reply frames.
+struct Replies<'a> {
+    endpoint: &'a netsim::Endpoint,
+    decoder: FrameDecoder,
+}
+
+impl<'a> Replies<'a> {
+    fn new(endpoint: &'a netsim::Endpoint) -> Replies<'a> {
+        Replies {
+            endpoint,
+            decoder: FrameDecoder::new(),
+        }
+    }
+
+    fn next(&mut self) -> RpcReply {
+        loop {
+            if let Some(payload) = self.decoder.pop_frame() {
+                if let Ok(reply) = RpcReply::decode(&payload) {
+                    return reply;
+                }
+                continue;
+            }
+            let msg = self.endpoint.recv().unwrap();
+            self.decoder.feed(Bytes::from(msg)).unwrap();
+        }
+    }
+}
+
+fn recv_reply(endpoint: &netsim::Endpoint) -> RpcReply {
+    Replies::new(endpoint).next()
+}
+
 #[test]
 fn unknown_program_rejected() {
     let (endpoint, _) = spawn_server();
     let call = RpcCall::new(1, 424242, 1, 0, vec![]);
-    endpoint.send(call.encode()).unwrap();
-    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    send_call(&endpoint, &call);
+    let reply = recv_reply(&endpoint);
     assert_eq!(reply.body, ReplyBody::Error(AcceptStat::ProgUnavail));
 }
 
@@ -33,8 +78,8 @@ fn unknown_program_rejected() {
 fn wrong_nfs_version_rejected() {
     let (endpoint, _) = spawn_server();
     let call = RpcCall::new(2, nfsv2::NFS_PROGRAM, 3, 0, vec![]);
-    endpoint.send(call.encode()).unwrap();
-    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    send_call(&endpoint, &call);
+    let reply = recv_reply(&endpoint);
     assert_eq!(reply.body, ReplyBody::Error(AcceptStat::ProgMismatch));
 }
 
@@ -42,8 +87,8 @@ fn wrong_nfs_version_rejected() {
 fn unknown_procedure_rejected() {
     let (endpoint, _) = spawn_server();
     let call = RpcCall::new(3, nfsv2::NFS_PROGRAM, 2, 99, vec![]);
-    endpoint.send(call.encode()).unwrap();
-    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    send_call(&endpoint, &call);
+    let reply = recv_reply(&endpoint);
     assert_eq!(reply.body, ReplyBody::Error(AcceptStat::ProcUnavail));
 }
 
@@ -52,22 +97,59 @@ fn truncated_args_are_garbage() {
     let (endpoint, _) = spawn_server();
     // GETATTR with a 3-byte handle instead of 32.
     let call = RpcCall::new(4, nfsv2::NFS_PROGRAM, 2, 1, vec![1, 2, 3]);
-    endpoint.send(call.encode()).unwrap();
-    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    send_call(&endpoint, &call);
+    let reply = recv_reply(&endpoint);
     assert_eq!(reply.body, ReplyBody::Error(AcceptStat::GarbageArgs));
 }
 
 #[test]
 fn non_rpc_bytes_ignored_connection_survives() {
     let (endpoint, _) = spawn_server();
-    // Pure garbage frame: server must skip it, not die.
-    endpoint.send(vec![0xde, 0xad, 0xbe, 0xef]).unwrap();
+    // A well-formed frame carrying garbage: server must skip it, not die.
+    endpoint
+        .send(frame::encode_frame(&[0xde, 0xad, 0xbe, 0xef]))
+        .unwrap();
     // A valid NULL call afterwards still works.
     let call = RpcCall::new(5, nfsv2::NFS_PROGRAM, 2, 0, vec![]);
-    endpoint.send(call.encode()).unwrap();
-    let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+    send_call(&endpoint, &call);
+    let reply = recv_reply(&endpoint);
     assert_eq!(reply.xid, 5);
     assert!(matches!(reply.body, ReplyBody::Success(_)));
+}
+
+#[test]
+fn malformed_frame_drops_connection() {
+    let (endpoint, fs) = spawn_server();
+    // A frame whose checksum does not match its payload condemns the
+    // connection: the server cannot trust anything after it.
+    let mut bad = frame::encode_frame(b"some payload");
+    let last = bad.len() - 1;
+    bad[last] ^= 0xff;
+    endpoint.send(bad).unwrap();
+    // The server closes its end; our next blocking recv observes it.
+    assert!(endpoint.recv().is_err());
+    fs.check().expect("volume consistent after malformed frame");
+}
+
+#[test]
+fn pipelined_calls_one_message() {
+    let (endpoint, _) = spawn_server();
+    // Many calls packed into one transport message: the server decodes
+    // them all and batches the replies.
+    let mut burst = Vec::new();
+    for xid in 10..20u32 {
+        let call = RpcCall::new(xid, nfsv2::NFS_PROGRAM, 2, 0, vec![]);
+        let start = frame::begin_frame(&mut burst);
+        burst.extend_from_slice(&call.encode());
+        frame::end_frame(&mut burst, start);
+    }
+    endpoint.send(burst).unwrap();
+    let mut replies = Replies::new(&endpoint);
+    for xid in 10..20u32 {
+        let reply = replies.next();
+        assert_eq!(reply.xid, xid);
+        assert!(matches!(reply.body, ReplyBody::Success(_)));
+    }
 }
 
 #[test]
@@ -115,27 +197,25 @@ impl SecureTransport for WrapEndpoint {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Random byte frames never kill the connection: a valid NULL call
-    /// always succeeds afterwards.
+    /// Random payloads in well-formed frames never kill the connection:
+    /// a valid NULL call always succeeds afterwards.
     #[test]
-    fn survives_random_frames(frames in proptest::collection::vec(
+    fn survives_random_frames(payloads in proptest::collection::vec(
         proptest::collection::vec(any::<u8>(), 0..200), 1..10
     )) {
         let (endpoint, _) = spawn_server();
-        for frame in frames {
-            endpoint.send(frame).unwrap();
+        for payload in payloads {
+            endpoint.send(frame::encode_frame(&payload)).unwrap();
         }
         let call = RpcCall::new(77, nfsv2::NFS_PROGRAM, 2, 0, vec![]);
-        endpoint.send(call.encode()).unwrap();
+        send_call(&endpoint, &call);
         // Skip any replies the garbage may have provoked until xid 77.
+        let mut replies = Replies::new(&endpoint);
         loop {
-            let reply = RpcReply::decode(&endpoint.recv().unwrap());
-            match reply {
-                Ok(r) if r.xid == 77 => {
-                    prop_assert!(matches!(r.body, ReplyBody::Success(_)));
-                    break;
-                }
-                _ => continue,
+            let reply = replies.next();
+            if reply.xid == 77 {
+                prop_assert!(matches!(reply.body, ReplyBody::Success(_)));
+                break;
             }
         }
     }
@@ -149,8 +229,8 @@ proptest! {
     ) {
         let (endpoint, fs) = spawn_server();
         let call = RpcCall::new(9, nfsv2::NFS_PROGRAM, 2, proc_num, args);
-        endpoint.send(call.encode()).unwrap();
-        let reply = RpcReply::decode(&endpoint.recv().unwrap()).unwrap();
+        send_call(&endpoint, &call);
+        let reply = recv_reply(&endpoint);
         prop_assert_eq!(reply.xid, 9);
         // Either an RPC-level error or an NFS status reply; both fine.
         fs.check().expect("volume stays consistent");

@@ -10,10 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod rpc;
 pub mod xdr;
 
+pub use frame::{FrameDecoder, FrameError};
 pub use rpc::{
-    AcceptStat, AuthFlavor, AuthSys, OpaqueAuth, RejectStat, ReplyBody, RpcCall, RpcReply,
+    AcceptStat, AuthFlavor, AuthSys, OpaqueAuth, RejectStat, ReplyBody, RpcCall, RpcCallView,
+    RpcReply,
 };
 pub use xdr::{Decoder, Encoder, XdrError};

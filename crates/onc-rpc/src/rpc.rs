@@ -287,6 +287,61 @@ impl RpcCall {
     }
 }
 
+/// A borrowed view of an RPC call: like [`RpcCall`] but with the
+/// procedure arguments as a slice into the undecoded message, so the
+/// request engine can dispatch a pipelined burst without copying each
+/// request's argument bytes out of the receive buffer. With `AUTH_NONE`
+/// credentials (the DisCFS default — identity comes from the IPsec
+/// channel), decoding a view allocates nothing.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RpcCallView<'a> {
+    /// Transaction id (matches the reply).
+    pub xid: u32,
+    /// Program number (e.g. 100003 for NFS).
+    pub prog: u32,
+    /// Program version (2 for NFSv2).
+    pub vers: u32,
+    /// Procedure number.
+    pub proc_num: u32,
+    /// Credential block.
+    pub cred: OpaqueAuth,
+    /// Procedure arguments, borrowed from the message buffer.
+    pub args: &'a [u8],
+}
+
+impl RpcCallView<'_> {
+    /// Parses a call message without copying the argument bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`XdrError`] variants on truncation, a non-call message type, or
+    /// an unsupported RPC version.
+    pub fn decode(data: &[u8]) -> Result<RpcCallView<'_>, XdrError> {
+        let mut d = Decoder::new(data);
+        let xid = d.get_u32()?;
+        if d.get_u32()? != MSG_CALL {
+            return Err(XdrError::BadValue);
+        }
+        if d.get_u32()? != RPC_VERSION {
+            return Err(XdrError::BadValue);
+        }
+        let prog = d.get_u32()?;
+        let vers = d.get_u32()?;
+        let proc_num = d.get_u32()?;
+        let cred = OpaqueAuth::decode(&mut d)?;
+        let _verf = OpaqueAuth::decode(&mut d)?;
+        let args = &data[data.len() - d.remaining()..];
+        Ok(RpcCallView {
+            xid,
+            prog,
+            vers,
+            proc_num,
+            cred,
+            args,
+        })
+    }
+}
+
 /// An RPC reply message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RpcReply {
@@ -323,45 +378,61 @@ impl RpcReply {
 
     /// Serializes the reply message.
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
-        e.put_u32(self.xid);
-        e.put_u32(MSG_REPLY);
+        let mut bytes = Vec::with_capacity(
+            24 + match &self.body {
+                ReplyBody::Success(results) => results.len(),
+                _ => 8,
+            },
+        );
+        self.encode_into(&mut bytes);
+        bytes
+    }
+
+    /// Serializes the reply message by appending to `out` — the batch
+    /// encoder's path: many replies land in one send buffer with no
+    /// per-reply allocation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        fn put(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        put(out, self.xid);
+        put(out, MSG_REPLY);
         match &self.body {
             ReplyBody::Success(results) => {
-                e.put_u32(MSG_ACCEPTED);
-                OpaqueAuth::none().encode(&mut e);
-                e.put_u32(AcceptStat::Success.to_u32());
-                let mut bytes = e.finish();
-                bytes.extend_from_slice(results);
-                return bytes;
+                put(out, MSG_ACCEPTED);
+                // AUTH_NONE verifier: flavor 0, zero-length body.
+                put(out, 0);
+                put(out, 0);
+                put(out, AcceptStat::Success.to_u32());
+                out.extend_from_slice(results);
             }
             ReplyBody::Error(stat) => {
-                e.put_u32(MSG_ACCEPTED);
-                OpaqueAuth::none().encode(&mut e);
-                e.put_u32(stat.to_u32());
+                put(out, MSG_ACCEPTED);
+                put(out, 0);
+                put(out, 0);
+                put(out, stat.to_u32());
                 if *stat == AcceptStat::ProgMismatch {
                     // low/high supported versions; we serve exactly v2.
-                    e.put_u32(2);
-                    e.put_u32(2);
+                    put(out, 2);
+                    put(out, 2);
                 }
             }
             ReplyBody::Denied(stat) => {
-                e.put_u32(MSG_DENIED);
+                put(out, MSG_DENIED);
                 match stat {
                     RejectStat::RpcMismatch => {
-                        e.put_u32(0);
-                        e.put_u32(RPC_VERSION);
-                        e.put_u32(RPC_VERSION);
+                        put(out, 0);
+                        put(out, RPC_VERSION);
+                        put(out, RPC_VERSION);
                     }
                     RejectStat::AuthError => {
-                        e.put_u32(1);
+                        put(out, 1);
                         // AUTH_BADCRED.
-                        e.put_u32(1);
+                        put(out, 1);
                     }
                 }
             }
         }
-        e.finish()
     }
 
     /// Parses a reply message.
@@ -490,5 +561,47 @@ mod tests {
     #[test]
     fn auth_sys_wrong_flavor_rejected() {
         assert!(AuthSys::from_opaque(&OpaqueAuth::none()).is_err());
+    }
+
+    #[test]
+    fn call_view_agrees_with_owned_decode() {
+        let sys = AuthSys {
+            stamp: 1,
+            machine: "bob".into(),
+            uid: 1000,
+            gid: 100,
+            gids: vec![20],
+        };
+        let mut call = RpcCall::new(42, 100003, 2, 6, vec![5, 6, 7, 8]);
+        call.cred = sys.to_opaque();
+        let bytes = call.encode();
+        let owned = RpcCall::decode(&bytes).unwrap();
+        let view = RpcCallView::decode(&bytes).unwrap();
+        assert_eq!(view.xid, owned.xid);
+        assert_eq!(view.prog, owned.prog);
+        assert_eq!(view.vers, owned.vers);
+        assert_eq!(view.proc_num, owned.proc_num);
+        assert_eq!(view.cred, owned.cred);
+        assert_eq!(view.args, &owned.args[..]);
+        assert!(RpcCallView::decode(&bytes[..10]).is_err());
+        assert!(RpcCallView::decode(&RpcReply::success(1, vec![]).encode()).is_err());
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let replies = [
+            RpcReply::success(7, vec![9, 9, 9, 9]),
+            RpcReply::error(3, AcceptStat::ProgMismatch),
+            RpcReply::error(3, AcceptStat::GarbageArgs),
+            RpcReply::denied(4, RejectStat::AuthError),
+            RpcReply::denied(4, RejectStat::RpcMismatch),
+        ];
+        let mut batch = Vec::new();
+        for r in &replies {
+            let solo = r.encode();
+            let before = batch.len();
+            r.encode_into(&mut batch);
+            assert_eq!(&batch[before..], &solo[..]);
+        }
     }
 }

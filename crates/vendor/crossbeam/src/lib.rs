@@ -10,6 +10,7 @@
 /// Multi-producer channels (subset of `crossbeam-channel`).
 pub mod channel {
     use std::sync::mpsc;
+    use std::sync::Mutex;
     use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
@@ -52,19 +53,24 @@ pub mod channel {
     }
 
     /// The receiving half of an unbounded channel.
+    ///
+    /// `crossbeam` receivers are `Sync` (shared receive from multiple
+    /// threads); `std::sync::mpsc::Receiver` is not, so the inner
+    /// receiver sits behind a mutex. Contention is per-endpoint and
+    /// receive-side only.
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        inner: Mutex<mpsc::Receiver<T>>,
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            self.lock().recv().map_err(|_| RecvError)
         }
 
         /// Blocks up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
+            self.lock().recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
@@ -72,16 +78,25 @@ pub mod channel {
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
-            self.inner.try_recv().map_err(|e| match e {
+            self.lock().try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
                 mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
             })
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.inner.lock().expect("receiver poisoned")
         }
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
     }
 }

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use discfs::{CredentialIssuer, Perm, Testbed};
 use discfs_crypto::ed25519::SigningKey;
 use nfsv2::{ClientError, NfsStat};
+use onc_rpc::{Decoder, Encoder};
 
 fn key(seed: u8) -> SigningKey {
     SigningKey::from_seed(&[seed; 32])
@@ -165,6 +166,80 @@ fn eight_clients_survive_concurrent_revocation_and_hour_flips() {
         .readdir_all(&client.remote().root())
         .expect("fresh client reads");
     bed.fs().check().expect("volume consistent after the storm");
+}
+
+#[test]
+fn revocation_races_pipelined_requests_under_engine() {
+    // The engine serves pipelined bursts in batches on a worker pool.
+    // Revoking a key while a burst is in flight must honor the PR 4
+    // invariant at the *issue* boundary: requests already on the wire
+    // may land on either side of the revocation, but every request
+    // issued after `revoke_key` returns is denied — no batch may carry
+    // a stale grant across the epoch bump.
+    let bed = Testbed::instant();
+    let victim = key(0x60);
+    let client = bed.connect(&victim).expect("connect victim");
+    client
+        .submit_credential(&grant_root(&bed, &victim))
+        .expect("victim grant");
+    let root = client.remote().root();
+    client
+        .getattr(&root)
+        .expect("grant works before revocation");
+
+    // READDIR requires Perm::R — unlike GETATTR, which DisCFS serves
+    // unauthorized (attributes are free, §5).
+    let mut e = Encoder::new();
+    e.put_opaque_fixed(&root.0);
+    e.put_u32(0); // cookie
+    e.put_u32(512); // count
+    let readdir_args = e.finish();
+    let status_of = |results: Vec<u8>| -> NfsStat {
+        let mut d = Decoder::new(&results);
+        NfsStat::from_u32(d.get_u32().expect("status word")).expect("known status")
+    };
+
+    let nfs = client.client();
+    let burst = |n: u32| -> Vec<u32> {
+        (0..n)
+            .map(|_| {
+                nfs.send_call(
+                    nfsv2::NFS_PROGRAM,
+                    2,
+                    nfsv2::proto::proc_nfs::READDIR,
+                    readdir_args.clone(),
+                )
+                .expect("pipelined send")
+            })
+            .collect()
+    };
+
+    // A pipelined burst races the revocation...
+    let racing = burst(64);
+    bed.service().revoke_key(&victim.public(), None);
+    // ...and a second burst is issued strictly after it returned.
+    let after = burst(64);
+
+    for xid in racing {
+        // Either side of the race is fine, but only clean outcomes.
+        match status_of(nfs.wait_reply(xid).expect("racing reply")) {
+            NfsStat::Ok | NfsStat::Acces => {}
+            other => panic!("racing request got {other:?}, expected Ok or Acces"),
+        }
+    }
+    for xid in after {
+        assert_eq!(
+            status_of(nfs.wait_reply(xid).expect("post-revocation reply")),
+            NfsStat::Acces,
+            "request issued after revoke_key returned must be denied"
+        );
+    }
+
+    // Exact accounting and a healthy volume after the churn.
+    let auth = bed.service().auth_stats();
+    let cache = bed.service().cache().stats();
+    assert_eq!(auth.decisions(), cache.hits() + cache.misses());
+    bed.fs().check().expect("volume consistent after the race");
 }
 
 #[test]

@@ -132,8 +132,17 @@ fn reconnect_requires_resubmission() {
     assert_eq!(client1.credential_count().unwrap(), 1);
     drop(client1);
 
-    // Give the server thread a moment to observe the disconnect.
-    std::thread::sleep(std::time::Duration::from_millis(50));
+    // Wait (bounded) for the engine to observe the disconnect and tear
+    // down the server-side session; the connection leaves the engine's
+    // map only after `connection_closed` ran.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while bed.engine().connections() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "engine never observed the disconnect"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
 
     let client2 = bed.connect(&bob).expect("re-attach");
     assert_eq!(

@@ -1,0 +1,350 @@
+//! The event-driven request engine under hostile and crowded
+//! conditions: backpressure fairness, malformed-frame isolation, and
+//! the reboot quiesce discipline.
+//!
+//! These pin the PR 7 invariants:
+//!
+//! * A stalled (slow-loris) client sheds its **own** load: its bounded
+//!   request queue caps at the configured bound and healthy neighbors
+//!   keep their latency — p99 within 2× of the no-straggler baseline.
+//! * Malformed frames (corrupt checksum, oversized length) condemn
+//!   only the offending connection, which is dropped cleanly and
+//!   audited; split/interleaved *well-formed* frames reassemble.
+//! * `Testbed::reboot` quiesces the engine — drains accepted requests,
+//!   joins every server thread — before the store drops.
+//! * The server runs a fixed thread pool: connection count does not
+//!   change the process's thread count.
+
+use std::time::{Duration, Instant};
+
+use discfs::{CredentialIssuer, DiscfsClient, Perm, Testbed};
+use discfs_crypto::ed25519::SigningKey;
+use ffs::{FsConfig, StoreBackend};
+use ipsec::SecureTransport;
+use netsim::LinkConfig;
+use nfsv2::proto::proc_nfs;
+use nfsv2::EngineConfig;
+use onc_rpc::{frame, Encoder, ReplyBody, RpcCall, RpcReply};
+
+fn key(seed: u8) -> SigningKey {
+    SigningKey::from_seed(&[seed; 32])
+}
+
+fn grant_root(bed: &Testbed, holder: &SigningKey) -> String {
+    CredentialIssuer::new(bed.admin())
+        .holder(&holder.public())
+        .grant_handle_string("1.1", Perm::RWX)
+        .issue()
+}
+
+fn connect_granted(bed: &Testbed, seed: u8) -> DiscfsClient {
+    let holder = key(seed);
+    let client = bed.connect(&holder).expect("connect");
+    client
+        .submit_credential(&grant_root(bed, &holder))
+        .expect("grant");
+    client
+}
+
+/// Waits (bounded) for an engine-side condition to become true.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    false
+}
+
+#[test]
+fn stalled_client_sheds_its_own_load_not_neighbors() {
+    const QUEUE_BOUND: usize = 32;
+    let bed = Testbed::with_engine_config(
+        FsConfig::small(),
+        LinkConfig::instant(),
+        128,
+        &StoreBackend::SimTimed,
+        EngineConfig {
+            workers: 2,
+            queue_bound: QUEUE_BOUND,
+            batch: 8,
+            ..EngineConfig::default()
+        },
+    );
+
+    let healthy_n: usize = if cfg!(debug_assertions) { 25 } else { 100 };
+    let rounds: usize = if cfg!(debug_assertions) { 10 } else { 30 };
+    let flood: usize = if cfg!(debug_assertions) {
+        5_000
+    } else {
+        50_000
+    };
+
+    let healthy: Vec<DiscfsClient> = (0..healthy_n)
+        .map(|i| connect_granted(&bed, 0x30 + (i % 100) as u8))
+        .collect();
+    // One warm-up round trip each (policy cache, engine attach).
+    for client in &healthy {
+        client.getattr(&client.remote().root()).expect("warm-up");
+    }
+
+    // p99 of sequential round-trip latencies across all healthy
+    // clients, driven from one thread so client-side contention never
+    // pollutes the measurement.
+    let measure_p99 = |clients: &[DiscfsClient], rounds: usize| -> Duration {
+        let mut samples = Vec::with_capacity(clients.len() * rounds);
+        for _ in 0..rounds {
+            for client in clients {
+                let root = client.remote().root();
+                let start = Instant::now();
+                client.getattr(&root).expect("healthy getattr");
+                samples.push(start.elapsed());
+            }
+        }
+        samples.sort();
+        samples[(samples.len() * 99) / 100 - 1]
+    };
+
+    // Phase A: no straggler.
+    let baseline_p99 = measure_p99(&healthy, rounds);
+
+    // The straggler floods a huge pipelined burst and never reads a
+    // reply — the classic slow-loris shape on this wire.
+    let straggler_key = key(0xF0);
+    let (straggler, token) = bed
+        .connect_tracked(&straggler_key)
+        .expect("connect straggler");
+    straggler
+        .submit_credential(&grant_root(&bed, &straggler_key))
+        .expect("straggler grant");
+    let root = straggler.remote().root();
+    let mut e = Encoder::new();
+    e.put_opaque_fixed(&root.0);
+    let args = e.finish();
+    for _ in 0..flood {
+        straggler
+            .client()
+            .send_call(nfsv2::NFS_PROGRAM, 2, proc_nfs::GETATTR, args.clone())
+            .expect("flood send");
+    }
+
+    // Phase B: same healthy clients, straggler mid-flood.
+    let stressed_p99 = measure_p99(&healthy, rounds);
+
+    // The straggler's queue capped at its bound — the flood stayed in
+    // the network, not in server memory...
+    assert_eq!(
+        bed.engine().queue_high_water(token),
+        Some(QUEUE_BOUND),
+        "straggler queue must cap exactly at the configured bound"
+    );
+    assert!(
+        bed.engine()
+            .stats()
+            .pauses
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the flood must actually trip backpressure"
+    );
+    // ...and the straggler only hurt itself. The floor term absorbs
+    // scheduler preemption noise on starved CI runners (this suite
+    // must pass on a single-core box where loop, workers and driver
+    // share one CPU). Genuine unfairness — healthy requests queued
+    // behind the straggler's multi-thousand-request backlog — costs
+    // hundreds of milliseconds and sails past either term.
+    let bound = (baseline_p99 * 2).max(Duration::from_millis(25));
+    assert!(
+        stressed_p99 <= bound,
+        "healthy p99 degraded beyond 2x: baseline {baseline_p99:?}, \
+         with straggler {stressed_p99:?}"
+    );
+}
+
+#[test]
+fn corrupt_checksum_drops_only_the_offender() {
+    let bed = Testbed::instant();
+    let neighbor = connect_granted(&bed, 0x40);
+    neighbor
+        .getattr(&neighbor.remote().root())
+        .expect("neighbor healthy before the attack");
+    let aborted_before = bed
+        .service()
+        .audit()
+        .records()
+        .iter()
+        .filter(|r| r.op == "abort")
+        .count();
+
+    let (attacker, token) = bed.connect_raw(&key(0x41)).expect("attacker handshake");
+    // The responder side attaches asynchronously (the handshake is a
+    // worker job); wait for it so the drop below is unambiguous.
+    assert!(eventually(|| bed.engine().is_connected(token)));
+    let mut bad = frame::encode_frame(b"looks like a frame");
+    let last = bad.len() - 1;
+    bad[last] ^= 0xff; // checksum no longer matches
+    attacker.send(bad).expect("send corrupt frame");
+
+    assert!(
+        eventually(|| !bed.engine().is_connected(token)),
+        "offending connection must be dropped"
+    );
+    // The drop is audited ("key A sent garbage").
+    let aborted_after = bed
+        .service()
+        .audit()
+        .records()
+        .iter()
+        .filter(|r| r.op == "abort" && r.handle == "malformed frame")
+        .count();
+    assert!(
+        aborted_after > aborted_before,
+        "malformed-frame drop must leave an audit record"
+    );
+    assert!(
+        bed.engine()
+            .stats()
+            .malformed_drops
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    // The neighbor never notices.
+    neighbor
+        .getattr(&neighbor.remote().root())
+        .expect("neighbor unaffected by the attack");
+}
+
+#[test]
+fn oversized_length_drops_connection() {
+    let bed = Testbed::instant();
+    let (attacker, token) = bed.connect_raw(&key(0x42)).expect("attacker handshake");
+    assert!(eventually(|| bed.engine().is_connected(token)));
+    // A header declaring a payload far beyond the frame bound; no
+    // payload needs to follow for the server to reject it.
+    let declared = (frame::DEFAULT_MAX_FRAME as u32) + 1;
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&declared.to_be_bytes());
+    msg.extend_from_slice(&0u32.to_be_bytes());
+    attacker.send(msg).expect("send oversized header");
+
+    assert!(
+        eventually(|| !bed.engine().is_connected(token)),
+        "oversized frame must condemn the connection"
+    );
+    // A fresh, honest connection still works: server state is clean.
+    let after = connect_granted(&bed, 0x43);
+    after
+        .getattr(&after.remote().root())
+        .expect("server healthy after the attack");
+}
+
+#[test]
+fn split_and_interleaved_frames_reassemble() {
+    let bed = Testbed::instant();
+    let (chan, token) = bed.connect_raw(&key(0x44)).expect("handshake");
+
+    // NULL carries no args and needs no authorization: a clean probe.
+    let call = |xid: u32| {
+        frame::encode_frame(&RpcCall::new(xid, nfsv2::NFS_PROGRAM, 2, 0, vec![]).encode())
+    };
+
+    // One frame split mid-header across two transport messages...
+    let framed = call(1);
+    chan.send(framed[..5].to_vec()).expect("first fragment");
+    chan.send(framed[5..].to_vec()).expect("second fragment");
+    // ...and a message that finishes one frame and starts another.
+    let (second, third) = (call(2), call(3));
+    let mut mixed = second.clone();
+    mixed.extend_from_slice(&third[..7]);
+    chan.send(mixed).expect("interleaved message");
+    chan.send(third[7..].to_vec()).expect("tail fragment");
+
+    let mut decoder = frame::FrameDecoder::new();
+    let mut got = Vec::new();
+    while got.len() < 3 {
+        let msg = chan.recv().expect("reply message");
+        decoder
+            .feed(bytes::Bytes::from(msg))
+            .expect("well-formed replies");
+        while let Some(payload) = decoder.pop_frame() {
+            let reply = RpcReply::decode(&payload).expect("rpc reply");
+            assert!(matches!(reply.body, ReplyBody::Success(_)));
+            got.push(reply.xid);
+        }
+    }
+    assert_eq!(got, vec![1, 2, 3], "pipelined order preserved");
+    assert!(
+        bed.engine().is_connected(token),
+        "fragmented but well-formed traffic must not be dropped"
+    );
+}
+
+#[test]
+fn reboot_quiesces_engine_with_requests_in_flight() {
+    let bed = Testbed::instant();
+    let mut client = connect_granted(&bed, 0x50);
+    let root = client.remote().root();
+    // Plain CREATE would leave the new file's handle uncovered by the
+    // root grant; the DisCFS procedure issues (and session-registers)
+    // the creator credential.
+    let created = client
+        .create_with_credential(&root, "durable.txt", 0o644)
+        .expect("create");
+    client
+        .client()
+        .write(&created.fh, 0, b"before reboot")
+        .expect("write");
+
+    // Leave a large pipelined burst in flight, replies unread.
+    let mut e = Encoder::new();
+    e.put_opaque_fixed(&root.0);
+    let args = e.finish();
+    for _ in 0..500 {
+        client
+            .client()
+            .send_call(nfsv2::NFS_PROGRAM, 2, proc_nfs::GETATTR, args.clone())
+            .expect("in-flight send");
+    }
+
+    // Reboot must quiesce: drain accepted requests, join every engine
+    // thread, only then sync and drop the store — no deadlock, no
+    // panic, no torn volume.
+    let bed = bed.reboot();
+    bed.fs().check().expect("volume consistent after reboot");
+
+    // The old connection is dead (its server side went down with the
+    // engine)...
+    assert!(eventually(|| !client.client().peer_alive()));
+    // ...and the new instance serves fresh connections.
+    let fresh = connect_granted(&bed, 0x51);
+    fresh
+        .getattr(&fresh.remote().root())
+        .expect("fresh client on the rebooted server");
+}
+
+/// The whole point of the engine: more connections, same threads.
+#[cfg(target_os = "linux")]
+#[test]
+fn connection_count_does_not_grow_thread_count() {
+    fn threads_now() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("procfs")
+            .count()
+    }
+    let bed = Testbed::instant();
+    let clients: Vec<DiscfsClient> = (0..8).map(|i| connect_granted(&bed, 0x60 + i)).collect();
+    let before = threads_now();
+    let more: Vec<DiscfsClient> = (0..120)
+        .map(|i| connect_granted(&bed, 0x60 + (i % 40) as u8))
+        .collect();
+    let after = threads_now();
+    assert_eq!(
+        before, after,
+        "accepting 120 more connections must not spawn server threads"
+    );
+    assert_eq!(bed.engine().connections(), clients.len() + more.len());
+    for client in clients.iter().chain(&more) {
+        client.getattr(&client.remote().root()).expect("served");
+    }
+}
