@@ -1,0 +1,327 @@
+//! Degraded-mode figures for the chaos layer (PR 8), summarized to
+//! `BENCH_8.json`.
+//!
+//! PR 6 built the replicated volume tier; PR 8 gave it a failure
+//! model: seeded link faults, exponential backoff under a deadline,
+//! probation + revival, and rate-limited background rebuild. These
+//! figures pin what degradation *costs*:
+//!
+//! * **Read latency under faults** — p50/p99 virtual-time read latency
+//!   on a 4-node R=2 volume: healthy, with 1% per-message loss (the
+//!   tail absorbs the retransmit backoff, the median barely moves),
+//!   and with one node dead (reads fail over to the surviving replica
+//!   at near-healthy latency). Zero failed reads in all three.
+//! * **Background rebuild under a budget** — a killed node's replica
+//!   set re-copies onto the spare at `blocks_per_tick` blocks per
+//!   tick: completion takes `ceil(items / budget)` ticks, and the
+//!   detecting read pays for none of it.
+//! * **WAN object store** — the same volume on
+//!   [`LinkConfig::s3_object_storage`] links: per-block reads cost the
+//!   ~40 ms request round-trip regardless of size (latency dominates),
+//!   so a vectored bulk read amortizes it across the whole extent.
+//!
+//! Env knobs: `BENCH_QUICK=1` shrinks the extents (CI smoke);
+//! `BENCH_JSON=path` writes the summary JSON.
+
+use std::time::Duration;
+
+use bench_harness::{bench_quick as quick, record_json, write_json_summary};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netsim::{FaultPlan, LinkConfig, SimClock};
+use store::{
+    BlockStore, RebuildConfig, RemoteOptions, RemoteStore, ReplicatedStore, SimStore, BLOCK_SIZE,
+};
+
+/// Blocks per measured volume.
+fn extent_blocks() -> u64 {
+    if quick() {
+        64
+    } else {
+        256
+    }
+}
+
+const NODES: usize = 4;
+const REPLICAS: usize = 2;
+
+fn unique_block(i: u64) -> Vec<u8> {
+    let mut block = vec![0u8; BLOCK_SIZE];
+    block[..8].copy_from_slice(&i.to_le_bytes());
+    block[8..16].copy_from_slice(&i.wrapping_mul(0x9E37_79B9).to_le_bytes());
+    block
+}
+
+/// Retry policy tuned for benchmarking: short wall-clock attempt
+/// timeouts (lost frames are rare and resolve fast), virtual-time
+/// backoff that shows up in the tail figures.
+fn bench_opts() -> RemoteOptions {
+    RemoteOptions {
+        timeout: Duration::from_millis(10),
+        base: Duration::from_millis(2),
+        multiplier: 2.0,
+        max_backoff: Duration::from_millis(40),
+        deadline: Duration::from_millis(500),
+    }
+}
+
+/// A 4-node R=2 volume; each node optionally behind a seeded fault
+/// plan, with `spares` clean standby nodes.
+fn volume(
+    clock: &SimClock,
+    blocks: u64,
+    link: LinkConfig,
+    plans: Option<&[FaultPlan]>,
+    spares: usize,
+) -> ReplicatedStore {
+    let node_bc = ReplicatedStore::node_block_count(blocks, NODES, REPLICAS);
+    let node = |i: usize| -> RemoteStore {
+        match plans {
+            Some(plans) => RemoteStore::serve_local_with_faults(
+                SimStore::untimed(node_bc),
+                clock,
+                link,
+                bench_opts(),
+                &plans[i],
+            ),
+            None => RemoteStore::serve_local(SimStore::untimed(node_bc), clock, link, bench_opts()),
+        }
+    };
+    ReplicatedStore::new(
+        (0..NODES).map(node).collect(),
+        (0..spares)
+            .map(|_| {
+                RemoteStore::serve_local(SimStore::untimed(node_bc), clock, link, bench_opts())
+            })
+            .collect(),
+        blocks,
+        REPLICAS,
+    )
+}
+
+/// Fills the volume and flushes, so reads hit committed data.
+fn fill(store: &ReplicatedStore, blocks: u64) {
+    let writes: Vec<(u64, Vec<u8>)> = (0..blocks).map(|i| (i, unique_block(i))).collect();
+    let refs: Vec<(u64, &[u8])> = writes.iter().map(|(i, b)| (*i, b.as_slice())).collect();
+    store.write_blocks(&refs);
+    store.flush().unwrap();
+}
+
+/// Per-read virtual-time latencies over the whole extent, verifying
+/// every byte; returns (sorted latencies, failed reads).
+fn read_sweep(clock: &SimClock, store: &ReplicatedStore, blocks: u64) -> (Vec<Duration>, u64) {
+    let mut lat = Vec::with_capacity(blocks as usize);
+    let mut failed = 0u64;
+    for i in 0..blocks {
+        let before = clock.now();
+        let block = store.read_block(i);
+        lat.push(clock.now() - before);
+        if block != unique_block(i) {
+            failed += 1;
+        }
+    }
+    lat.sort_unstable();
+    (lat, failed)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Degraded read latency: healthy vs 1% loss vs one node dead.
+fn figure_degraded_read_latency(_c: &mut Criterion) {
+    println!("\n== PR 8 figure: p50/p99 read latency, healthy vs 1% loss vs node dead ==");
+    let w = extent_blocks();
+    let link = LinkConfig::ethernet_100mbps();
+
+    // Healthy.
+    let clock = SimClock::new();
+    let store = volume(&clock, w, link, None, 0);
+    fill(&store, w);
+    let (healthy, healthy_failed) = read_sweep(&clock, &store, w);
+
+    // 1% per-message loss on every node link (plus light jitter).
+    let clock = SimClock::new();
+    let plans: Vec<FaultPlan> = (0..NODES)
+        .map(|i| {
+            FaultPlan::seeded(0x8E_D0 + i as u64)
+                .with_loss(0.01)
+                .with_jitter(Duration::from_micros(200))
+        })
+        .collect();
+    let store = volume(&clock, w, link, Some(&plans), 0);
+    fill(&store, w);
+    let (lossy, lossy_failed) = read_sweep(&clock, &store, w);
+    let faults = store.stats().faults_injected;
+
+    // One node dead (no spare: reads fail over, nothing rebuilds yet).
+    let clock = SimClock::new();
+    let store = volume(&clock, w, link, None, 0);
+    fill(&store, w);
+    store.kill_node(1);
+    let (dead, dead_failed) = read_sweep(&clock, &store, w);
+
+    for (name, lat, failed) in [
+        ("healthy", &healthy, healthy_failed),
+        ("1% loss", &lossy, lossy_failed),
+        ("node dead", &dead, dead_failed),
+    ] {
+        println!(
+            "  {name:9}: p50 {:?} p99 {:?} max {:?} ({failed} failed reads)",
+            percentile(lat, 0.50),
+            percentile(lat, 0.99),
+            lat.last().unwrap()
+        );
+    }
+    assert_eq!(
+        healthy_failed + lossy_failed + dead_failed,
+        0,
+        "no read may fail"
+    );
+    assert!(faults > 0, "the loss plan must actually have fired");
+    assert!(
+        percentile(&lossy, 0.99) >= percentile(&healthy, 0.99),
+        "retransmit backoff must show in the lossy tail"
+    );
+    // Failover reads ride the same link class as primary reads: the
+    // dead-node median stays within 2x of healthy.
+    assert!(
+        percentile(&dead, 0.50) <= percentile(&healthy, 0.50) * 2,
+        "failover must serve reads at near-healthy latency"
+    );
+    record_json(
+        "degraded_p50_healthy_us",
+        percentile(&healthy, 0.50).as_secs_f64() * 1e6,
+    );
+    record_json(
+        "degraded_p99_healthy_us",
+        percentile(&healthy, 0.99).as_secs_f64() * 1e6,
+    );
+    record_json(
+        "degraded_p50_loss1pct_us",
+        percentile(&lossy, 0.50).as_secs_f64() * 1e6,
+    );
+    record_json(
+        "degraded_p99_loss1pct_us",
+        percentile(&lossy, 0.99).as_secs_f64() * 1e6,
+    );
+    record_json(
+        "degraded_p50_node_dead_us",
+        percentile(&dead, 0.50).as_secs_f64() * 1e6,
+    );
+    record_json(
+        "degraded_p99_node_dead_us",
+        percentile(&dead, 0.99).as_secs_f64() * 1e6,
+    );
+}
+
+/// Background rebuild completes in ceil(items/budget) ticks while the
+/// detecting read pays nothing.
+fn figure_rebuild_completion_under_budget(_c: &mut Criterion) {
+    println!("\n== PR 8 figure: background rebuild time under the block budget ==");
+    let w = extent_blocks();
+    let budget = 16usize;
+    let tick = Duration::from_millis(10);
+    let clock = SimClock::new();
+    let store = volume(&clock, w, LinkConfig::ethernet_100mbps(), None, 1).with_rebuild_config(
+        RebuildConfig {
+            blocks_per_tick: budget,
+            // Driven by hand below so the tick count is exact.
+            tick_interval: Duration::from_secs(3600),
+            probe_interval: Duration::ZERO,
+        },
+    );
+    fill(&store, w);
+    store.kill_node(2);
+
+    // The detecting read: fails over and only *enqueues* the rebuild.
+    let before = clock.now();
+    assert_eq!(store.read_block(2), unique_block(2));
+    let detect_cost = clock.now() - before;
+    let backlog = store.rebuild_backlog();
+    assert!(backlog > 0, "the dead node's replica set must be queued");
+
+    let mut ticks = 0u64;
+    while store.stats().rebuilds == 0 {
+        store.rebuild_tick();
+        clock.advance(tick);
+        ticks += 1;
+        assert!(ticks <= backlog + 8, "rebuild must converge");
+    }
+    let expected = backlog.div_ceil(budget as u64);
+    println!(
+        "  {backlog} blocks at {budget}/tick: {ticks} ticks (expected {expected}), \
+         virtual rebuild time {:?}, detecting read {detect_cost:?}",
+        tick * ticks as u32
+    );
+    assert_eq!(ticks, expected, "the budget bounds per-tick copy work");
+    assert_eq!(store.live_nodes(), NODES, "spare in service");
+    record_json("rebuild_ticks_at_budget16", ticks as f64);
+    record_json(
+        "rebuild_virtual_secs_at_10ms_tick",
+        (tick * ticks as u32).as_secs_f64(),
+    );
+    record_json("rebuild_detect_read_us", detect_cost.as_secs_f64() * 1e6);
+}
+
+/// WAN object store: per-block reads pay the fixed request round-trip;
+/// vectored bulk reads amortize it away.
+fn figure_s3_wan_volume(_c: &mut Criterion) {
+    println!("\n== PR 8 figure: volume on S3-style object links vs Ethernet ==");
+    let w = extent_blocks();
+    let sweep = |link: LinkConfig| -> (Duration, Duration) {
+        let clock = SimClock::new();
+        let store = volume(&clock, w, link, None, 0);
+        fill(&store, w);
+        clock.reset();
+        for i in 0..w {
+            assert_eq!(store.read_block(i), unique_block(i));
+        }
+        let scalar = clock.now();
+        clock.reset();
+        let idxs: Vec<u64> = (0..w).collect();
+        let blocks = store.read_blocks(&idxs);
+        for (i, block) in blocks.iter().enumerate() {
+            assert_eq!(block.as_ref(), unique_block(i as u64));
+        }
+        (scalar, clock.now())
+    };
+    let (eth_scalar, _) = sweep(LinkConfig::ethernet_100mbps());
+    let (s3_scalar, s3_vectored) = sweep(LinkConfig::s3_object_storage());
+    let per_read_ms = s3_scalar.as_secs_f64() * 1e3 / w as f64;
+    let amortization = s3_scalar.as_secs_f64() / s3_vectored.as_secs_f64();
+    println!(
+        "  {w} scalar reads: Ethernet {eth_scalar:?}, S3 {s3_scalar:?} \
+         ({per_read_ms:.1} ms/read); S3 vectored {s3_vectored:?} = {amortization:.0}x"
+    );
+    // 20 ms one-way latency each direction: every scalar read costs at
+    // least the 40 ms round-trip, dwarfing the Ethernet volume.
+    assert!(
+        per_read_ms >= 40.0,
+        "object-store latency must dominate scalar reads, got {per_read_ms:.1} ms"
+    );
+    assert!(
+        s3_scalar > eth_scalar * 10,
+        "the WAN volume must be at least 10x slower per scalar read"
+    );
+    assert!(
+        amortization > 10.0,
+        "vectored reads must amortize the request latency, got {amortization:.0}x"
+    );
+    record_json("s3_scalar_read_ms", per_read_ms);
+    record_json("s3_vectored_amortization", amortization);
+    record_json(
+        "s3_vs_ethernet_scalar_slowdown",
+        s3_scalar.as_secs_f64() / eth_scalar.as_secs_f64(),
+    );
+    write_json_summary();
+}
+
+criterion_group!(
+    degraded,
+    figure_degraded_read_latency,
+    figure_rebuild_completion_under_budget,
+    figure_s3_wan_volume
+);
+criterion_main!(degraded);

@@ -183,22 +183,25 @@
 //! write replays to one consistent epoch. Two backend presets
 //! compose the tier under the credential stack unchanged:
 //!
-//! * `Remote { ethernet, inner }` — one storage node behind the wire
-//!   protocol (100 Mbps Ethernet timing or instant links);
-//! * `Replicated { nodes, replicas, spares, ethernet, inner }` — an
-//!   N-node volume that keeps serving every read through the death
+//! * `Remote { ethernet, opts, inner }` — one storage node behind the
+//!   wire protocol (100 Mbps Ethernet timing or instant links), with a
+//!   tunable timeout/backoff policy;
+//! * `Replicated { nodes, replicas, spares, ethernet, opts, inner }` —
+//!   an N-node volume that keeps serving every read through the death
 //!   of any single node and rebuilds the lost replicas onto a spare.
 //!
 //! ```
 //! use discfs::Testbed;
 //! use ffs::{FsConfig, StoreBackend};
 //! use netsim::LinkConfig;
+//! use store::RemoteOptions;
 //!
 //! let backend = StoreBackend::Replicated {
 //!     nodes: 4,
 //!     replicas: 2,
 //!     spares: 1,
 //!     ethernet: false,
+//!     opts: RemoteOptions::default(),
 //!     inner: Box::new(StoreBackend::SimInstant),
 //! };
 //! let bed = Testbed::with_backend(FsConfig::small(), LinkConfig::instant(), 128, &backend);

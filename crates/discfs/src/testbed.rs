@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use discfs_crypto::ed25519::{SigningKey, VerifyingKey};
 use discfs_crypto::rng::DetRng;
-use ffs::{Ffs, FsConfig, StoreBackend};
+use ffs::{BlockStore, Ffs, FsConfig, StoreBackend};
 use ipsec::ike::SecureChannel;
 use netsim::{Endpoint, Link, LinkConfig, SimClock};
 use nfsv2::{Engine, EngineConfig};
@@ -30,6 +30,10 @@ pub struct Testbed {
     link_config: LinkConfig,
     cache_size: usize,
     backend: StoreBackend,
+    /// A caller-constructed store mounted via [`Testbed::with_store`];
+    /// [`Testbed::reboot`] remounts it instead of rebuilding from the
+    /// `backend` spec.
+    prebuilt: Option<Arc<dyn BlockStore>>,
     service: Arc<DiscfsService>,
     server_public: VerifyingKey,
     admin: SigningKey,
@@ -98,6 +102,64 @@ impl Testbed {
             Ffs::open_or_format_backend(backend, &clock, fs_config)
                 .expect("mount or format the server volume"),
         );
+        Testbed::assemble(
+            clock,
+            fs,
+            fs_config,
+            link_config,
+            cache_size,
+            backend.clone(),
+            None,
+            engine_config,
+        )
+    }
+
+    /// Builds a testbed on a **prebuilt** block store that shares
+    /// `clock` — for chaos tests that assemble the storage fleet by
+    /// hand (fault plans, tuned [`ffs::RemoteOptions`], rebuild
+    /// budgets) before mounting DisCFS on it. A store already holding
+    /// a formatted volume is mounted, not reformatted, and
+    /// [`Testbed::reboot`] remounts the **same** store instead of
+    /// rebuilding from a [`StoreBackend`] spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store holds a damaged volume (superblock
+    /// present but unusable) — data is never silently destroyed.
+    pub fn with_store(
+        fs_config: FsConfig,
+        link_config: LinkConfig,
+        cache_size: usize,
+        clock: &SimClock,
+        store: Arc<dyn BlockStore>,
+    ) -> Testbed {
+        let fs = Arc::new(
+            Ffs::open_or_format(Arc::clone(&store), fs_config)
+                .expect("mount or format the server volume"),
+        );
+        Testbed::assemble(
+            clock.clone(),
+            fs,
+            fs_config,
+            link_config,
+            cache_size,
+            StoreBackend::SimInstant,
+            Some(store),
+            EngineConfig::default(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        clock: SimClock,
+        fs: Arc<Ffs>,
+        fs_config: FsConfig,
+        link_config: LinkConfig,
+        cache_size: usize,
+        backend: StoreBackend,
+        prebuilt: Option<Arc<dyn BlockStore>>,
+        engine_config: EngineConfig,
+    ) -> Testbed {
         let admin = SigningKey::from_seed(&[0xAD; 32]);
         let server_key = SigningKey::from_seed(&SERVER_KEY_SEED);
         let server_public = server_key.public();
@@ -118,7 +180,8 @@ impl Testbed {
             fs_config,
             link_config,
             cache_size,
-            backend: backend.clone(),
+            backend,
+            prebuilt,
             service,
             server_public,
             admin,
@@ -161,17 +224,22 @@ impl Testbed {
         self.engine.shutdown();
         self.sync().expect("sync volume before reboot");
         let Testbed {
+            clock,
             fs_config,
             link_config,
             cache_size,
             backend,
+            prebuilt,
             service,
             engine,
             ..
         } = self;
         drop(engine);
         drop(service);
-        Testbed::with_backend(fs_config, link_config, cache_size, &backend)
+        match prebuilt {
+            Some(store) => Testbed::with_store(fs_config, link_config, cache_size, &clock, store),
+            None => Testbed::with_backend(fs_config, link_config, cache_size, &backend),
+        }
     }
 
     /// The shared virtual clock.

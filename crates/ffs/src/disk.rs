@@ -10,8 +10,8 @@
 //! and [`crate::Ffs::format_backend`].
 
 pub use store::{
-    zero_block, BlockStore, Bytes, CachedStore, DiskModel, ShardedStore, StoreBackend, StoreStats,
-    TimedStore, BLOCK_SIZE,
+    zero_block, BlockStore, Bytes, CachedStore, DiskModel, RemoteOptions, ShardedStore,
+    StoreBackend, StoreStats, TimedStore, BLOCK_SIZE,
 };
 
 /// The seed's name for the simulated timing-model disk.

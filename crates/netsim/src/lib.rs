@@ -91,6 +91,174 @@ pub struct LinkConfig {
     pub bandwidth: u64,
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 step — the deterministic generator behind [`FaultPlan`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)`.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What a [`FaultPlan`] decided for one message.
+enum FaultAction {
+    /// Silently discard the message (the sender sees success).
+    Drop,
+    /// Deliver, possibly twice, possibly after extra delay.
+    Deliver {
+        /// Enqueue the message a second time (a retransmitting WAN).
+        duplicate: bool,
+        /// Extra one-way delay charged to the virtual clock.
+        jitter: Duration,
+    },
+}
+
+struct FaultState {
+    rng: u64,
+    drop_p: f64,
+    dup_p: f64,
+    jitter: Duration,
+    /// Virtual-time windows during which every message is dropped.
+    partitions: Vec<(Duration, Duration)>,
+    /// Messages still to be dropped unconditionally (the flap hook).
+    flap_remaining: u64,
+}
+
+struct FaultInner {
+    state: Mutex<FaultState>,
+    injected: AtomicU64,
+}
+
+/// A deterministic, seeded fault-injection plan for a link.
+///
+/// A plan is a cheaply-clonable handle to shared state: install the
+/// same plan on both endpoints of a link ([`Link::pair_faulty`]) and
+/// every message in either direction is subjected to, in order:
+///
+/// 1. **Flap** — [`FaultPlan::flap`] drops the next `n` messages
+///    unconditionally (a momentary link sever, the test hook).
+/// 2. **Partition** — messages sent while the virtual clock is inside
+///    a [`FaultPlan::partition`] window are dropped; the window heals
+///    by itself once the clock passes `until`.
+/// 3. **Loss** — each message is dropped with probability
+///    [`FaultPlan::with_loss`]'s `p`.
+/// 4. **Duplication** — each delivered message is enqueued twice with
+///    probability [`FaultPlan::with_duplication`]'s `p` (request/reply
+///    layers must de-duplicate by request id).
+/// 5. **Jitter** — each delivered message is charged a uniform extra
+///    delay in `[0, max]` ([`FaultPlan::with_jitter`]).
+///
+/// All randomness comes from one SplitMix64 stream seeded at
+/// construction, so a fault schedule replays exactly for a given seed
+/// and message sequence. Dropped and duplicated messages are counted
+/// by [`FaultPlan::faults_injected`] (jitter is noise, not a fault,
+/// and is not counted).
+#[derive(Clone)]
+pub struct FaultPlan {
+    inner: Arc<FaultInner>,
+}
+
+impl FaultPlan {
+    /// A clean plan (no faults) with a deterministic seed.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(FaultInner {
+                state: Mutex::new(FaultState {
+                    // Pre-mix so nearby seeds diverge immediately.
+                    rng: seed ^ 0xD1B5_4A32_D192_ED03,
+                    drop_p: 0.0,
+                    dup_p: 0.0,
+                    jitter: Duration::ZERO,
+                    partitions: Vec::new(),
+                    flap_remaining: 0,
+                }),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Sets the per-message drop probability, builder-style.
+    pub fn with_loss(self, p: f64) -> FaultPlan {
+        self.inner.state.lock().unwrap().drop_p = p;
+        self
+    }
+
+    /// Sets the per-message duplication probability, builder-style.
+    pub fn with_duplication(self, p: f64) -> FaultPlan {
+        self.inner.state.lock().unwrap().dup_p = p;
+        self
+    }
+
+    /// Sets the maximum extra per-message delay, builder-style.
+    pub fn with_jitter(self, max: Duration) -> FaultPlan {
+        self.inner.state.lock().unwrap().jitter = max;
+        self
+    }
+
+    /// Schedules a partition: every message sent while the virtual
+    /// clock reads within `[from, until)` is dropped.
+    pub fn partition(&self, from: Duration, until: Duration) {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .partitions
+            .push((from, until));
+    }
+
+    /// Test hook: drop the next `n` messages unconditionally — a link
+    /// flap, independent of the virtual clock.
+    pub fn flap(&self, n: u64) {
+        self.inner.state.lock().unwrap().flap_remaining += n;
+    }
+
+    /// Messages dropped or duplicated by this plan so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Decides the fate of one message sent at virtual time `now`.
+    fn on_send(&self, now: Duration) -> FaultAction {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.flap_remaining > 0 {
+            st.flap_remaining -= 1;
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Drop;
+        }
+        if st
+            .partitions
+            .iter()
+            .any(|&(from, until)| now >= from && now < until)
+        {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Drop;
+        }
+        if st.drop_p > 0.0 && unit_f64(&mut st.rng) < st.drop_p {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Drop;
+        }
+        let duplicate = st.dup_p > 0.0 && unit_f64(&mut st.rng) < st.dup_p;
+        if duplicate {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let jitter = if st.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((unit_f64(&mut st.rng) * st.jitter.as_nanos() as f64) as u64)
+        };
+        FaultAction::Deliver { duplicate, jitter }
+    }
+}
+
 impl LinkConfig {
     /// The paper's testbed: 100 Mbps Ethernet.
     ///
@@ -109,6 +277,19 @@ impl LinkConfig {
         LinkConfig {
             latency: Duration::ZERO,
             bandwidth: u64::MAX,
+        }
+    }
+
+    /// An S3-style object-storage link: high fixed per-request latency
+    /// (HTTP + service queueing, ~20 ms one-way) over a fat pipe
+    /// (~250 MB/s). WAN figures use it to model keeping a volume's
+    /// nodes on a cloud object store instead of LAN block servers —
+    /// latency dominates small transfers, bandwidth only matters for
+    /// bulk extents.
+    pub fn s3_object_storage() -> LinkConfig {
+        LinkConfig {
+            latency: Duration::from_millis(20),
+            bandwidth: 250_000_000,
         }
     }
 
@@ -151,6 +332,21 @@ pub trait Transport: Send + Sync {
     /// wake the set); [`Endpoint`] implements real edge wakeups.
     fn register_ready(&self, set: &Arc<ReadySet>, token: u64) {
         let _ = (set, token);
+    }
+
+    /// The [`FaultPlan`] injecting faults on this transport, when one
+    /// is installed. Request/response layers use it to surface
+    /// fault-injection counters in their own stats without holding the
+    /// transport lock.
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        None
+    }
+
+    /// The virtual clock this transport charges, when it has one —
+    /// retry layers charge their backoff waits to it so degraded-mode
+    /// figures include the time spent backing off.
+    fn sim_clock(&self) -> Option<SimClock> {
+        None
     }
 }
 
@@ -260,6 +456,8 @@ pub struct Endpoint {
     incoming: Arc<DirState>,
     /// Direction us → peer: what our `send` fills.
     outgoing: Arc<DirState>,
+    /// Faults applied to messages this endpoint sends.
+    faults: Option<FaultPlan>,
 }
 
 /// Constructor namespace for link pairs.
@@ -281,6 +479,7 @@ impl Link {
                 stats: Arc::new(Stats::default()),
                 incoming: Arc::clone(&dir_ba),
                 outgoing: Arc::clone(&dir_ab),
+                faults: None,
             },
             Endpoint {
                 tx: tx_b,
@@ -290,8 +489,23 @@ impl Link {
                 stats: Arc::new(Stats::default()),
                 incoming: dir_ab,
                 outgoing: dir_ba,
+                faults: None,
             },
         )
+    }
+
+    /// Like [`Link::pair`], with `faults` installed on **both**
+    /// endpoints: every message in either direction is subjected to
+    /// the plan's drop/duplicate/jitter/partition schedule.
+    pub fn pair_faulty(
+        clock: &SimClock,
+        config: LinkConfig,
+        faults: &FaultPlan,
+    ) -> (Endpoint, Endpoint) {
+        let (mut a, mut b) = Link::pair(clock, config);
+        a.inject_faults(faults);
+        b.inject_faults(faults);
+        (a, b)
     }
 
     /// A zero-latency loopback pair (local filesystem comparisons).
@@ -322,15 +536,17 @@ impl Endpoint {
     pub fn link_config(&self) -> LinkConfig {
         self.config
     }
-}
 
-impl Transport for Endpoint {
-    fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
-        self.clock.advance(self.config.transfer_time(msg.len()));
-        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_sent
-            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+    /// Installs `faults` on this endpoint: every message it **sends**
+    /// from now on goes through the plan. Call before moving the
+    /// endpoint to its thread ([`Link::pair_faulty`] installs one plan
+    /// on both sides).
+    pub fn inject_faults(&mut self, faults: &FaultPlan) {
+        self.faults = Some(faults.clone());
+    }
+
+    /// Enqueues one message toward the peer and wakes any watcher.
+    fn enqueue(&self, msg: Vec<u8>) -> Result<(), NetError> {
         // Count the message before enqueuing it: a receiver can only
         // decrement after the send below succeeds, so `pending` never
         // underflows, and it over-counts for at most this call's duration.
@@ -343,6 +559,33 @@ impl Transport for Endpoint {
         // loop that polls immediately always finds it.
         self.outgoing.notify();
         Ok(())
+    }
+}
+
+impl Transport for Endpoint {
+    fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
+        self.clock.advance(self.config.transfer_time(msg.len()));
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        if let Some(faults) = &self.faults {
+            match faults.on_send(self.clock.now()) {
+                // The sender still paid the wire time, but the message
+                // never lands: the sender cannot tell (UDP semantics).
+                FaultAction::Drop => return Ok(()),
+                FaultAction::Deliver { duplicate, jitter } => {
+                    if !jitter.is_zero() {
+                        self.clock.advance(jitter);
+                    }
+                    if duplicate {
+                        self.enqueue(msg.clone())?;
+                    }
+                    return self.enqueue(msg);
+                }
+            }
+        }
+        self.enqueue(msg)
     }
 
     fn recv(&self) -> Result<Vec<u8>, NetError> {
@@ -378,6 +621,14 @@ impl Transport for Endpoint {
         if self.incoming.pending.load(Ordering::Acquire) > 0 {
             set.push(token);
         }
+    }
+
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.clone()
+    }
+
+    fn sim_clock(&self) -> Option<SimClock> {
+        Some(self.clock.clone())
     }
 }
 
@@ -450,6 +701,111 @@ mod tests {
             a.recv_timeout(Duration::from_millis(10)),
             Err(NetError::Timeout)
         );
+    }
+
+    #[test]
+    fn flap_drops_exactly_next_n() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::seeded(1);
+        let (a, b) = Link::pair_faulty(&clock, LinkConfig::instant(), &plan);
+        plan.flap(2);
+        a.send(vec![1]).unwrap();
+        a.send(vec![2]).unwrap();
+        a.send(vec![3]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![3]);
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(plan.faults_injected(), 2);
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::seeded(2);
+        // Nonzero latency so the clock moves through the window.
+        let config = LinkConfig {
+            latency: Duration::from_millis(1),
+            bandwidth: u64::MAX,
+        };
+        let (a, b) = Link::pair_faulty(&clock, config, &plan);
+        plan.partition(Duration::from_millis(1), Duration::from_millis(4));
+        a.send(vec![1]).unwrap(); // sent at t=1ms: inside the window
+        a.send(vec![2]).unwrap(); // t=2ms: inside
+        a.send(vec![3]).unwrap(); // t=3ms: inside
+        a.send(vec![4]).unwrap(); // t=4ms: healed
+        assert_eq!(b.recv().unwrap(), vec![4]);
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(plan.faults_injected(), 3);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::seeded(3).with_duplication(1.0);
+        let (a, b) = Link::pair_faulty(&clock, LinkConfig::instant(), &plan);
+        a.send(vec![7]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![7]);
+        assert_eq!(b.recv().unwrap(), vec![7]);
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(plan.faults_injected(), 1);
+    }
+
+    #[test]
+    fn jitter_charges_the_clock() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::seeded(4).with_jitter(Duration::from_millis(10));
+        let (a, b) = Link::pair_faulty(&clock, LinkConfig::instant(), &plan);
+        a.send(vec![1]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1]);
+        // Instant link: any elapsed time must be jitter, and jitter
+        // alone is not a counted fault.
+        assert!(clock.now() <= Duration::from_millis(10));
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    fn seeded_plans_replay_identically() {
+        let run = |seed: u64| {
+            let clock = SimClock::new();
+            let plan = FaultPlan::seeded(seed).with_loss(0.3).with_duplication(0.2);
+            let (a, b) = Link::pair_faulty(&clock, LinkConfig::instant(), &plan);
+            let mut delivered = Vec::new();
+            for i in 0..100u8 {
+                a.send(vec![i]).unwrap();
+            }
+            while let Some(msg) = b.try_recv().unwrap() {
+                delivered.push(msg[0]);
+            }
+            (delivered, plan.faults_injected())
+        };
+        assert_eq!(run(42), run(42));
+        let ((d1, f1), (d2, _)) = (run(42), run(43));
+        assert!(f1 > 0, "loss plan injected nothing");
+        assert_ne!(d1, d2, "different seeds produced identical schedules");
+    }
+
+    #[test]
+    fn fault_plan_and_clock_visible_through_transport() {
+        let clock = SimClock::new();
+        let plan = FaultPlan::seeded(5);
+        let (a, _b) = Link::pair_faulty(&clock, LinkConfig::instant(), &plan);
+        let t: &dyn Transport = &a;
+        assert!(t.fault_plan().is_some());
+        let c = t.sim_clock().expect("endpoint exposes its clock");
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_secs(1));
+        // Plain pairs report no plan.
+        let (p, _q) = Link::pair(&clock, LinkConfig::instant());
+        assert!(Transport::fault_plan(&p).is_none());
+    }
+
+    #[test]
+    fn s3_preset_is_high_latency_high_bandwidth() {
+        let cfg = LinkConfig::s3_object_storage();
+        assert!(cfg.latency >= Duration::from_millis(10));
+        assert!(cfg.bandwidth > LinkConfig::ethernet_100mbps().bandwidth);
+        // An 8 KB block is latency-dominated on the object-storage link.
+        let t = cfg.transfer_time(8192);
+        assert!(t >= cfg.latency && t < cfg.latency * 2, "{t:?}");
     }
 
     #[test]

@@ -130,6 +130,49 @@
 //! charged to the shared [`netsim::SimClock`], so virtual-time figures
 //! capture network latency and serialization alongside disk time.
 //!
+//! # Failure model
+//!
+//! The distributed tier is built to survive a *lossy* network, not
+//! just a cleanly-severed one. Three layers cooperate:
+//!
+//! **Faults.** Any netsim link can carry a seeded
+//! [`netsim::FaultPlan`]: per-message drop and duplicate
+//! probabilities, extra delay jitter, scheduled partition windows
+//! (`partition(from, until)` on the virtual clock), and a `flap(n)`
+//! test hook that drops exactly the next `n` sends. Injected faults
+//! (drops and duplicates — jitter is charged, not counted) surface as
+//! [`StoreStats::faults_injected`]. The wire protocol is fault-safe by
+//! construction: every request carries a fresh req-id, so a stale or
+//! duplicated reply is drained and ignored, and re-sent block writes
+//! are idempotent.
+//!
+//! **Retry and death.** [`RemoteStore`] retries a timed-out attempt
+//! under exponential backoff with decorrelated jitter
+//! ([`RemoteOptions`]: `base`, `multiplier`, `max_backoff`), counting
+//! [`StoreStats::backoff_retries`]; backoff waits are charged to the
+//! virtual clock, never slept on the wall. Only when the accumulated
+//! waiting budget reaches [`RemoteOptions::deadline`] is the node
+//! declared dead, and death is **not terminal**: the latch records a
+//! [`DeadCause`]. A `Timeout` looks like loss or a partition, so the
+//! replicated tier puts the node in *probation* and periodically
+//! probes it with a cheap un-retried length RPC
+//! ([`RemoteStore::probe`]); a successful probe revives the node
+//! ([`StoreStats::nodes_revived`]). If its epoch record matches the
+//! committed epoch it rejoins live with **no data copied**; if it
+//! missed commits it is re-synced from its peers first. A
+//! `Disconnected`/`Protocol` cause means the process is gone — only a
+//! spare-rebuild brings the data back.
+//!
+//! **Background rebuild.** The operation that detects a death only
+//! marks the node and enqueues the lost replica set; a rate-limited
+//! rebuilder ([`RebuildConfig`]: `blocks_per_tick` copies per
+//! `tick_interval` of virtual time) drains the queue off the hot path
+//! while degraded reads keep failing over. The backlog is observable
+//! as [`StoreStats::rebuild_backlog`]; a completed rebuild stamps the
+//! node's epoch record *last*, so a torn rebuild reads as stale and is
+//! simply redone. See the `remote` and `replicated` module docs for
+//! the full protocol.
+//!
 //! Backend choice is threaded through the stack as a [`StoreBackend`]
 //! value (`ffs::Ffs::format_backend`, `discfs::Testbed::with_backend`,
 //! `bench_harness::build_world_on`), so benchmarks can compare
@@ -172,8 +215,8 @@ pub use encrypted::EncryptedStore;
 #[doc(hidden)]
 pub use file::temp_dir_for_tests;
 pub use file::{FileStore, JOURNAL_BATCH_RECORDS, JOURNAL_RECORD_LEN};
-pub use remote::{BlockServer, RemoteError, RemoteOptions, RemoteStore};
-pub use replicated::ReplicatedStore;
+pub use remote::{BlockServer, DeadCause, RemoteError, RemoteOptions, RemoteStore};
+pub use replicated::{RebuildConfig, ReplicatedStore};
 pub use sharded::{ShardedStore, WORKER_QUEUE_DEPTH};
 pub use sim::{DiskModel, SimStore};
 pub use timed::TimedStore;
@@ -263,12 +306,28 @@ pub struct StoreStats {
     pub bytes_on_wire: u64,
     /// Request frames a `RemoteStore` re-sent after a timeout.
     pub retries: u64,
+    /// Request frames a `RemoteStore` re-sent under its exponential
+    /// backoff schedule (today every retry backs off, so this tracks
+    /// `retries`; the two are kept distinct because `retries` counts
+    /// wire traffic and this counts policy decisions).
+    pub backoff_retries: u64,
+    /// Messages dropped or duplicated by a [`netsim::FaultPlan`] on a
+    /// `RemoteStore`'s link (both directions; jitter is not counted).
+    pub faults_injected: u64,
     /// Reads a `ReplicatedStore` served from a non-primary replica —
     /// failover traffic, zero while every node is healthy.
     pub replica_reads: u64,
     /// Replica sets a `ReplicatedStore` rebuilt onto a spare node
     /// after declaring a node dead.
     pub rebuilds: u64,
+    /// Probation nodes a `ReplicatedStore` revived after a successful
+    /// probe (a partitioned-then-healed node coming back, with or
+    /// without an epoch re-sync).
+    pub nodes_revived: u64,
+    /// Blocks still queued for the background rebuilder — a gauge, not
+    /// a counter, but merged additively like everything else (layers
+    /// other than `ReplicatedStore` report zero).
+    pub rebuild_backlog: u64,
 }
 
 impl StoreStats {
@@ -317,8 +376,12 @@ impl StoreStats {
             rpc_calls: self.rpc_calls + other.rpc_calls,
             bytes_on_wire: self.bytes_on_wire + other.bytes_on_wire,
             retries: self.retries + other.retries,
+            backoff_retries: self.backoff_retries + other.backoff_retries,
+            faults_injected: self.faults_injected + other.faults_injected,
             replica_reads: self.replica_reads + other.replica_reads,
             rebuilds: self.rebuilds + other.rebuilds,
+            nodes_revived: self.nodes_revived + other.nodes_revived,
+            rebuild_backlog: self.rebuild_backlog + other.rebuild_backlog,
         }
     }
 }
@@ -570,6 +633,9 @@ pub enum StoreBackend {
         /// Charge the paper's 100 Mbps Ethernet timing on the link
         /// (`false` = an instant link for correctness tests).
         ethernet: bool,
+        /// Timeout/backoff/deadline policy for the client
+        /// ([`RemoteOptions::default`] for the stock schedule).
+        opts: RemoteOptions,
         /// The backend the node serves. Persistent inners get a
         /// `node` subdirectory.
         inner: Box<StoreBackend>,
@@ -588,6 +654,9 @@ pub enum StoreBackend {
         spares: u32,
         /// Charge the paper's 100 Mbps Ethernet timing on every link.
         ethernet: bool,
+        /// Timeout/backoff/deadline policy shared by every node's
+        /// client ([`RemoteOptions::default`] for the stock schedule).
+        opts: RemoteOptions,
         /// The backend each node serves.
         inner: Box<StoreBackend>,
     },
@@ -663,13 +732,17 @@ impl StoreBackend {
                 clock,
                 DiskModel::quantum_fireball_ct10(),
             )),
-            StoreBackend::Remote { ethernet, inner } => {
+            StoreBackend::Remote {
+                ethernet,
+                opts,
+                inner,
+            } => {
                 let node = inner.with_subdir("node").build(clock, block_count);
                 Arc::new(RemoteStore::serve_local(
                     node,
                     clock,
                     link_config(*ethernet),
-                    RemoteOptions::default(),
+                    *opts,
                 ))
             }
             StoreBackend::Replicated {
@@ -677,6 +750,7 @@ impl StoreBackend {
                 replicas,
                 spares,
                 ethernet,
+                opts,
                 inner,
             } => {
                 assert!(*nodes > 0, "replicated store needs at least one node");
@@ -690,7 +764,7 @@ impl StoreBackend {
                         spec.build(clock, node_bc),
                         clock,
                         link_config(*ethernet),
-                        RemoteOptions::default(),
+                        *opts,
                     )
                 };
                 let node_stores: Vec<RemoteStore> = (0..*nodes)
@@ -749,8 +823,13 @@ impl StoreBackend {
             StoreBackend::Timed { inner } => StoreBackend::Timed {
                 inner: Box::new(inner.with_subdir(name)),
             },
-            StoreBackend::Remote { ethernet, inner } => StoreBackend::Remote {
+            StoreBackend::Remote {
+                ethernet,
+                opts,
+                inner,
+            } => StoreBackend::Remote {
                 ethernet: *ethernet,
+                opts: *opts,
                 inner: Box::new(inner.with_subdir(name)),
             },
             StoreBackend::Replicated {
@@ -758,12 +837,14 @@ impl StoreBackend {
                 replicas,
                 spares,
                 ethernet,
+                opts,
                 inner,
             } => StoreBackend::Replicated {
                 nodes: *nodes,
                 replicas: *replicas,
                 spares: *spares,
                 ethernet: *ethernet,
+                opts: *opts,
                 inner: Box::new(inner.with_subdir(name)),
             },
             other => other.clone(),
@@ -878,6 +959,7 @@ mod tests {
             },
             StoreBackend::Remote {
                 ethernet: false,
+                opts: RemoteOptions::default(),
                 inner: Box::new(StoreBackend::FileJournal {
                     dir: dir.join("remote"),
                 }),
@@ -889,6 +971,7 @@ mod tests {
                     workers: false,
                     inner: Box::new(StoreBackend::Remote {
                         ethernet: false,
+                        opts: RemoteOptions::default(),
                         inner: Box::new(StoreBackend::SimInstant),
                     }),
                 }),
@@ -898,6 +981,7 @@ mod tests {
                 replicas: 2,
                 spares: 1,
                 ethernet: false,
+                opts: RemoteOptions::default(),
                 inner: Box::new(StoreBackend::FileJournal {
                     dir: dir.join("replicated"),
                 }),
@@ -977,5 +1061,27 @@ mod tests {
         assert_eq!(m.writes, 2);
         assert_eq!(m.cache_hits, 3);
         assert_eq!(m.journal_batches, 4);
+    }
+
+    #[test]
+    fn merge_sums_chaos_counters() {
+        let a = StoreStats {
+            faults_injected: 5,
+            backoff_retries: 2,
+            nodes_revived: 1,
+            rebuild_backlog: 7,
+            ..StoreStats::default()
+        };
+        let b = StoreStats {
+            faults_injected: 3,
+            backoff_retries: 4,
+            rebuild_backlog: 1,
+            ..StoreStats::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.faults_injected, 8);
+        assert_eq!(m.backoff_retries, 6);
+        assert_eq!(m.nodes_revived, 1);
+        assert_eq!(m.rebuild_backlog, 8);
     }
 }

@@ -30,14 +30,34 @@
 //! # Failure model
 //!
 //! [`RemoteStore`] retries a timed-out request (same id, so a late
-//! first reply is recognized and drained) up to its configured retry
-//! budget, then declares the node **dead** — as it does immediately on
-//! a disconnected link, which is how a killed [`BlockServer`] thread
-//! manifests. A dead node fails every later call without touching the
-//! wire; `ReplicatedStore` uses that latch to fail over and rebuild
-//! (see [`crate::ReplicatedStore`]). Frame corruption is surfaced as a
-//! protocol error and also declares the node dead: a node that cannot
-//! frame correctly cannot be trusted with retries.
+//! or fault-duplicated reply is recognized and drained) under
+//! exponential backoff with decorrelated jitter: after each timeout it
+//! waits `min(max_backoff, uniform(base, prev × multiplier))` — waits
+//! are charged to the link's virtual clock, never the wall — and keeps
+//! re-sending until the accumulated waiting budget (attempt timeouts
+//! plus backoff sleeps) crosses [`RemoteOptions::deadline`]. Only then
+//! is the node declared **dead**, with a [`DeadCause`] recording *why*:
+//!
+//! - [`DeadCause::Timeout`] — the deadline lapsed with no reply. This
+//!   is what a lossy link or a partition window looks like, so death is
+//!   **non-terminal**: [`RemoteStore::probe`] issues one cheap,
+//!   un-retried length request that bypasses the dead latch, and a
+//!   reply revives the node. `ReplicatedStore` holds such nodes in
+//!   *probation*, probes them in the background, and re-syncs a
+//!   revived node from its peers before it serves reads again.
+//! - [`DeadCause::Disconnected`] — the link dropped, which is how a
+//!   killed [`BlockServer`] thread manifests; the process is gone and
+//!   only a rebuild onto a spare brings the data back.
+//! - [`DeadCause::Protocol`] — a frame failed to parse or checksum. A
+//!   node that cannot frame correctly cannot be trusted with retries.
+//!
+//! A dead node fails every later call without touching the wire;
+//! `ReplicatedStore` uses that latch to fail over (see
+//! [`crate::ReplicatedStore`]). Fault injection ([`netsim::FaultPlan`])
+//! plugs in below this whole policy: [`RemoteStore::serve_local_with_faults`]
+//! runs the wire protocol over a lossy, duplicating, jittery,
+//! partitionable link, and the client counts the plan's injected
+//! faults in its [`StoreStats::faults_injected`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -270,23 +290,59 @@ fn decode_write_list(body: &[u8]) -> Option<Vec<(u64, &[u8])>> {
     )
 }
 
-/// Timeout/retry policy for a [`RemoteStore`].
+/// Retry policy for a [`RemoteStore`]: exponential backoff with
+/// decorrelated jitter under an overall per-operation deadline.
+///
+/// After a timed-out attempt the client waits
+/// `min(max_backoff, uniform(base, prev × multiplier))` before
+/// re-sending (the AWS "decorrelated jitter" schedule — retries from
+/// many clients de-synchronize instead of stampeding a recovering
+/// node). Backoff waits are charged to the link's virtual clock, never
+/// slept on the wall, and the node is declared dead only once the
+/// accumulated waiting budget — attempt timeouts plus backoff sleeps —
+/// reaches `deadline`.
 #[derive(Debug, Clone, Copy)]
 pub struct RemoteOptions {
-    /// Wall-clock wait per request attempt before it counts as timed
-    /// out.
+    /// Wait per request attempt before it counts as timed out.
     pub timeout: Duration,
-    /// Re-sends after a timeout before the node is declared dead.
-    pub retries: u32,
+    /// Floor of every backoff sleep (and the first retry's window).
+    pub base: Duration,
+    /// Growth factor of the decorrelated-jitter window: each sleep is
+    /// drawn from `[base, prev × multiplier]`.
+    pub multiplier: f64,
+    /// Hard cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Total waiting budget per operation (timeouts + backoff sleeps)
+    /// before the node is declared dead.
+    pub deadline: Duration,
 }
 
 impl Default for RemoteOptions {
     fn default() -> RemoteOptions {
         RemoteOptions {
-            timeout: Duration::from_secs(1),
-            retries: 2,
+            timeout: Duration::from_millis(200),
+            base: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(160),
+            deadline: Duration::from_secs(2),
         }
     }
+}
+
+/// Why a [`RemoteStore`] declared its node dead. `ReplicatedStore`
+/// branches on this: a [`DeadCause::Timeout`] looks like loss or a
+/// partition, so the node goes into probation and is probed for
+/// revival; the other causes mean the process or its framing is gone,
+/// so only a spare-rebuild brings the data back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadCause {
+    /// The per-operation deadline lapsed with no reply — possibly a
+    /// transient partition; the node may come back.
+    Timeout,
+    /// The link dropped: the server side is gone.
+    Disconnected,
+    /// The node sent an unparseable or mis-checksummed frame.
+    Protocol,
 }
 
 /// The local server thread behind a [`RemoteStore::serve_local`]
@@ -302,15 +358,18 @@ struct ServerHandle {
 /// Requests are issued sequentially under one link lock (the paper's
 /// single-flow RPC model; the virtual clock charges each frame's
 /// latency and serialization time). A request that times out is
-/// re-sent up to [`RemoteOptions::retries`] times — response frames
-/// echo the request id, so a stale reply from an earlier attempt is
-/// drained, never mistaken for the current one. A disconnected link or
-/// an exhausted retry budget declares the node **dead**: every later
-/// call fails immediately, and the fallible `try_*` methods surface
-/// that to `ReplicatedStore`'s failover. The infallible [`BlockStore`]
-/// methods panic on a dead node — using a bare `RemoteStore` as a
-/// volume's backend (the `StoreBackend::Remote` preset) treats node
-/// death like any other fatal storage failure.
+/// re-sent under exponential backoff with decorrelated jitter until
+/// the [`RemoteOptions::deadline`] waiting budget lapses — response
+/// frames echo the request id, so a stale or fault-duplicated reply
+/// from an earlier attempt is drained, never mistaken for the current
+/// one. A disconnected link or a lapsed deadline declares the node
+/// **dead** (with a [`DeadCause`]): every later call fails
+/// immediately, and the fallible `try_*` methods surface that to
+/// `ReplicatedStore`'s failover, while [`RemoteStore::probe`] can
+/// revive a node whose death was only a timeout. The infallible
+/// [`BlockStore`] methods panic on a dead node — using a bare
+/// `RemoteStore` as a volume's backend (the `StoreBackend::Remote`
+/// preset) treats node death like any other fatal storage failure.
 pub struct RemoteStore {
     link: Mutex<Box<dyn Transport>>,
     next_req_id: AtomicU64,
@@ -320,6 +379,14 @@ pub struct RemoteStore {
     /// replicas (read-from-nearest).
     latency_hint: Duration,
     dead: AtomicBool,
+    cause: Mutex<Option<DeadCause>>,
+    /// The link's fault plan and clock, captured at connect so
+    /// `stats()` and backoff never have to take the link lock (held
+    /// across `recv_timeout` for up to a full deadline).
+    faults: Option<netsim::FaultPlan>,
+    clock: Option<SimClock>,
+    /// SplitMix64 state for the decorrelated-jitter draws.
+    backoff_rng: AtomicU64,
     server: Mutex<Option<ServerHandle>>,
     reads: AtomicU64,
     writes: AtomicU64,
@@ -329,6 +396,23 @@ pub struct RemoteStore {
     rpc_calls: AtomicU64,
     bytes_on_wire: AtomicU64,
     retries: AtomicU64,
+    backoff_retries: AtomicU64,
+}
+
+/// A permanently-disconnected transport, swapped in on drop so the
+/// server loop wakes even if a fault plan swallowed the shutdown frame.
+struct SeveredLink;
+
+impl Transport for SeveredLink {
+    fn send(&self, _msg: Vec<u8>) -> Result<(), NetError> {
+        Err(NetError::Disconnected)
+    }
+    fn recv(&self) -> Result<Vec<u8>, NetError> {
+        Err(NetError::Disconnected)
+    }
+    fn recv_timeout(&self, _timeout: Duration) -> Result<Vec<u8>, NetError> {
+        Err(NetError::Disconnected)
+    }
 }
 
 impl RemoteStore {
@@ -364,6 +448,8 @@ impl RemoteStore {
         opts: RemoteOptions,
         latency_hint: Duration,
     ) -> Result<RemoteStore, RemoteError> {
+        let faults = link.fault_plan();
+        let clock = link.sim_clock();
         let store = RemoteStore {
             link: Mutex::new(Box::new(link)),
             next_req_id: AtomicU64::new(1),
@@ -371,6 +457,10 @@ impl RemoteStore {
             opts,
             latency_hint,
             dead: AtomicBool::new(false),
+            cause: Mutex::new(None),
+            faults,
+            clock,
+            backoff_rng: AtomicU64::new(0x5DEE_CE66_D0F1_5A4D),
             server: Mutex::new(None),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -380,6 +470,7 @@ impl RemoteStore {
             rpc_calls: AtomicU64::new(0),
             bytes_on_wire: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            backoff_retries: AtomicU64::new(0),
         };
         let mut store = store;
         let (op, body) = store.rpc(OP_LEN, &[])?;
@@ -402,6 +493,34 @@ impl RemoteStore {
         opts: RemoteOptions,
     ) -> RemoteStore {
         let (client_end, server_end) = Link::pair(clock, config);
+        RemoteStore::serve_on(store, client_end, server_end, config, opts)
+    }
+
+    /// Like [`RemoteStore::serve_local`], but with a
+    /// [`netsim::FaultPlan`] installed on both directions of the link:
+    /// every request and reply is subject to the plan's loss,
+    /// duplication, jitter, and partition schedule. The connect-time
+    /// length request already rides the faulty link, so the plan's
+    /// loss rate must leave the backoff schedule room to get one
+    /// request through within the deadline.
+    pub fn serve_local_with_faults<S: BlockStore + Send + 'static>(
+        store: S,
+        clock: &SimClock,
+        config: LinkConfig,
+        opts: RemoteOptions,
+        faults: &netsim::FaultPlan,
+    ) -> RemoteStore {
+        let (client_end, server_end) = Link::pair_faulty(clock, config, faults);
+        RemoteStore::serve_on(store, client_end, server_end, config, opts)
+    }
+
+    fn serve_on<S: BlockStore + Send + 'static>(
+        store: S,
+        client_end: Endpoint,
+        server_end: Endpoint,
+        config: LinkConfig,
+        opts: RemoteOptions,
+    ) -> RemoteStore {
         let kill = Arc::new(AtomicBool::new(false));
         let server_kill = Arc::clone(&kill);
         let handle = std::thread::spawn(move || {
@@ -422,14 +541,52 @@ impl RemoteStore {
     }
 
     /// Whether this node has been declared dead (disconnected link,
-    /// exhausted retries, or a protocol violation).
+    /// lapsed deadline, or a protocol violation).
     pub fn is_dead(&self) -> bool {
         self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Why the node was declared dead (`None` while it is healthy).
+    /// The first cause wins: a probe failure on an already-dead node
+    /// never overwrites the original diagnosis.
+    pub fn dead_cause(&self) -> Option<DeadCause> {
+        *self.cause.lock()
+    }
+
+    /// Cheap revival probe: one un-retried length request that
+    /// bypasses the dead latch. A valid reply clears the latch — the
+    /// node is revived and serves normal calls again — and returns its
+    /// current block count. The caller (`ReplicatedStore`) still
+    /// compares epoch records before trusting the node's data: a
+    /// partitioned-then-healed node is *revived*, a node that missed
+    /// commits is additionally *re-synced*.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`]; a failed probe leaves the dead latch and
+    /// [`DeadCause`] untouched.
+    pub fn probe(&self) -> Result<u64, RemoteError> {
+        let link = self.link.lock();
+        let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed);
+        let frame = encode_frame(req_id, OP_LEN, &[]);
+        let (op, body) = self.attempt(&**link, &frame, req_id)?;
+        if op != RESP_LEN || body.len() != 8 {
+            return Err(RemoteError::Protocol("bad length response".into()));
+        }
+        *self.cause.lock() = None;
+        self.dead.store(false, Ordering::SeqCst);
+        Ok(u64::from_le_bytes(body[..8].try_into().expect("8 bytes")))
     }
 
     /// The one-way link latency hint used for replica ranking.
     pub fn latency_hint(&self) -> Duration {
         self.latency_hint
+    }
+
+    /// The link's virtual clock, when connected over a simulated link
+    /// (`ReplicatedStore` rate-limits its background work against it).
+    pub(crate) fn sim_clock(&self) -> Option<&SimClock> {
+        self.clock.as_ref()
     }
 
     /// Crashes the local server thread (test/bench hook): the kill
@@ -442,12 +599,65 @@ impl RemoteStore {
         }
     }
 
-    fn mark_dead(&self) {
+    fn mark_dead(&self, cause: DeadCause) {
+        let mut slot = self.cause.lock();
+        if slot.is_none() {
+            *slot = Some(cause);
+        }
         self.dead.store(true, Ordering::SeqCst);
     }
 
+    /// A uniform draw in `[0, 1)` from the store's SplitMix64 stream
+    /// (deterministic: backoff schedules replay exactly).
+    fn backoff_draw(&self) -> f64 {
+        let mut s = self
+            .backoff_rng
+            .load(Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.backoff_rng.store(s, Ordering::Relaxed);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((s ^ (s >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One send + await-matching-reply attempt: no retries, no dead
+    /// latch. Stale replies (timed-out or fault-duplicated earlier
+    /// attempts) are drained by the request-id check.
+    fn attempt(
+        &self,
+        link: &dyn Transport,
+        frame: &[u8],
+        req_id: u64,
+    ) -> Result<(u8, Vec<u8>), RemoteError> {
+        self.rpc_calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_on_wire
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        if link.send(frame.to_vec()).is_err() {
+            return Err(RemoteError::Net(NetError::Disconnected));
+        }
+        loop {
+            let msg = link
+                .recv_timeout(self.opts.timeout)
+                .map_err(RemoteError::Net)?;
+            self.bytes_on_wire
+                .fetch_add(msg.len() as u64, Ordering::Relaxed);
+            let (resp_id, resp_op, resp_body) = decode_frame(&msg)?;
+            if resp_id != req_id {
+                // Stale reply from a timed-out or duplicated attempt.
+                continue;
+            }
+            if resp_op == RESP_ERR {
+                return Err(RemoteError::Server(
+                    String::from_utf8_lossy(resp_body).into_owned(),
+                ));
+            }
+            return Ok((resp_op, resp_body.to_vec()));
+        }
+    }
+
     /// One request/response exchange: send, await the matching reply,
-    /// re-send on timeout, fail fast on a dead node or link.
+    /// re-send on timeout under backoff until the deadline, fail fast
+    /// on a dead node or link.
     fn rpc(&self, op: u8, body: &[u8]) -> Result<(u8, Vec<u8>), RemoteError> {
         if self.is_dead() {
             return Err(RemoteError::Net(NetError::Disconnected));
@@ -455,54 +665,46 @@ impl RemoteStore {
         let link = self.link.lock();
         let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed);
         let frame = encode_frame(req_id, op, body);
-        let mut attempt = 0;
+        // The deadline meters *waiting*, deterministically: per-attempt
+        // timeouts plus backoff sleeps, not wall time.
+        let mut waited = Duration::ZERO;
+        let mut prev = self.opts.base;
         loop {
-            self.rpc_calls.fetch_add(1, Ordering::Relaxed);
-            self.bytes_on_wire
-                .fetch_add(frame.len() as u64, Ordering::Relaxed);
-            if link.send(frame.clone()).is_err() {
-                self.mark_dead();
-                return Err(RemoteError::Net(NetError::Disconnected));
-            }
-            loop {
-                match link.recv_timeout(self.opts.timeout) {
-                    Ok(msg) => {
-                        self.bytes_on_wire
-                            .fetch_add(msg.len() as u64, Ordering::Relaxed);
-                        let (resp_id, resp_op, resp_body) = match decode_frame(&msg) {
-                            Ok(frame) => frame,
-                            Err(e) => {
-                                // A node that cannot frame cannot be
-                                // trusted with a retry.
-                                self.mark_dead();
-                                return Err(e);
-                            }
-                        };
-                        if resp_id != req_id {
-                            // Stale reply from a timed-out attempt.
-                            continue;
-                        }
-                        if resp_op == RESP_ERR {
-                            return Err(RemoteError::Server(
-                                String::from_utf8_lossy(resp_body).into_owned(),
-                            ));
-                        }
-                        return Ok((resp_op, resp_body.to_vec()));
+            match self.attempt(&**link, &frame, req_id) {
+                Ok(resp) => return Ok(resp),
+                Err(RemoteError::Net(NetError::Timeout)) => {
+                    waited += self.opts.timeout;
+                    if waited >= self.opts.deadline {
+                        self.mark_dead(DeadCause::Timeout);
+                        return Err(RemoteError::Net(NetError::Timeout));
                     }
-                    Err(NetError::Timeout) => {
-                        if attempt >= self.opts.retries {
-                            self.mark_dead();
-                            return Err(RemoteError::Net(NetError::Timeout));
-                        }
-                        attempt += 1;
-                        self.retries.fetch_add(1, Ordering::Relaxed);
-                        break; // re-send the same frame (same id)
+                    // Decorrelated jitter, clamped to [base, max_backoff].
+                    let hi = prev.mul_f64(self.opts.multiplier.max(1.0));
+                    let span = hi.saturating_sub(self.opts.base);
+                    let sleep = (self.opts.base + span.mul_f64(self.backoff_draw()))
+                        .min(self.opts.max_backoff);
+                    prev = sleep;
+                    waited += sleep;
+                    // Charge the wait to the virtual clock so partition
+                    // windows heal and WAN figures see the backoff.
+                    if let Some(clock) = &self.clock {
+                        clock.advance(sleep);
                     }
-                    Err(NetError::Disconnected) => {
-                        self.mark_dead();
-                        return Err(RemoteError::Net(NetError::Disconnected));
-                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff_retries.fetch_add(1, Ordering::Relaxed);
+                    // Re-send the same frame (same id).
                 }
+                Err(RemoteError::Net(NetError::Disconnected)) => {
+                    self.mark_dead(DeadCause::Disconnected);
+                    return Err(RemoteError::Net(NetError::Disconnected));
+                }
+                Err(e @ RemoteError::Protocol(_)) => {
+                    // A node that cannot frame cannot be trusted with
+                    // a retry.
+                    self.mark_dead(DeadCause::Protocol);
+                    return Err(e);
+                }
+                Err(e @ RemoteError::Server(_)) => return Err(e),
             }
         }
     }
@@ -642,6 +844,10 @@ impl Drop for RemoteStore {
                 .link
                 .lock()
                 .send(encode_frame(req_id, OP_SHUTDOWN, &[]));
+            // Sever the link too: if a fault plan swallowed the
+            // shutdown frame, the disconnect still wakes the serve
+            // loop, so the join below cannot hang.
+            *self.link.lock() = Box::new(SeveredLink);
             if let Some(handle) = server.handle.take() {
                 handle.join().ok();
             }
@@ -692,8 +898,9 @@ impl BlockStore for RemoteStore {
 
     /// Client-side counters only: logical reads/writes as issued by
     /// callers, plus the wire-level `rpc_calls` / `bytes_on_wire` /
-    /// `retries`. The node's own store counters live on the server
-    /// side of the link.
+    /// `retries` / `backoff_retries`, and the link fault plan's
+    /// injected-fault count when one is installed. The node's own
+    /// store counters live on the server side of the link.
     fn stats(&self) -> StoreStats {
         StoreStats {
             reads: self.reads.load(Ordering::Relaxed),
@@ -704,6 +911,11 @@ impl BlockStore for RemoteStore {
             rpc_calls: self.rpc_calls.load(Ordering::Relaxed),
             bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            backoff_retries: self.backoff_retries.load(Ordering::Relaxed),
+            faults_injected: self
+                .faults
+                .as_ref()
+                .map_or(0, netsim::FaultPlan::faults_injected),
             ..StoreStats::default()
         }
     }
@@ -838,14 +1050,127 @@ mod tests {
             },
             RemoteOptions {
                 timeout: Duration::from_millis(50),
-                retries: 2,
+                ..RemoteOptions::default()
             },
         )
         .unwrap();
         assert_eq!(store.block_count(), 8);
         assert_eq!(store.stats().retries, 1);
+        assert_eq!(store.stats().backoff_retries, 1);
         drop(store);
         server.join().ok();
+    }
+
+    /// Chaos-grade options: tight per-attempt timeout so lossy-link
+    /// tests stay fast on the wall clock, generous deadline so they
+    /// never spuriously declare death.
+    fn chaos_opts() -> RemoteOptions {
+        RemoteOptions {
+            timeout: Duration::from_millis(10),
+            base: Duration::from_millis(2),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(40),
+            deadline: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn duplicated_write_rpc_is_idempotent_and_dup_replies_drain() {
+        let clock = SimClock::new();
+        // Every frame is delivered twice: the server applies each write
+        // twice (a no-op the second time) and every reply arrives in
+        // duplicate, so each rpc leaves a stale reply behind that the
+        // next rpc's request-id check must drain.
+        let plan = netsim::FaultPlan::seeded(11).with_duplication(1.0);
+        let store = RemoteStore::serve_local_with_faults(
+            SimStore::untimed(8),
+            &clock,
+            LinkConfig::instant(),
+            chaos_opts(),
+            &plan,
+        );
+        let a = vec![0xAAu8; BLOCK_SIZE];
+        let b = vec![0xBBu8; BLOCK_SIZE];
+        store.write_block(1, &a);
+        store.write_blocks(&[(2, &b[..]), (3, &a[..])]);
+        assert_eq!(store.read_block(1), a);
+        assert_eq!(store.read_block(2), b);
+        assert_eq!(store.read_block(3), a);
+        let stats = store.stats();
+        // No timeout ever fired: duplication alone never stalls an op.
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.backoff_retries, 0);
+        assert!(stats.faults_injected >= 6, "{}", stats.faults_injected);
+        assert!(!store.is_dead());
+    }
+
+    #[test]
+    fn lossy_link_retries_with_backoff_and_succeeds() {
+        let clock = SimClock::new();
+        let plan = netsim::FaultPlan::seeded(12).with_loss(0.25);
+        let store = RemoteStore::serve_local_with_faults(
+            SimStore::untimed(16),
+            &clock,
+            LinkConfig::instant(),
+            chaos_opts(),
+            &plan,
+        );
+        let data = vec![0x5Au8; BLOCK_SIZE];
+        for i in 0..16 {
+            store.write_block(i, &data);
+        }
+        for i in 0..16 {
+            assert_eq!(store.read_block(i), data);
+        }
+        let stats = store.stats();
+        assert!(!store.is_dead());
+        assert!(stats.faults_injected > 0);
+        // 25% loss over 30+ round trips: some attempt timed out and
+        // was re-sent under backoff.
+        assert!(stats.backoff_retries > 0);
+        // Backoff waits were charged to the virtual clock.
+        assert!(clock.now() > Duration::ZERO);
+    }
+
+    #[test]
+    fn timeout_death_is_probation_and_probe_revives() {
+        let clock = SimClock::new();
+        let plan = netsim::FaultPlan::seeded(13);
+        let store = RemoteStore::serve_local_with_faults(
+            SimStore::untimed(8),
+            &clock,
+            LinkConfig::instant(),
+            chaos_opts(),
+            &plan,
+        );
+        let data = vec![0x77u8; BLOCK_SIZE];
+        store.write_block(4, &data);
+        // Partition the link for longer than any deadline can wait
+        // out: every re-send is dropped, the waiting budget lapses,
+        // and the node dies with the probation-eligible cause.
+        plan.partition(clock.now(), clock.now() + Duration::from_secs(60));
+        assert!(store.try_read_block(4, false).is_err());
+        assert!(store.is_dead());
+        assert_eq!(store.dead_cause(), Some(DeadCause::Timeout));
+        // Heal: jump the virtual clock past the window, then probe.
+        clock.advance(Duration::from_secs(60));
+        assert_eq!(store.probe().unwrap(), 8);
+        assert!(!store.is_dead());
+        assert_eq!(store.dead_cause(), None);
+        assert_eq!(store.read_block(4), data);
+    }
+
+    #[test]
+    fn disconnect_cause_is_terminal_for_probes() {
+        let store = local_node(8);
+        store.kill_server();
+        assert!(store.try_flush().is_err());
+        assert_eq!(store.dead_cause(), Some(DeadCause::Disconnected));
+        // The server thread is gone: probing cannot revive it, and the
+        // original cause survives the failed probe.
+        assert!(store.probe().is_err());
+        assert!(store.is_dead());
+        assert_eq!(store.dead_cause(), Some(DeadCause::Disconnected));
     }
 
     #[test]

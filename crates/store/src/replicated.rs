@@ -31,30 +31,51 @@
 //! recovery-sweep ordering discipline (see `CachedStore`'s module
 //! docs for why that marker cannot be buffered).
 //!
-//! # Node death and rebuild
+//! # Node death, probation, revival, and background rebuild
 //!
-//! A node is **declared dead** when an RPC to it fails: a disconnected
-//! link (a killed server thread — a crashed machine) or a request that
-//! stayed unanswered past the client's retry budget. Reads fail over
-//! to the next live replica ([`StoreStats::replica_reads`] counts
-//! them, and replicas are ranked nearest-first by link latency); the
-//! failed operation is then retried, after the dead node's replica set
-//! is **rebuilt onto a spare**: every block it hosted is copied from
-//! the surviving replicas, the current epoch is stamped, and the spare
-//! takes the dead node's place in the table
-//! ([`StoreStats::rebuilds`]). With R = 2 and a spare, a volume
-//! survives the death of any single node with zero failed reads; with
-//! no spare left it keeps serving degraded from the surviving
-//! replicas.
+//! A node is **declared dead** when an RPC to it fails, and its
+//! [`DeadCause`](crate::DeadCause) picks the recovery path:
+//!
+//! - **Timeout** (a lossy link or a partition — the machine may be
+//!   fine) puts the node in **probation**: it serves nothing, but the
+//!   background tick probes it with a cheap length request. A reply
+//!   *revives* it ([`StoreStats::nodes_revived`]): if its epoch record
+//!   still matches the volume's committed epoch it returns to service
+//!   as-is (a partitioned-then-healed node is **not** rebuilt from
+//!   scratch); if it missed commits it is re-synced in place from its
+//!   peers before serving reads again.
+//! - **Disconnected** or **Protocol** (the process or its framing is
+//!   gone) spends a spare: the spare takes the slot and the dead
+//!   node's replica set is queued for rebuild. With no spare left the
+//!   slot is failed and the volume keeps serving degraded from the
+//!   surviving replicas.
+//!
+//! The *detecting* operation only marks the node and enqueues work —
+//! reads fail over to the next live replica
+//! ([`StoreStats::replica_reads`], ranked nearest-first by link
+//! latency) and return; its virtual-time cost is independent of the
+//! volume size. The queued work is drained by a **rate-limited
+//! background rebuilder**: each tick (at most once per
+//! [`RebuildConfig::tick_interval`] of virtual time, piggy-backed on
+//! ordinary operations) probes one probation node and copies at most
+//! [`RebuildConfig::blocks_per_tick`] blocks from live replicas onto
+//! the rebuilding node, stamping the epoch record only when the copy
+//! completes ([`StoreStats::rebuilds`]) — so a torn rebuild reads as
+//! still-stale and is simply redone. The remaining queue depth is
+//! observable as [`StoreStats::rebuild_backlog`]. With R = 2 and a
+//! spare, a volume survives the death of any single node with zero
+//! failed reads.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use bytes::Bytes;
 use discfs_crypto::sha256::Sha256;
 use discfs_crypto::Digest;
+use netsim::SimClock;
 
-use crate::{BlockStore, RemoteStore, StoreStats, BLOCK_SIZE};
+use crate::{BlockStore, DeadCause, RemoteStore, StoreStats, BLOCK_SIZE};
 
 /// Epoch record magic.
 const EPOCH_MAGIC: [u8; 8] = *b"DISCEPOC";
@@ -86,8 +107,79 @@ fn decode_epoch(block: &[u8]) -> u64 {
     epoch
 }
 
+/// Rate policy for the background rebuilder and revival prober (see
+/// the module docs; [`ReplicatedStore::with_rebuild_config`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RebuildConfig {
+    /// Blocks copied onto rebuilding nodes per tick — the rebuild
+    /// bandwidth budget.
+    pub blocks_per_tick: usize,
+    /// Minimum virtual time between background ticks; `ZERO` ticks on
+    /// every operation.
+    pub tick_interval: Duration,
+    /// Minimum virtual time between revival probes of probation nodes;
+    /// `ZERO` probes on every tick.
+    pub probe_interval: Duration,
+}
+
+impl Default for RebuildConfig {
+    fn default() -> RebuildConfig {
+        RebuildConfig {
+            blocks_per_tick: 32,
+            tick_interval: Duration::ZERO,
+            probe_interval: Duration::ZERO,
+        }
+    }
+}
+
+/// A node slot's service state (the dead *latch* lives on the
+/// [`RemoteStore`] client; this is the replicated tier's policy on top
+/// of it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Serving reads and writes.
+    Live,
+    /// Dead by timeout — possibly just partitioned. Serves nothing;
+    /// the background tick probes it for revival.
+    Probation,
+    /// Alive and receiving writes, but its replica set is still being
+    /// copied: serves no reads and carries no epoch record yet.
+    Rebuilding,
+    /// Dead with no spare left: out of service until remount.
+    Failed,
+}
+
+struct Node {
+    store: RemoteStore,
+    state: NodeState,
+    /// Bumped whenever the slot changes occupant or re-dies, so queued
+    /// rebuild work addressed to a previous life is discarded.
+    generation: u64,
+}
+
+impl Node {
+    /// Whether the node serves reads right now.
+    fn serving(&self) -> bool {
+        self.state == NodeState::Live && !self.store.is_dead()
+    }
+
+    /// Whether the node accepts writes right now (a rebuilding node
+    /// must receive new epochs' data or it would complete stale).
+    fn writable(&self) -> bool {
+        matches!(self.state, NodeState::Live | NodeState::Rebuilding) && !self.store.is_dead()
+    }
+}
+
+/// Queued rebuild of one node's replica set: the logical `(idx, r)`
+/// items still to copy.
+struct RebuildWork {
+    node: usize,
+    generation: u64,
+    items: VecDeque<(u64, usize)>,
+}
+
 struct ReplState {
-    nodes: Vec<RemoteStore>,
+    nodes: Vec<Node>,
     spares: Vec<RemoteStore>,
     /// Coordinator-side write-back buffer: `idx -> (block, meta)`.
     dirty: BTreeMap<u64, (Bytes, bool)>,
@@ -96,6 +188,12 @@ struct ReplState {
     /// epoch even if the dirty map is empty, so node content never
     /// stays ahead of the last committed epoch across a clean flush.
     pending_commit: bool,
+    /// Background-rebuild work, drained `blocks_per_tick` at a time.
+    queue: VecDeque<RebuildWork>,
+    last_tick: Duration,
+    last_probe: Duration,
+    /// Round-robin start for the revival prober.
+    probe_cursor: usize,
 }
 
 /// N-node, R-replica block store over [`RemoteStore`] clients (see the
@@ -105,8 +203,13 @@ pub struct ReplicatedStore {
     block_count: u64,
     replicas: usize,
     failover_budget: usize,
+    rebuild_cfg: RebuildConfig,
+    /// The nodes' virtual clock (when simulated), for rate-limiting
+    /// ticks and probes.
+    clock: Option<SimClock>,
     replica_reads: AtomicU64,
     rebuilds: AtomicU64,
+    nodes_revived: AtomicU64,
     vectored_reads: AtomicU64,
     vectored_writes: AtomicU64,
     flushes: AtomicU64,
@@ -124,12 +227,31 @@ fn epoch_slot(block_count: u64, n: usize, replicas: usize) -> u64 {
     block_count.div_ceil(n as u64) * replicas as u64
 }
 
+/// The logical `(idx, replica)` items node `target` hosts — the unit
+/// of background-rebuild work.
+fn hosted_items(target: usize, n: usize, block_count: u64, replicas: usize) -> Vec<(u64, usize)> {
+    let per = block_count.div_ceil(n as u64);
+    let mut items = Vec::new();
+    for r in 0..replicas {
+        let residue = (target + n - r) % n;
+        for k in 0..per {
+            let idx = k * n as u64 + residue as u64;
+            if idx < block_count {
+                items.push((idx, r));
+            }
+        }
+    }
+    items
+}
+
 /// Copies every block hosted by `nodes[target]` from the freshest
 /// surviving replicas and stamps `epoch` — one vectored write per
 /// source node for the reads, one for the target (epoch record last,
-/// so a torn rebuild reads as still-stale and is simply redone).
+/// so a torn rebuild reads as still-stale and is simply redone). This
+/// is the *inline* mount-recovery path; post-mount failures go through
+/// the rate-limited background queue instead.
 fn rebuild_node(
-    nodes: &[RemoteStore],
+    nodes: &[Node],
     target: usize,
     fresh: &[bool],
     block_count: u64,
@@ -137,28 +259,20 @@ fn rebuild_node(
     epoch: u64,
 ) {
     let n = nodes.len();
-    let per = block_count.div_ceil(n as u64);
     // Per source node: (source inner indices, target inner indices).
     let mut per_source: Vec<(Vec<u64>, Vec<u64>)> =
         (0..n).map(|_| (Vec::new(), Vec::new())).collect();
-    for r in 0..replicas {
-        let residue = (target + n - r) % n;
-        for k in 0..per {
-            let idx = k * n as u64 + residue as u64;
-            if idx >= block_count {
-                continue;
-            }
-            let source = (0..replicas)
-                .filter(|&r2| r2 != r)
-                .map(|r2| (node_of(idx, r2, n), r2))
-                .find(|&(m, _)| m != target && fresh[m] && !nodes[m].is_dead());
-            let Some((m, r2)) = source else {
-                panic!("no fresh replica of block {idx} to rebuild node {target} from");
-            };
-            let (src, dst) = &mut per_source[m];
-            src.push(inner_of(idx, r2, n, replicas));
-            dst.push(k * replicas as u64 + r as u64);
-        }
+    for (idx, r) in hosted_items(target, n, block_count, replicas) {
+        let source = (0..replicas)
+            .filter(|&r2| r2 != r)
+            .map(|r2| (node_of(idx, r2, n), r2))
+            .find(|&(m, _)| m != target && fresh[m] && !nodes[m].store.is_dead());
+        let Some((m, r2)) = source else {
+            panic!("no fresh replica of block {idx} to rebuild node {target} from");
+        };
+        let (src, dst) = &mut per_source[m];
+        src.push(inner_of(idx, r2, n, replicas));
+        dst.push(inner_of(idx, r, n, replicas));
     }
     let mut writes: Vec<(u64, Bytes)> = Vec::new();
     for (m, (src, dst)) in per_source.into_iter().enumerate() {
@@ -166,6 +280,7 @@ fn rebuild_node(
             continue;
         }
         let blocks = nodes[m]
+            .store
             .try_read_blocks(&src)
             .expect("rebuild source node failed mid-copy");
         writes.extend(dst.into_iter().zip(blocks));
@@ -176,6 +291,7 @@ fn rebuild_node(
     ));
     let refs: Vec<(u64, &[u8])> = writes.iter().map(|(i, b)| (*i, &b[..])).collect();
     nodes[target]
+        .store
         .try_write_blocks(&refs, false)
         .expect("rebuild target node failed");
 }
@@ -218,19 +334,35 @@ impl ReplicatedStore {
             );
         }
         let mut st = ReplState {
-            nodes,
+            nodes: nodes
+                .into_iter()
+                .map(|store| Node {
+                    store,
+                    state: NodeState::Live,
+                    generation: 0,
+                })
+                .collect(),
             spares,
             dirty: BTreeMap::new(),
             epoch: 0,
             pending_commit: false,
+            queue: VecDeque::new(),
+            last_tick: Duration::ZERO,
+            last_probe: Duration::ZERO,
+            probe_cursor: 0,
         };
+        let clock = st
+            .nodes
+            .first()
+            .and_then(|nd| nd.store.sim_clock().cloned());
         let failover_budget = n + st.spares.len() + 2;
         let slot = epoch_slot(block_count, n, replicas);
         let epochs: Vec<Option<u64>> = st
             .nodes
             .iter()
             .map(|node| {
-                node.try_read_block(slot, true)
+                node.store
+                    .try_read_block(slot, true)
                     .ok()
                     .map(|b| decode_epoch(&b))
             })
@@ -244,11 +376,20 @@ impl ReplicatedStore {
                 if fresh[target] {
                     continue;
                 }
-                if st.nodes[target].is_dead() {
+                if st.nodes[target].store.is_dead() {
                     let Some(spare) = st.spares.pop() else {
-                        continue; // degraded: no spare for a dead node
+                        // Degraded: no spare for a dead node. A timeout
+                        // may heal, so it waits in probation; anything
+                        // else is out until remount.
+                        st.nodes[target].state = match st.nodes[target].store.dead_cause() {
+                            Some(DeadCause::Timeout) => NodeState::Probation,
+                            _ => NodeState::Failed,
+                        };
+                        st.nodes[target].generation += 1;
+                        continue;
                     };
-                    st.nodes[target] = spare;
+                    st.nodes[target].store = spare;
+                    st.nodes[target].generation += 1;
                 }
                 rebuild_node(&st.nodes, target, &fresh, block_count, replicas, e_max);
                 recovered += 1;
@@ -259,12 +400,22 @@ impl ReplicatedStore {
             block_count,
             replicas,
             failover_budget,
+            rebuild_cfg: RebuildConfig::default(),
+            clock,
             replica_reads: AtomicU64::new(0),
             rebuilds: AtomicU64::new(recovered),
+            nodes_revived: AtomicU64::new(0),
             vectored_reads: AtomicU64::new(0),
             vectored_writes: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the background rebuilder's rate policy, builder-style.
+    pub fn with_rebuild_config(mut self, cfg: RebuildConfig) -> ReplicatedStore {
+        assert!(cfg.blocks_per_tick >= 1, "rebuild needs a block budget");
+        self.rebuild_cfg = cfg;
+        self
     }
 
     /// Replicas kept per block.
@@ -277,13 +428,23 @@ impl ReplicatedStore {
         self.state.lock().epoch
     }
 
-    /// Nodes currently alive (not declared dead).
+    /// Nodes currently in service (serving reads).
     pub fn live_nodes(&self) -> usize {
         self.state
             .lock()
             .nodes
             .iter()
-            .filter(|n| !n.is_dead())
+            .filter(|n| n.state == NodeState::Live)
+            .count()
+    }
+
+    /// Nodes waiting in probation for a revival probe to succeed.
+    pub fn probation_nodes(&self) -> usize {
+        self.state
+            .lock()
+            .nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Probation)
             .count()
     }
 
@@ -292,50 +453,314 @@ impl ReplicatedStore {
         self.state.lock().spares.len()
     }
 
-    /// Crashes node `n`'s local server thread (test/bench hook): the
-    /// next RPC to it fails and the store declares it dead, fails the
-    /// read over, and rebuilds onto a spare.
-    pub fn kill_node(&self, n: usize) {
-        self.state.lock().nodes[n].kill_server();
+    /// Each node slot's state and dead-cause, in order — a debugging
+    /// hook for chaos tests ("which node is stuck, and why").
+    pub fn node_states(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .nodes
+            .iter()
+            .map(|nd| {
+                let state = match nd.state {
+                    NodeState::Live => "live",
+                    NodeState::Probation => "probation",
+                    NodeState::Rebuilding => "rebuilding",
+                    NodeState::Failed => "failed",
+                };
+                match nd.store.dead_cause() {
+                    Some(cause) => format!("{state}({cause:?})"),
+                    None => state.to_string(),
+                }
+            })
+            .collect()
     }
 
-    /// Declares node `n` dead and — when a spare is available — swaps
-    /// the spare in and rebuilds every block the node hosted from the
-    /// surviving replicas, stamped with the current epoch.
+    /// Blocks still queued for the background rebuilder.
+    pub fn rebuild_backlog(&self) -> u64 {
+        self.state
+            .lock()
+            .queue
+            .iter()
+            .map(|w| w.items.len() as u64)
+            .sum()
+    }
+
+    /// Runs one background tick by hand: probe one probation node
+    /// (gating intervals ignored), then copy up to the block budget.
+    pub fn rebuild_tick(&self) {
+        let mut st = self.state.lock();
+        self.tick(&mut st, true);
+    }
+
+    /// Drives ticks until the rebuild queue drains and no probation
+    /// node is left to probe — or no further progress is possible
+    /// (e.g. a node is still partitioned), bounded so it always
+    /// returns. Probes are forced, so healed nodes revive along the
+    /// way.
+    pub fn pump_rebuild(&self) {
+        let mut st = self.state.lock();
+        let n = st.nodes.len();
+        let per_node = self.block_count.div_ceil(n as u64) as usize * self.replicas;
+        let backlog: usize = st.queue.iter().map(|w| w.items.len()).sum();
+        // Worst case every probation node revives stale and re-syncs.
+        let bound = (backlog + n * per_node) / self.rebuild_cfg.blocks_per_tick.max(1) + 2 * n + 8;
+        let snapshot = |st: &ReplState| {
+            let items: usize = st.queue.iter().map(|w| w.items.len()).sum();
+            let probation = st
+                .nodes
+                .iter()
+                .filter(|nd| nd.state == NodeState::Probation)
+                .count();
+            (items, st.queue.len(), probation)
+        };
+        // Each tick probes one node round-robin, so give a full lap of
+        // fruitless ticks before concluding nothing can move.
+        let mut stalled = 0;
+        for _ in 0..bound {
+            let before = snapshot(&st);
+            if before.1 == 0 && before.2 == 0 {
+                return;
+            }
+            self.tick(&mut st, true);
+            if snapshot(&st) == before {
+                stalled += 1;
+                if stalled > n {
+                    return;
+                }
+            } else {
+                stalled = 0;
+            }
+        }
+    }
+
+    /// Crashes node `n`'s local server thread (test/bench hook): the
+    /// next RPC to it fails, the store declares it dead, fails the
+    /// read over, and queues a background rebuild onto a spare.
+    pub fn kill_node(&self, n: usize) {
+        self.state.lock().nodes[n].store.kill_server();
+    }
+
+    /// Transitions node `n` after its client declared itself dead.
+    /// Cheap by design — the *detecting* operation pays for a state
+    /// flip and (at most) enqueueing work, never for copying blocks:
+    /// a timeout goes to probation for the prober; anything else
+    /// spends a spare (queueing its rebuild) or fails the slot.
     fn handle_failure(&self, st: &mut ReplState, n: usize) {
-        if !st.nodes[n].is_dead() {
+        if !st.nodes[n].store.is_dead() {
             // A server-side error without a dead link (e.g. a refused
-            // request) — nothing to rebuild; the caller's retry loop
+            // request) — nothing to recover; the caller's retry loop
             // handles or gives up on it.
             return;
         }
-        let Some(spare) = st.spares.pop() else {
-            return; // degraded: keep serving from surviving replicas
-        };
-        let old = std::mem::replace(&mut st.nodes[n], spare);
-        drop(old); // joins the dead node's server thread
-        let fresh: Vec<bool> = st.nodes.iter().map(|node| !node.is_dead()).collect();
-        rebuild_node(
-            &st.nodes,
-            n,
-            &fresh,
-            self.block_count,
-            self.replicas,
-            st.epoch,
-        );
-        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        st.nodes[n].generation += 1;
+        match st.nodes[n].store.dead_cause() {
+            Some(DeadCause::Timeout) => st.nodes[n].state = NodeState::Probation,
+            _ => {
+                if let Some(spare) = st.spares.pop() {
+                    let old = std::mem::replace(&mut st.nodes[n].store, spare);
+                    drop(old); // joins the dead node's server thread
+                    st.nodes[n].state = NodeState::Rebuilding;
+                    self.enqueue_rebuild(st, n);
+                } else {
+                    st.nodes[n].state = NodeState::Failed;
+                }
+            }
+        }
     }
 
-    /// Rebuilds every node currently declared dead onto a spare (when
-    /// one is available) — run *after* a read has been served from the
-    /// surviving replicas, so the detecting read fails over instead of
-    /// waiting out the rebuild.
+    /// Queues a full replica-set rebuild of node `n` (stamped with its
+    /// current generation, so work outlives neither a re-death nor a
+    /// slot swap).
+    fn enqueue_rebuild(&self, st: &mut ReplState, n: usize) {
+        let items = hosted_items(n, st.nodes.len(), self.block_count, self.replicas);
+        st.queue.push_back(RebuildWork {
+            node: n,
+            generation: st.nodes[n].generation,
+            items: items.into(),
+        });
+    }
+
+    /// Transitions every in-service node whose client has latched dead
+    /// — run *after* a read has been served from the surviving
+    /// replicas, so the detecting read fails over instead of waiting.
     fn repair(&self, st: &mut ReplState) {
         for n in 0..st.nodes.len() {
-            if st.nodes[n].is_dead() {
+            if matches!(st.nodes[n].state, NodeState::Live | NodeState::Rebuilding)
+                && st.nodes[n].store.is_dead()
+            {
                 self.handle_failure(st, n);
             }
         }
+    }
+
+    /// Probes one probation node (round-robin). A revived node whose
+    /// epoch record matches the committed epoch returns straight to
+    /// service — a partitioned-then-healed node is *not* rebuilt —
+    /// while one that missed commits is re-synced in place through the
+    /// rebuild queue.
+    fn probe_step(&self, st: &mut ReplState, force: bool) {
+        let n = st.nodes.len();
+        if !force {
+            if let Some(clock) = &self.clock {
+                if clock.now() < st.last_probe + self.rebuild_cfg.probe_interval {
+                    return;
+                }
+            }
+        }
+        let Some(offset) =
+            (0..n).find(|i| st.nodes[(st.probe_cursor + i) % n].state == NodeState::Probation)
+        else {
+            return;
+        };
+        let target = (st.probe_cursor + offset) % n;
+        st.probe_cursor = (target + 1) % n;
+        if let Some(clock) = &self.clock {
+            st.last_probe = clock.now();
+        }
+        if st.nodes[target].store.probe().is_err() {
+            return; // still unreachable; a later tick tries again
+        }
+        let slot = epoch_slot(self.block_count, n, self.replicas);
+        let node_epoch = st.nodes[target]
+            .store
+            .try_read_block(slot, true)
+            .map_or(0, |b| decode_epoch(&b));
+        if node_epoch == st.epoch {
+            // The epoch-stamped state is current, but block 0 commits
+            // *outside* the epoch transaction (write-through), so a
+            // matching epoch does not cover it: refresh the revived
+            // node's copy from a serving peer before it serves reads.
+            if target < self.replicas && !self.refresh_block_zero(st, target) {
+                return; // no reachable peer right now; a later tick retries
+            }
+            st.nodes[target].generation += 1;
+            st.nodes[target].state = NodeState::Live;
+        } else {
+            st.nodes[target].generation += 1;
+            st.nodes[target].state = NodeState::Rebuilding;
+            self.enqueue_rebuild(st, target);
+        }
+        self.nodes_revived.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the write-through block's replica hosted by revived node
+    /// `target` from a serving peer. Only nodes `0..replicas` host a
+    /// copy of block 0 (replica `r` of block 0 lives on node `r`).
+    fn refresh_block_zero(&self, st: &mut ReplState, target: usize) -> bool {
+        let n = st.nodes.len();
+        let source = (0..self.replicas)
+            .map(|r2| (node_of(0, r2, n), r2))
+            .find(|&(m, _)| m != target && st.nodes[m].serving());
+        let Some((m, r2)) = source else {
+            return false;
+        };
+        let Ok(block) = st.nodes[m]
+            .store
+            .try_read_block(inner_of(0, r2, n, self.replicas), true)
+        else {
+            return false;
+        };
+        st.nodes[target]
+            .store
+            .try_write_block(inner_of(0, target, n, self.replicas), &block, true)
+            .is_ok()
+    }
+
+    /// Copies up to `blocks_per_tick` queued blocks from live replicas
+    /// onto rebuilding nodes. A node whose copy completes gets its
+    /// epoch record stamped *last* and returns to service — a torn
+    /// rebuild reads as still-stale and is redone on remount.
+    fn drain_step(&self, st: &mut ReplState) {
+        let mut budget = self.rebuild_cfg.blocks_per_tick;
+        loop {
+            let Some(front) = st.queue.front() else {
+                return;
+            };
+            let (target, generation) = (front.node, front.generation);
+            if st.nodes[target].generation != generation
+                || st.nodes[target].state != NodeState::Rebuilding
+            {
+                st.queue.pop_front(); // a previous life's work
+                continue;
+            }
+            let item = front.items.front().copied();
+            let Some((idx, r)) = item else {
+                // Copy complete: stamp the epoch, return to service.
+                st.queue.pop_front();
+                let slot = epoch_slot(self.block_count, st.nodes.len(), self.replicas);
+                let record = epoch_record(st.epoch);
+                if st.nodes[target]
+                    .store
+                    .try_write_block(slot, &record, false)
+                    .is_err()
+                {
+                    self.handle_failure(st, target);
+                    continue;
+                }
+                st.nodes[target].state = NodeState::Live;
+                self.rebuilds.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            // The budget meters block *copies*; pops, stale drops and
+            // the completion stamp above are free, so a node whose last
+            // copy lands on the tick's final budget unit still returns
+            // to service this tick instead of waiting out another
+            // interval in `Rebuilding`.
+            if budget == 0 {
+                return;
+            }
+            let n = st.nodes.len();
+            let source = (0..self.replicas)
+                .filter(|&r2| r2 != r)
+                .map(|r2| (node_of(idx, r2, n), r2))
+                .find(|&(m, _)| m != target && st.nodes[m].serving());
+            let Some((m, r2)) = source else {
+                return; // no live source right now; retry next tick
+            };
+            let Ok(block) = st.nodes[m]
+                .store
+                .try_read_block(inner_of(idx, r2, n, self.replicas), false)
+            else {
+                return; // the source just died; repair picks it up
+            };
+            if st.nodes[target]
+                .store
+                .try_write_block(inner_of(idx, r, n, self.replicas), &block, false)
+                .is_err()
+            {
+                // The target died mid-rebuild; the generation bump
+                // discards the rest of this work.
+                self.handle_failure(st, target);
+                continue;
+            }
+            st.queue
+                .front_mut()
+                .expect("front checked above")
+                .items
+                .pop_front();
+            budget -= 1;
+        }
+    }
+
+    /// One background tick: probe, then copy under the block budget.
+    fn tick(&self, st: &mut ReplState, force_probe: bool) {
+        self.probe_step(st, force_probe);
+        self.drain_step(st);
+    }
+
+    /// Ticks at most once per `tick_interval` of virtual time,
+    /// piggy-backed on ordinary operations.
+    fn maybe_tick(&self, st: &mut ReplState) {
+        if let Some(clock) = &self.clock {
+            let now = clock.now();
+            if self.rebuild_cfg.tick_interval > Duration::ZERO
+                && now < st.last_tick + self.rebuild_cfg.tick_interval
+            {
+                return;
+            }
+            st.last_tick = now;
+        }
+        self.tick(st, false);
     }
 
     /// Replica order for `idx`: nearest link first (ties broken by
@@ -343,7 +768,7 @@ impl ReplicatedStore {
     fn replica_order(&self, st: &ReplState, idx: u64) -> Vec<usize> {
         let n = st.nodes.len();
         let mut order: Vec<usize> = (0..self.replicas).collect();
-        order.sort_by_key(|&r| (st.nodes[node_of(idx, r, n)].latency_hint(), r));
+        order.sort_by_key(|&r| (st.nodes[node_of(idx, r, n)].store.latency_hint(), r));
         order
     }
 
@@ -358,11 +783,12 @@ impl ReplicatedStore {
         let mut served = None;
         for &r in &order {
             let node = node_of(idx, r, n);
-            if st.nodes[node].is_dead() {
+            if !st.nodes[node].serving() {
                 continue;
             }
-            if let Ok(block) =
-                st.nodes[node].try_read_block(inner_of(idx, r, n, self.replicas), meta)
+            if let Ok(block) = st.nodes[node]
+                .store
+                .try_read_block(inner_of(idx, r, n, self.replicas), meta)
             {
                 served = Some((r, block));
                 break;
@@ -371,6 +797,7 @@ impl ReplicatedStore {
             // the next live replica, repair afterwards.
         }
         self.repair(&mut st);
+        self.maybe_tick(&mut st);
         let Some((r, block)) = served else {
             panic!("no live replica for block {idx}");
         };
@@ -389,10 +816,11 @@ impl ReplicatedStore {
         'retry: for _ in 0..self.failover_budget {
             for r in 0..self.replicas {
                 let node = node_of(0, r, n);
-                if st.nodes[node].is_dead() {
+                if !st.nodes[node].writable() {
                     continue;
                 }
                 if st.nodes[node]
+                    .store
                     .try_write_block(inner_of(0, r, n, self.replicas), data, meta)
                     .is_err()
                 {
@@ -461,7 +889,7 @@ impl BlockStore for ReplicatedStore {
                 let order = self.replica_order(&st, idx);
                 let Some(&r) = order
                     .iter()
-                    .find(|&&r| !st.nodes[node_of(idx, r, n)].is_dead())
+                    .find(|&&r| st.nodes[node_of(idx, r, n)].serving())
                 else {
                     panic!("no live replica for block {idx}");
                 };
@@ -479,7 +907,7 @@ impl BlockStore for ReplicatedStore {
                 // On failure the node declares itself dead; the next
                 // pass reroutes its positions to the surviving
                 // replicas.
-                if let Ok(blocks) = st.nodes[node].try_read_blocks(&inners) {
+                if let Ok(blocks) = st.nodes[node].store.try_read_blocks(&inners) {
                     for (pos, block) in positions.into_iter().zip(blocks) {
                         out[pos] = Some(block);
                     }
@@ -488,6 +916,7 @@ impl BlockStore for ReplicatedStore {
             }
         }
         self.repair(&mut st);
+        self.maybe_tick(&mut st);
         out.into_iter()
             .map(|b| b.expect("every block served from the buffer or a live replica"))
             .collect()
@@ -538,8 +967,9 @@ impl BlockStore for ReplicatedStore {
         let slot = epoch_slot(self.block_count, n, self.replicas);
         'retry: for _ in 0..self.failover_budget {
             for node in 0..n {
-                if st.nodes[node].is_dead() {
-                    continue; // degraded: recovery rebuilds it on reopen
+                if !st.nodes[node].writable() {
+                    continue; // degraded: probation/failed nodes catch
+                              // up via re-sync or remount recovery
                 }
                 let mut meta_writes: Vec<(u64, &Bytes)> = Vec::new();
                 let mut data_writes: Vec<(u64, &Bytes)> = Vec::new();
@@ -559,15 +989,24 @@ impl BlockStore for ReplicatedStore {
                 if !meta_writes.is_empty() {
                     let refs: Vec<(u64, &[u8])> =
                         meta_writes.iter().map(|(i, b)| (*i, &b[..][..])).collect();
-                    if st.nodes[node].try_write_blocks(&refs, true).is_err() {
+                    if st.nodes[node].store.try_write_blocks(&refs, true).is_err() {
                         self.handle_failure(&mut st, node);
                         continue 'retry;
                     }
                 }
                 let mut refs: Vec<(u64, &[u8])> =
                     data_writes.iter().map(|(i, b)| (*i, &b[..][..])).collect();
-                refs.push((slot, &record));
-                if st.nodes[node].try_write_blocks(&refs, false).is_err() {
+                // A rebuilding node receives the epoch's data but NOT
+                // its record: it must read as stale until the copy
+                // completes, or a crash mid-rebuild would mount a node
+                // that claims an epoch it only partially holds.
+                if st.nodes[node].state == NodeState::Live {
+                    refs.push((slot, &record));
+                }
+                if refs.is_empty() {
+                    continue;
+                }
+                if st.nodes[node].store.try_write_blocks(&refs, false).is_err() {
                     self.handle_failure(&mut st, node);
                     continue 'retry;
                 }
@@ -575,6 +1014,7 @@ impl BlockStore for ReplicatedStore {
             st.epoch = next;
             st.dirty.clear();
             st.pending_commit = false;
+            self.maybe_tick(&mut st);
             return Ok(());
         }
         Err(std::io::Error::other("replicated flush kept failing"))
@@ -589,6 +1029,7 @@ impl BlockStore for ReplicatedStore {
         let mut stats = st
             .nodes
             .iter()
+            .map(|nd| &nd.store)
             .chain(st.spares.iter())
             .fold(StoreStats::default(), |acc, node| acc.merge(&node.stats()));
         stats.flushes = self.flushes.load(Ordering::Relaxed);
@@ -596,6 +1037,8 @@ impl BlockStore for ReplicatedStore {
         stats.vectored_writes += self.vectored_writes.load(Ordering::Relaxed);
         stats.replica_reads += self.replica_reads.load(Ordering::Relaxed);
         stats.rebuilds += self.rebuilds.load(Ordering::Relaxed);
+        stats.nodes_revived += self.nodes_revived.load(Ordering::Relaxed);
+        stats.rebuild_backlog += st.queue.iter().map(|w| w.items.len() as u64).sum::<u64>();
         stats
     }
 

@@ -180,6 +180,7 @@ fn all_backends(tag: &str) -> Vec<(Box<dyn BlockStore>, Option<std::path::PathBu
                         workers: false,
                         inner: Box::new(StoreBackend::Remote {
                             ethernet: false,
+                            opts: RemoteOptions::default(),
                             inner: Box::new(StoreBackend::SimInstant),
                         }),
                     }),
@@ -411,6 +412,7 @@ proptest! {
             StoreBackend::Timed { inner: Box::new(StoreBackend::Dedup) },
             StoreBackend::Remote {
                 ethernet: false,
+                opts: RemoteOptions::default(),
                 inner: Box::new(StoreBackend::FileJournal { dir: dir.join("remote") }),
             },
             StoreBackend::Replicated {
@@ -418,6 +420,7 @@ proptest! {
                 replicas: 2,
                 spares: 0,
                 ethernet: false,
+                opts: RemoteOptions::default(),
                 inner: Box::new(StoreBackend::FileJournal { dir: dir.join("replicated") }),
             },
         ];
@@ -914,6 +917,53 @@ fn torn_replicated_write_replays_to_a_single_epoch() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// The chaos counters aggregate through a wrapper nest exactly like
+/// the PR 6 wire counters: duplicates injected on the leaf remote
+/// store's link and the backoff retries its losses force both surface
+/// in the top-level stats merge.
+#[test]
+fn chaos_counters_aggregate_through_wrappers() {
+    let clock = SimClock::new();
+    let plan = netsim::FaultPlan::seeded(42)
+        .with_duplication(1.0)
+        .with_loss(0.2);
+    let opts = RemoteOptions {
+        timeout: std::time::Duration::from_millis(10),
+        base: std::time::Duration::from_millis(1),
+        max_backoff: std::time::Duration::from_millis(20),
+        deadline: std::time::Duration::from_secs(5),
+        ..RemoteOptions::default()
+    };
+    let leaf = RemoteStore::serve_local_with_faults(
+        SimStore::untimed(BLOCKS),
+        &clock,
+        LinkConfig::instant(),
+        opts,
+        &plan,
+    );
+    let store = CachedStore::new(Arc::new(leaf), 4);
+    for idx in 0..BLOCKS {
+        store.write_block(idx, &block_for((idx % 5) as u8 + 1));
+    }
+    store.flush().unwrap();
+    for idx in 0..BLOCKS {
+        assert_eq!(store.read_block(idx), block_for((idx % 5) as u8 + 1));
+    }
+    let stats = store.stats();
+    assert!(
+        stats.faults_injected > 0,
+        "duplicated/dropped frames must be counted through the nest: {stats:?}"
+    );
+    assert!(
+        stats.backoff_retries > 0,
+        "20% loss must force at least one backoff retry: {stats:?}"
+    );
+    assert_eq!(
+        stats.backoff_retries, stats.retries,
+        "every retry now rides the backoff schedule: {stats:?}"
+    );
+}
+
 /// The new wire counters aggregate through the full
 /// `Cached{Sharded{Remote}}` nest: RPC traffic from the leaf remote
 /// stores surfaces in the top-level stats merge.
@@ -927,6 +977,7 @@ fn wire_stats_aggregate_through_the_preset_nest() {
             workers: false,
             inner: Box::new(StoreBackend::Remote {
                 ethernet: false,
+                opts: RemoteOptions::default(),
                 inner: Box::new(StoreBackend::SimInstant),
             }),
         }),

@@ -85,6 +85,7 @@ fn discfs_on_replicated_tour(dir: &std::path::Path) {
         replicas: 2,
         spares: 1,
         ethernet: true,
+        opts: RemoteOptions::default(),
         inner: Box::new(StoreBackend::FileJournal {
             dir: dir.to_path_buf(),
         }),
