@@ -209,6 +209,28 @@
 //! assert!(bed.store_stats().rpc_calls > 0); // every block crossed the wire
 //! ```
 //!
+//! ## Multi-coordinator safety
+//!
+//! Two front-ends mounting the same nodes — or one stale front-end
+//! surviving a partition — must not fork the volume. The storage
+//! nodes themselves arbitrate: a coordinator acquires a
+//! `(coordinator_id, fence_token)` lease per node
+//! (`store::RemoteStore::try_acquire_lease`), every mutating frame
+//! carries the token, and a node that has granted a higher token
+//! refuses the frame with a typed `Fenced` error *before* touching
+//! its store. The fenced coordinator latches read-only (the count
+//! surfaces as `StoreStats::fenced` through [`Testbed::store_stats`]),
+//! while epoch flushes commit on a majority of each block's replica
+//! set and replicas observed behind the committed epoch are re-synced
+//! through the rebuild queue (`StoreStats::read_repairs`). A second
+//! [`Testbed`] built over the *same* shared node stores
+//! ([`Testbed::with_store`] mounts, never reformats) is exactly the
+//! takeover coordinator: acquire the lease on fresh clients, mount,
+//! and the stale coordinator's stragglers bounce off the fence — the
+//! split-brain matrix in `tests/chaos.rs` drives that handoff under
+//! seeded link faults. Invariants live in the `store` crate docs
+//! (*Failure model* and *Leases and fencing*).
+//!
 //! # Quickstart
 //!
 //! ```

@@ -173,6 +173,42 @@
 //! simply redone. See the `remote` and `replicated` module docs for
 //! the full protocol.
 //!
+//! **Leases and fencing.** With more than one front-end, idempotence
+//! is no longer enough: a coordinator that lost ownership during a
+//! partition must not land *any* write on a healed node. Each storage
+//! node keeps a `(coordinator_id, fence_token)` lease
+//! ([`NodeLease`]) with a virtual-clock expiry. The invariants:
+//!
+//! - **Who may write:** any client whose stamped token is ≥ the node's
+//!   granted token. Token 0 vs token 0 is the unleased legacy mode —
+//!   single-coordinator presets never touch leases and keep working.
+//! - **What bumps the token:** only a *fresh* grant through
+//!   [`RemoteStore::try_acquire_lease`] — first lease, takeover, or
+//!   post-expiry re-acquisition. The node's counter is monotonic for
+//!   its lifetime; expiry alone never lowers or reuses a token, so a
+//!   frame stamped under a superseded lease is always recognizable.
+//!   Renewal — and re-acquisition by the unexpired current holder,
+//!   e.g. a retransmitted acquire frame — extends expiry without
+//!   bumping.
+//! - **Why a fenced write is never partially applied:** the server
+//!   checks the token *before touching the store*, and one mutating
+//!   frame (scalar, vectored, or flush) is applied by one serve loop
+//!   in one step — so a frame is either entirely below the fence
+//!   (rejected with [`RemoteError::Fenced`], store untouched) or
+//!   entirely at it.
+//!
+//! A `Fenced` reply is a server verdict, not a network failure: the
+//! client counts it in [`StoreStats::fenced`], does **not** retry, and
+//! does not declare the node dead. [`ReplicatedStore`] reacts by
+//! latching the whole volume read-only until
+//! [`ReplicatedStore::reacquire`] wins a fresh lease and re-syncs.
+//! Epoch flushes commit on a *majority* of each block's replica set
+//! acking under the current token (the minority goes to
+//! probation/rebuild instead of blocking the flush), and a read that
+//! observes a replica behind the committed epoch schedules a
+//! read-repair through the rebuild queue, counted as
+//! [`StoreStats::read_repairs`].
+//!
 //! Backend choice is threaded through the stack as a [`StoreBackend`]
 //! value (`ffs::Ffs::format_backend`, `discfs::Testbed::with_backend`,
 //! `bench_harness::build_world_on`), so benchmarks can compare
@@ -215,7 +251,9 @@ pub use encrypted::EncryptedStore;
 #[doc(hidden)]
 pub use file::temp_dir_for_tests;
 pub use file::{FileStore, JOURNAL_BATCH_RECORDS, JOURNAL_RECORD_LEN};
-pub use remote::{BlockServer, DeadCause, RemoteError, RemoteOptions, RemoteStore};
+pub use remote::{
+    BlockServer, DeadCause, LeaseGrant, NodeLease, RemoteError, RemoteOptions, RemoteStore,
+};
 pub use replicated::{RebuildConfig, ReplicatedStore};
 pub use sharded::{ShardedStore, WORKER_QUEUE_DEPTH};
 pub use sim::{DiskModel, SimStore};
@@ -328,6 +366,15 @@ pub struct StoreStats {
     /// a counter, but merged additively like everything else (layers
     /// other than `ReplicatedStore` report zero).
     pub rebuild_backlog: u64,
+    /// Mutating frames a `RemoteStore` had rejected by a node's fence
+    /// (the write was never applied — a newer coordinator holds the
+    /// lease), plus 1 while a `ReplicatedStore` is latched read-only
+    /// by such a rejection.
+    pub fenced: u64,
+    /// Read-repairs a `ReplicatedStore` scheduled: a replica observed
+    /// behind the committed epoch, queued for re-sync through the
+    /// background rebuilder.
+    pub read_repairs: u64,
 }
 
 impl StoreStats {
@@ -382,6 +429,8 @@ impl StoreStats {
             rebuilds: self.rebuilds + other.rebuilds,
             nodes_revived: self.nodes_revived + other.nodes_revived,
             rebuild_backlog: self.rebuild_backlog + other.rebuild_backlog,
+            fenced: self.fenced + other.fenced,
+            read_repairs: self.read_repairs + other.read_repairs,
         }
     }
 }
@@ -1083,5 +1132,22 @@ mod tests {
         assert_eq!(m.backoff_retries, 6);
         assert_eq!(m.nodes_revived, 1);
         assert_eq!(m.rebuild_backlog, 8);
+    }
+
+    #[test]
+    fn merge_sums_fencing_counters() {
+        let a = StoreStats {
+            fenced: 2,
+            read_repairs: 5,
+            ..StoreStats::default()
+        };
+        let b = StoreStats {
+            fenced: 1,
+            read_repairs: 3,
+            ..StoreStats::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.fenced, 3);
+        assert_eq!(m.read_repairs, 8);
     }
 }

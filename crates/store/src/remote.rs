@@ -58,6 +58,48 @@
 //! runs the wire protocol over a lossy, duplicating, jittery,
 //! partitionable link, and the client counts the plan's injected
 //! faults in its [`StoreStats::faults_injected`].
+//!
+//! # Leases and fencing
+//!
+//! Retries and fault-duplicated frames are safe against *one*
+//! coordinator because block writes are idempotent — but with two
+//! front-ends on one node, a frame from a coordinator that has since
+//! lost ownership must not be applied at all. The server enforces that
+//! with **fencing tokens**:
+//!
+//! - [`OP_ACQUIRE_LEASE`](RemoteStore::try_acquire_lease) grants a
+//!   `(coordinator_id, fence_token)` lease with a virtual-clock expiry
+//!   (the transport's [`netsim::SimClock`]). The token is a per-node
+//!   monotonic counter: every *fresh* grant — first lease, takeover,
+//!   post-expiry re-acquisition — bumps it, and it **never** goes back
+//!   down, not even when a lease expires. Re-acquisition by the
+//!   current holder while its lease is unexpired is **idempotent**
+//!   (same token, expiry extended): a retransmitted or
+//!   fault-duplicated acquire frame cannot fence its own coordinator.
+//! - Every mutating request (`write`, `write_blocks`,
+//!   `write_blocks_meta`, `flush`) carries the client's current token.
+//!   The server checks it **before touching the store** and rejects
+//!   the frame with a typed [`RemoteError::Fenced`] reply whenever a
+//!   higher token has been granted — so a fenced write is never
+//!   partially applied: the whole frame (scalar or vectored) is either
+//!   below the fence and dropped, or at the fence and applied in full.
+//! - A second coordinator can only acquire once the current lease has
+//!   expired on the virtual clock (or by re-acquiring under the same
+//!   coordinator id); until then it gets [`RemoteError::LeaseHeld`].
+//!   On a clockless transport leases never expire — takeover then
+//!   requires the same coordinator id.
+//! - Token `0` is the *unleased* legacy mode: while no lease has ever
+//!   been granted on a node, bare clients write freely (the
+//!   single-coordinator presets keep working unchanged). The first
+//!   grant fences them out.
+//!
+//! Lease state lives in a [`NodeLease`] shared by every serve loop
+//! attached to the same node ([`RemoteStore::serve_shared`]), so two
+//! coordinators' connections to one node see one fence. A `Fenced`
+//! reply is a *server verdict*, not a network failure: the client
+//! surfaces it without retrying and without latching the node dead
+//! (counting it in [`StoreStats::fenced`]) — `ReplicatedStore` reacts
+//! by latching the whole volume read-only.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -83,12 +125,17 @@ const OP_READ_META: u8 = 7;
 const OP_WRITE_META: u8 = 8;
 const OP_WRITE_BLOCKS_META: u8 = 9;
 const OP_SHUTDOWN: u8 = 10;
+const OP_ACQUIRE_LEASE: u8 = 11;
+const OP_RENEW_LEASE: u8 = 12;
 
 // Response opcodes (high bit set).
 const RESP_BLOCKS: u8 = 0x81;
 const RESP_OK: u8 = 0x82;
 const RESP_LEN: u8 = 0x83;
 const RESP_ERR: u8 = 0x84;
+const RESP_FENCED: u8 = 0x85;
+const RESP_LEASE: u8 = 0x86;
+const RESP_LEASE_HELD: u8 = 0x87;
 
 /// Length prefix + request id + op + trailing checksum.
 const FRAME_OVERHEAD: usize = 4 + 8 + 1 + 32;
@@ -104,6 +151,21 @@ pub enum RemoteError {
     Protocol(String),
     /// The server reported an error (e.g. a failed flush).
     Server(String),
+    /// A mutating request carried a fence token below the node's
+    /// current grant: a newer lease exists, this coordinator must stop
+    /// writing. Never retried, and the frame was not applied at all.
+    Fenced {
+        /// The node's currently-granted fence token.
+        granted: u64,
+    },
+    /// A lease acquisition was refused because another coordinator's
+    /// lease is still unexpired.
+    LeaseHeld {
+        /// The coordinator id holding the lease.
+        holder: u64,
+        /// When the lease expires on the node's virtual clock.
+        expires: Duration,
+    },
 }
 
 impl std::fmt::Display for RemoteError {
@@ -112,6 +174,12 @@ impl std::fmt::Display for RemoteError {
             RemoteError::Net(e) => write!(f, "network error: {e}"),
             RemoteError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             RemoteError::Server(msg) => write!(f, "server error: {msg}"),
+            RemoteError::Fenced { granted } => {
+                write!(f, "fenced: node granted fence token {granted}")
+            }
+            RemoteError::LeaseHeld { holder, expires } => {
+                write!(f, "lease held by coordinator {holder} until {expires:?}")
+            }
         }
     }
 }
@@ -159,6 +227,120 @@ fn decode_frame(msg: &[u8]) -> Result<(u64, u8, &[u8]), RemoteError> {
     Ok((req_id, op, body))
 }
 
+/// Server-side lease state for one storage node: the current
+/// `(coordinator_id, fence_token)` grant and its virtual-clock expiry.
+///
+/// Shared (via `Arc`) by every serve loop attached to the same node —
+/// two coordinators' connections see one fence — and by tests and
+/// benches that want the server's own view of rejections. The fence
+/// token is monotonic for the node's lifetime: grants bump it, nothing
+/// lowers it, so a frame stamped under an older lease can always be
+/// recognized and refused (module docs, *Leases and fencing*).
+#[derive(Debug, Default)]
+pub struct NodeLease {
+    slot: Mutex<LeaseSlot>,
+    fenced_rejections: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct LeaseSlot {
+    holder: u64,
+    token: u64,
+    expires: Duration,
+}
+
+impl NodeLease {
+    /// The currently-granted fence token (0 while the node has never
+    /// been leased).
+    pub fn granted(&self) -> u64 {
+        self.slot.lock().token
+    }
+
+    /// The coordinator id holding the current grant (0 while unleased).
+    pub fn holder(&self) -> u64 {
+        self.slot.lock().holder
+    }
+
+    /// Mutating frames this node refused because their token was below
+    /// the current grant — the server-side count of fenced writes,
+    /// none of which touched the store.
+    pub fn fenced_rejections(&self) -> u64 {
+        self.fenced_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Grants a lease to `coordinator` unless another coordinator's
+    /// lease is unexpired at `now`. A fresh grant — first lease,
+    /// takeover, or post-expiry re-acquisition — bumps the fence
+    /// token; re-acquisition by the *current holder while unexpired*
+    /// is idempotent (same token, expiry extended), so a retransmitted
+    /// or fault-duplicated acquire frame can never fence its own
+    /// coordinator. Without a clock (`now == None`) leases never
+    /// expire.
+    fn acquire(
+        &self,
+        coordinator: u64,
+        ttl: Duration,
+        now: Option<Duration>,
+    ) -> Result<(u64, Duration), (u64, Duration)> {
+        let mut s = self.slot.lock();
+        let expired = now.is_some_and(|t| t >= s.expires);
+        let fresh = now.map_or(Duration::MAX, |t| t.saturating_add(ttl));
+        if s.token != 0 && s.holder == coordinator && !expired {
+            s.expires = s.expires.max(fresh);
+            return Ok((s.token, s.expires));
+        }
+        if s.token != 0 && !expired {
+            return Err((s.holder, s.expires));
+        }
+        s.token += 1;
+        s.holder = coordinator;
+        s.expires = fresh;
+        Ok((s.token, s.expires))
+    }
+
+    /// Extends the expiry of the lease identified by `(coordinator,
+    /// token)` — only while that grant is still the current one; a
+    /// renewal under a superseded token is fenced.
+    fn renew(
+        &self,
+        coordinator: u64,
+        token: u64,
+        ttl: Duration,
+        now: Option<Duration>,
+    ) -> Result<(u64, Duration), u64> {
+        let mut s = self.slot.lock();
+        if s.token != token || s.holder != coordinator || token == 0 {
+            return Err(s.token);
+        }
+        let fresh = now.map_or(Duration::MAX, |t| t.saturating_add(ttl));
+        s.expires = s.expires.max(fresh);
+        Ok((s.token, s.expires))
+    }
+
+    /// Admits a mutating frame stamped `token` iff no higher token has
+    /// been granted (token 0 vs token 0 is the unleased legacy mode).
+    fn check(&self, token: u64) -> Result<(), u64> {
+        let granted = self.slot.lock().token;
+        if token >= granted {
+            Ok(())
+        } else {
+            self.fenced_rejections.fetch_add(1, Ordering::Relaxed);
+            Err(granted)
+        }
+    }
+}
+
+/// A granted lease as seen by the client: the fence token to stamp on
+/// mutating frames and when the grant expires on the node's virtual
+/// clock ([`Duration::MAX`]-ish on a clockless transport: never).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// The fence token granted to this coordinator.
+    pub token: u64,
+    /// Virtual-clock instant the lease expires.
+    pub expires: Duration,
+}
+
 /// Serves one [`BlockStore`] over a [`Transport`] — one simulated
 /// storage node.
 ///
@@ -166,14 +348,33 @@ fn decode_frame(msg: &[u8]) -> Result<(u64, u8, &[u8]), RemoteError> {
 /// sequential RPC model) and exits on a disconnected link, a shutdown
 /// request, or — without replying, simulating a crashed node — when
 /// its kill switch is set (see [`RemoteStore::kill_server`]).
+///
+/// Every mutating request is admitted through the node's [`NodeLease`]
+/// fence *before* the store is touched; serve loops sharing one store
+/// must share one lease ([`BlockServer::with_lease`]) or the fence has
+/// holes.
 pub struct BlockServer<S> {
     store: S,
+    lease: Arc<NodeLease>,
 }
 
 impl<S: BlockStore> BlockServer<S> {
-    /// Wraps `store` for serving.
+    /// Wraps `store` for serving, with a private lease table.
     pub fn new(store: S) -> BlockServer<S> {
-        BlockServer { store }
+        BlockServer::with_lease(store, Arc::new(NodeLease::default()))
+    }
+
+    /// Wraps `store` for serving under a shared lease table — the
+    /// multi-coordinator path: every serve loop attached to the same
+    /// node store passes the same `lease` so all connections see one
+    /// fence.
+    pub fn with_lease(store: S, lease: Arc<NodeLease>) -> BlockServer<S> {
+        BlockServer { store, lease }
+    }
+
+    /// The node's lease table.
+    pub fn lease(&self) -> &Arc<NodeLease> {
+        &self.lease
     }
 
     /// Serves requests until the peer disconnects or sends a shutdown
@@ -187,6 +388,7 @@ impl<S: BlockStore> BlockServer<S> {
     /// *without replying* — the client observes the dropped link as a
     /// dead node, exactly like a crashed machine.
     pub fn serve_until<T: Transport>(&self, link: &T, kill: &AtomicBool) {
+        let clock = link.sim_clock();
         while let Ok(msg) = link.recv() {
             if kill.load(Ordering::SeqCst) {
                 return;
@@ -197,14 +399,15 @@ impl<S: BlockStore> BlockServer<S> {
                 continue;
             };
             let shutdown = op == OP_SHUTDOWN;
-            let reply = self.handle(req_id, op, body);
+            let now = clock.as_ref().map(netsim::SimClock::now);
+            let reply = self.handle(req_id, op, body, now);
             if link.send(reply).is_err() || shutdown {
                 return;
             }
         }
     }
 
-    fn handle(&self, req_id: u64, op: u8, body: &[u8]) -> Vec<u8> {
+    fn handle(&self, req_id: u64, op: u8, body: &[u8], now: Option<Duration>) -> Vec<u8> {
         match op {
             OP_READ | OP_READ_META if body.len() == 8 => {
                 let idx = u64::from_le_bytes(body.try_into().expect("8 bytes"));
@@ -219,35 +422,87 @@ impl<S: BlockStore> BlockServer<S> {
                 Some(idxs) => encode_blocks_resp(req_id, &self.store.read_blocks(&idxs)),
                 None => encode_frame(req_id, RESP_ERR, b"malformed index list"),
             },
-            OP_WRITE | OP_WRITE_META if body.len() == 8 + BLOCK_SIZE => {
-                let idx = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+            OP_WRITE | OP_WRITE_META if body.len() == 16 + BLOCK_SIZE => {
+                let token = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+                if let Err(granted) = self.lease.check(token) {
+                    return encode_frame(req_id, RESP_FENCED, &granted.to_le_bytes());
+                }
+                let idx = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
                 if op == OP_WRITE {
-                    self.store.write_block(idx, &body[8..]);
+                    self.store.write_block(idx, &body[16..]);
                 } else {
-                    self.store.write_block_meta(idx, &body[8..]);
+                    self.store.write_block_meta(idx, &body[16..]);
                 }
                 encode_frame(req_id, RESP_OK, &[])
             }
-            OP_WRITE_BLOCKS | OP_WRITE_BLOCKS_META => match decode_write_list(body) {
-                Some(writes) => {
-                    if op == OP_WRITE_BLOCKS {
-                        self.store.write_blocks(&writes);
-                    } else {
-                        self.store.write_blocks_meta(&writes);
-                    }
-                    encode_frame(req_id, RESP_OK, &[])
+            OP_WRITE_BLOCKS | OP_WRITE_BLOCKS_META if body.len() >= 8 => {
+                let token = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+                if let Err(granted) = self.lease.check(token) {
+                    return encode_frame(req_id, RESP_FENCED, &granted.to_le_bytes());
                 }
-                None => encode_frame(req_id, RESP_ERR, b"malformed write list"),
-            },
-            OP_FLUSH => match self.store.flush() {
-                Ok(()) => encode_frame(req_id, RESP_OK, &[]),
-                Err(e) => encode_frame(req_id, RESP_ERR, e.to_string().as_bytes()),
-            },
+                match decode_write_list(&body[8..]) {
+                    Some(writes) => {
+                        if op == OP_WRITE_BLOCKS {
+                            self.store.write_blocks(&writes);
+                        } else {
+                            self.store.write_blocks_meta(&writes);
+                        }
+                        encode_frame(req_id, RESP_OK, &[])
+                    }
+                    None => encode_frame(req_id, RESP_ERR, b"malformed write list"),
+                }
+            }
+            OP_FLUSH if body.len() == 8 => {
+                let token = u64::from_le_bytes(body.try_into().expect("8 bytes"));
+                if let Err(granted) = self.lease.check(token) {
+                    return encode_frame(req_id, RESP_FENCED, &granted.to_le_bytes());
+                }
+                match self.store.flush() {
+                    Ok(()) => encode_frame(req_id, RESP_OK, &[]),
+                    Err(e) => encode_frame(req_id, RESP_ERR, e.to_string().as_bytes()),
+                }
+            }
+            OP_ACQUIRE_LEASE if body.len() == 16 => {
+                let coordinator = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+                let ttl =
+                    Duration::from_nanos(u64::from_le_bytes(body[8..16].try_into().expect("8")));
+                match self.lease.acquire(coordinator, ttl, now) {
+                    Ok((token, expires)) => encode_lease_resp(req_id, RESP_LEASE, token, expires),
+                    Err((holder, expires)) => {
+                        encode_lease_resp(req_id, RESP_LEASE_HELD, holder, expires)
+                    }
+                }
+            }
+            OP_RENEW_LEASE if body.len() == 24 => {
+                let coordinator = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+                let token = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+                let ttl =
+                    Duration::from_nanos(u64::from_le_bytes(body[16..24].try_into().expect("8")));
+                match self.lease.renew(coordinator, token, ttl, now) {
+                    Ok((token, expires)) => encode_lease_resp(req_id, RESP_LEASE, token, expires),
+                    Err(granted) => encode_frame(req_id, RESP_FENCED, &granted.to_le_bytes()),
+                }
+            }
             OP_LEN => encode_frame(req_id, RESP_LEN, &self.store.block_count().to_le_bytes()),
             OP_SHUTDOWN => encode_frame(req_id, RESP_OK, &[]),
             _ => encode_frame(req_id, RESP_ERR, format!("bad request op {op}").as_bytes()),
         }
     }
+}
+
+/// `[u64 token-or-holder][u64 expiry nanos]` lease reply (`RESP_LEASE`
+/// on a grant, `RESP_LEASE_HELD` on a refusal).
+fn encode_lease_resp(req_id: u64, resp: u8, word: u64, expires: Duration) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16);
+    body.extend_from_slice(&word.to_le_bytes());
+    body.extend_from_slice(&duration_nanos(expires).to_le_bytes());
+    encode_frame(req_id, resp, &body)
+}
+
+/// Nanoseconds of `d`, saturating (a clockless lease "expires" at
+/// `Duration::MAX`, which overflows u64 nanos).
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn encode_blocks_resp(req_id: u64, blocks: &[Bytes]) -> Vec<u8> {
@@ -388,6 +643,12 @@ pub struct RemoteStore {
     /// SplitMix64 state for the decorrelated-jitter draws.
     backoff_rng: AtomicU64,
     server: Mutex<Option<ServerHandle>>,
+    /// The fence token granted by the node's last lease reply (0 =
+    /// unleased legacy mode), stamped on every mutating frame.
+    fence: AtomicU64,
+    /// This client's coordinator id (0 until a lease is acquired).
+    coordinator: AtomicU64,
+    fenced_writes: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     vectored_reads: AtomicU64,
@@ -462,6 +723,9 @@ impl RemoteStore {
             clock,
             backoff_rng: AtomicU64::new(0x5DEE_CE66_D0F1_5A4D),
             server: Mutex::new(None),
+            fence: AtomicU64::new(0),
+            coordinator: AtomicU64::new(0),
+            fenced_writes: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             vectored_reads: AtomicU64::new(0),
@@ -493,7 +757,35 @@ impl RemoteStore {
         opts: RemoteOptions,
     ) -> RemoteStore {
         let (client_end, server_end) = Link::pair(clock, config);
-        RemoteStore::serve_on(store, client_end, server_end, config, opts)
+        RemoteStore::serve_on(
+            store,
+            Arc::new(NodeLease::default()),
+            client_end,
+            server_end,
+            config,
+            opts,
+        )
+    }
+
+    /// Spawns a serve loop for one more connection to a *shared* node:
+    /// `store` and `lease` are `Arc`s that other serve loops (other
+    /// coordinators' connections) hold too, so every connection sees
+    /// the same blocks behind the same fence. This is the
+    /// multi-coordinator path — see the module docs, *Leases and
+    /// fencing*.
+    pub fn serve_shared(
+        store: Arc<dyn BlockStore>,
+        lease: Arc<NodeLease>,
+        clock: &SimClock,
+        config: LinkConfig,
+        opts: RemoteOptions,
+        faults: Option<&netsim::FaultPlan>,
+    ) -> RemoteStore {
+        let (client_end, server_end) = match faults {
+            Some(plan) => Link::pair_faulty(clock, config, plan),
+            None => Link::pair(clock, config),
+        };
+        RemoteStore::serve_on(store, lease, client_end, server_end, config, opts)
     }
 
     /// Like [`RemoteStore::serve_local`], but with a
@@ -511,11 +803,19 @@ impl RemoteStore {
         faults: &netsim::FaultPlan,
     ) -> RemoteStore {
         let (client_end, server_end) = Link::pair_faulty(clock, config, faults);
-        RemoteStore::serve_on(store, client_end, server_end, config, opts)
+        RemoteStore::serve_on(
+            store,
+            Arc::new(NodeLease::default()),
+            client_end,
+            server_end,
+            config,
+            opts,
+        )
     }
 
     fn serve_on<S: BlockStore + Send + 'static>(
         store: S,
+        lease: Arc<NodeLease>,
         client_end: Endpoint,
         server_end: Endpoint,
         config: LinkConfig,
@@ -524,7 +824,7 @@ impl RemoteStore {
         let kill = Arc::new(AtomicBool::new(false));
         let server_kill = Arc::clone(&kill);
         let handle = std::thread::spawn(move || {
-            BlockServer::new(store).serve_until(&server_end, &server_kill);
+            BlockServer::with_lease(store, lease).serve_until(&server_end, &server_kill);
         });
         let remote = RemoteStore::connect_with_hint(client_end, opts, config.latency)
             .expect("local block server must answer the length request");
@@ -599,6 +899,66 @@ impl RemoteStore {
         }
     }
 
+    /// Acquires (or re-acquires) the node's lease for `coordinator`:
+    /// on a grant the returned fence token is remembered and stamped
+    /// on every later mutating frame. Refused with
+    /// [`RemoteError::LeaseHeld`] while another coordinator's lease is
+    /// unexpired on the node's virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::LeaseHeld`] on a refusal; any transport-level
+    /// [`RemoteError`] otherwise (network errors declare the node
+    /// dead, as for any RPC).
+    pub fn try_acquire_lease(
+        &self,
+        coordinator: u64,
+        ttl: Duration,
+    ) -> Result<LeaseGrant, RemoteError> {
+        let mut body = Vec::with_capacity(16);
+        body.extend_from_slice(&coordinator.to_le_bytes());
+        body.extend_from_slice(&duration_nanos(ttl).to_le_bytes());
+        let grant = Self::expect_lease(self.rpc(OP_ACQUIRE_LEASE, &body)?)?;
+        self.coordinator.store(coordinator, Ordering::SeqCst);
+        self.fence.store(grant.token, Ordering::SeqCst);
+        Ok(grant)
+    }
+
+    /// Extends the current lease's expiry without bumping the fence
+    /// token. Fenced (and *not* retried) if a newer lease superseded
+    /// ours in the meantime.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Fenced`] when our grant is no longer current;
+    /// any transport-level [`RemoteError`] otherwise.
+    pub fn try_renew_lease(&self, ttl: Duration) -> Result<LeaseGrant, RemoteError> {
+        let mut body = Vec::with_capacity(24);
+        body.extend_from_slice(&self.coordinator.load(Ordering::SeqCst).to_le_bytes());
+        body.extend_from_slice(&self.fence.load(Ordering::SeqCst).to_le_bytes());
+        body.extend_from_slice(&duration_nanos(ttl).to_le_bytes());
+        Self::expect_lease(self.rpc(OP_RENEW_LEASE, &body)?)
+    }
+
+    /// The fence token this client stamps on mutating frames (0 =
+    /// unleased legacy mode).
+    pub fn fence_token(&self) -> u64 {
+        self.fence.load(Ordering::SeqCst)
+    }
+
+    fn expect_lease(resp: (u8, Vec<u8>)) -> Result<LeaseGrant, RemoteError> {
+        let (op, body) = resp;
+        if op != RESP_LEASE || body.len() != 16 {
+            return Err(RemoteError::Protocol(format!("bad lease response op {op}")));
+        }
+        Ok(LeaseGrant {
+            token: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+            expires: Duration::from_nanos(u64::from_le_bytes(
+                body[8..16].try_into().expect("8 bytes"),
+            )),
+        })
+    }
+
     fn mark_dead(&self, cause: DeadCause) {
         let mut slot = self.cause.lock();
         if slot.is_none() {
@@ -650,6 +1010,25 @@ impl RemoteStore {
                 return Err(RemoteError::Server(
                     String::from_utf8_lossy(resp_body).into_owned(),
                 ));
+            }
+            if resp_op == RESP_FENCED {
+                let granted = resp_body
+                    .get(..8)
+                    .ok_or_else(|| RemoteError::Protocol("short fenced response".into()))?;
+                return Err(RemoteError::Fenced {
+                    granted: u64::from_le_bytes(granted.try_into().expect("8 bytes")),
+                });
+            }
+            if resp_op == RESP_LEASE_HELD {
+                if resp_body.len() != 16 {
+                    return Err(RemoteError::Protocol("short lease-held response".into()));
+                }
+                return Err(RemoteError::LeaseHeld {
+                    holder: u64::from_le_bytes(resp_body[..8].try_into().expect("8 bytes")),
+                    expires: Duration::from_nanos(u64::from_le_bytes(
+                        resp_body[8..16].try_into().expect("8 bytes"),
+                    )),
+                });
             }
             return Ok((resp_op, resp_body.to_vec()));
         }
@@ -704,6 +1083,23 @@ impl RemoteStore {
                     self.mark_dead(DeadCause::Protocol);
                     return Err(e);
                 }
+                Err(e @ RemoteError::Fenced { .. }) => {
+                    // A server *verdict*, not a network failure: the
+                    // node is healthy, this coordinator is superseded.
+                    // Never retried — a fenced write must stay unwritten.
+                    if matches!(
+                        op,
+                        OP_WRITE
+                            | OP_WRITE_META
+                            | OP_WRITE_BLOCKS
+                            | OP_WRITE_BLOCKS_META
+                            | OP_FLUSH
+                    ) {
+                        self.fenced_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+                Err(e @ RemoteError::LeaseHeld { .. }) => return Err(e),
                 Err(e @ RemoteError::Server(_)) => return Err(e),
             }
         }
@@ -781,7 +1177,8 @@ impl RemoteStore {
     pub fn try_write_block(&self, idx: u64, data: &[u8], meta: bool) -> Result<(), RemoteError> {
         assert!(idx < self.block_count, "block {idx} out of range");
         assert_eq!(data.len(), BLOCK_SIZE, "partial block write");
-        let mut body = Vec::with_capacity(8 + BLOCK_SIZE);
+        let mut body = Vec::with_capacity(16 + BLOCK_SIZE);
+        body.extend_from_slice(&self.fence_token().to_le_bytes());
         body.extend_from_slice(&idx.to_le_bytes());
         body.extend_from_slice(data);
         let op = if meta { OP_WRITE_META } else { OP_WRITE };
@@ -798,7 +1195,8 @@ impl RemoteStore {
     ///
     /// Any [`RemoteError`]; network errors declare the node dead.
     pub fn try_write_blocks(&self, writes: &[(u64, &[u8])], meta: bool) -> Result<(), RemoteError> {
-        let mut body = Vec::with_capacity(4 + writes.len() * (8 + BLOCK_SIZE));
+        let mut body = Vec::with_capacity(12 + writes.len() * (8 + BLOCK_SIZE));
+        body.extend_from_slice(&self.fence_token().to_le_bytes());
         body.extend_from_slice(&(writes.len() as u32).to_le_bytes());
         for &(idx, data) in writes {
             assert!(idx < self.block_count, "block {idx} out of range");
@@ -827,7 +1225,7 @@ impl RemoteStore {
     /// Any [`RemoteError`]; network errors declare the node dead,
     /// server errors carry the node's flush failure.
     pub fn try_flush(&self) -> Result<(), RemoteError> {
-        Self::expect_ok(self.rpc(OP_FLUSH, &[])?)?;
+        Self::expect_ok(self.rpc(OP_FLUSH, &self.fence_token().to_le_bytes())?)?;
         self.flushes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -912,6 +1310,7 @@ impl BlockStore for RemoteStore {
             bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             backoff_retries: self.backoff_retries.load(Ordering::Relaxed),
+            fenced: self.fenced_writes.load(Ordering::Relaxed),
             faults_injected: self
                 .faults
                 .as_ref()
@@ -1177,5 +1576,168 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_is_caught_client_side() {
         local_node(4).read_block(4);
+    }
+
+    /// Two coordinator clients on one shared node (one store, one
+    /// lease) — the multi-coordinator unit under test.
+    fn shared_node(blocks: u64) -> (Arc<SimStore>, Arc<NodeLease>) {
+        (
+            Arc::new(SimStore::untimed(blocks)),
+            Arc::new(NodeLease::default()),
+        )
+    }
+
+    fn coordinator(store: &Arc<SimStore>, lease: &Arc<NodeLease>, clock: &SimClock) -> RemoteStore {
+        RemoteStore::serve_shared(
+            Arc::clone(store) as Arc<dyn BlockStore>,
+            Arc::clone(lease),
+            clock,
+            LinkConfig::instant(),
+            RemoteOptions::default(),
+            None,
+        )
+    }
+
+    #[test]
+    fn lease_grants_renews_and_expires_on_the_virtual_clock() {
+        let clock = SimClock::new();
+        let (store, lease) = shared_node(8);
+        let a = coordinator(&store, &lease, &clock);
+        let b = coordinator(&store, &lease, &clock);
+        let ttl = Duration::from_secs(10);
+        let grant = a.try_acquire_lease(1, ttl).unwrap();
+        assert_eq!(grant.token, 1);
+        assert_eq!(a.fence_token(), 1);
+        assert_eq!(lease.holder(), 1);
+        // B is refused while A's lease is unexpired.
+        match b.try_acquire_lease(2, ttl) {
+            Err(RemoteError::LeaseHeld { holder, .. }) => assert_eq!(holder, 1),
+            other => panic!("expected LeaseHeld, got {other:?}"),
+        }
+        assert!(!b.is_dead(), "a refusal is a verdict, not a failure");
+        // Renewal extends expiry without bumping the token.
+        let renewed = a.try_renew_lease(ttl).unwrap();
+        assert_eq!(renewed.token, 1);
+        assert!(renewed.expires >= grant.expires);
+        // Past expiry B takes over, and the token only ever goes up.
+        clock.advance(Duration::from_secs(30));
+        let grant_b = b.try_acquire_lease(2, ttl).unwrap();
+        assert_eq!(grant_b.token, 2);
+        // A's renewal is now fenced — its grant was superseded.
+        match a.try_renew_lease(ttl) {
+            Err(RemoteError::Fenced { granted }) => assert_eq!(granted, 2),
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_token_write_is_fenced_not_applied_and_node_stays_alive() {
+        let clock = SimClock::new();
+        let (store, lease) = shared_node(8);
+        let a = coordinator(&store, &lease, &clock);
+        let b = coordinator(&store, &lease, &clock);
+        let ttl = Duration::from_millis(1);
+        a.try_acquire_lease(1, ttl).unwrap();
+        a.try_write_block(3, &vec![0xAA; BLOCK_SIZE], false)
+            .unwrap();
+        clock.advance(Duration::from_secs(1));
+        b.try_acquire_lease(2, ttl).unwrap();
+        b.try_write_block(3, &vec![0xBB; BLOCK_SIZE], false)
+            .unwrap();
+        // A still stamps token 1: every mutating op is refused, the
+        // store is untouched, and the node is NOT declared dead.
+        let errs = [
+            a.try_write_block(3, &vec![0xCC; BLOCK_SIZE], false)
+                .unwrap_err(),
+            a.try_write_blocks(&[(4, &[0xCC; BLOCK_SIZE][..])], false)
+                .unwrap_err(),
+            a.try_flush().unwrap_err(),
+        ];
+        for e in errs {
+            assert!(matches!(e, RemoteError::Fenced { granted: 2 }), "{e}");
+        }
+        assert!(!a.is_dead());
+        assert_eq!(a.stats().fenced, 3);
+        assert_eq!(lease.fenced_rejections(), 3);
+        assert_eq!(b.try_read_block(3, false).unwrap()[0], 0xBB);
+        // Reads are not fenced: A may still serve while superseded.
+        assert_eq!(a.try_read_block(3, false).unwrap()[0], 0xBB);
+    }
+
+    #[test]
+    fn token_zero_is_legacy_mode_until_the_first_grant() {
+        let clock = SimClock::new();
+        let (store, lease) = shared_node(8);
+        let bare = coordinator(&store, &lease, &clock);
+        let leased = coordinator(&store, &lease, &clock);
+        // Never-leased node: a bare (token 0) client writes freely.
+        bare.try_write_block(1, &vec![0x11; BLOCK_SIZE], false)
+            .unwrap();
+        // The first grant fences the bare client out.
+        leased.try_acquire_lease(7, Duration::from_secs(1)).unwrap();
+        assert!(matches!(
+            bare.try_write_block(1, &vec![0x22; BLOCK_SIZE], false),
+            Err(RemoteError::Fenced { granted: 1 })
+        ));
+        assert_eq!(leased.try_read_block(1, false).unwrap()[0], 0x11);
+    }
+
+    /// Regression for the fault-duplication hole: a mutating frame
+    /// duplicated by a `FaultPlan` and re-delivered *after* the lease
+    /// changed hands must be rejected by its stale fence token — the
+    /// exact bytes that were once accepted must now bounce. Without the
+    /// server-side token check the replay would silently overwrite the
+    /// new coordinator's data.
+    #[test]
+    fn duplicated_frame_replayed_after_lease_change_is_fenced() {
+        let clock = SimClock::new();
+        let (client_end, server_end) = Link::pair(&clock, LinkConfig::instant());
+        let lease = Arc::new(NodeLease::default());
+        let server_lease = Arc::clone(&lease);
+        let server = std::thread::spawn(move || {
+            BlockServer::with_lease(SimStore::untimed(8), server_lease).serve(&server_end);
+        });
+        let exchange = |frame: Vec<u8>| {
+            client_end.send(frame).unwrap();
+            let reply = client_end.recv().unwrap();
+            let (_, op, body) = decode_frame(&reply).unwrap();
+            (op, body.to_vec())
+        };
+        let acquire = |req_id: u64, coordinator: u64| {
+            let mut body = Vec::new();
+            body.extend_from_slice(&coordinator.to_le_bytes());
+            body.extend_from_slice(&Duration::from_millis(1).as_nanos().to_le_bytes()[..8]);
+            encode_frame(req_id, OP_ACQUIRE_LEASE, &body)
+        };
+        let write = |req_id: u64, token: u64, byte: u8| {
+            let mut body = Vec::with_capacity(16 + BLOCK_SIZE);
+            body.extend_from_slice(&token.to_le_bytes());
+            body.extend_from_slice(&3u64.to_le_bytes());
+            body.extend_from_slice(&[byte; BLOCK_SIZE]);
+            encode_frame(req_id, OP_WRITE, &body)
+        };
+        // Coordinator 1 acquires token 1 and lands a write.
+        let (op, body) = exchange(acquire(1, 1));
+        assert_eq!(op, RESP_LEASE);
+        assert_eq!(u64::from_le_bytes(body[..8].try_into().unwrap()), 1);
+        let stale_frame = write(2, 1, 0xAA);
+        assert_eq!(exchange(stale_frame.clone()).0, RESP_OK);
+        // The lease changes hands; coordinator 2 writes its own data.
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(exchange(acquire(3, 2)).0, RESP_LEASE);
+        assert_eq!(exchange(write(4, 2, 0xBB)).0, RESP_OK);
+        // The fault-duplicated replay of coordinator 1's frame — the
+        // byte-identical message a `FaultPlan` dup would re-deliver —
+        // bounces off the fence and the block keeps coordinator 2's
+        // data.
+        let (op, body) = exchange(stale_frame);
+        assert_eq!(op, RESP_FENCED, "stale replay must be rejected");
+        assert_eq!(u64::from_le_bytes(body[..8].try_into().unwrap()), 2);
+        assert_eq!(lease.fenced_rejections(), 1);
+        let (op, body) = exchange(encode_frame(5, OP_READ, &3u64.to_le_bytes()));
+        assert_eq!(op, RESP_BLOCKS);
+        assert_eq!(body[4], 0xBB, "the replay must not have been applied");
+        let _ = exchange(encode_frame(6, OP_SHUTDOWN, &[]));
+        server.join().ok();
     }
 }

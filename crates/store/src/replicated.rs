@@ -65,6 +65,34 @@
 //! observable as [`StoreStats::rebuild_backlog`]. With R = 2 and a
 //! spare, a volume survives the death of any single node with zero
 //! failed reads.
+//!
+//! # Multi-coordinator safety: leases, quorum flush, read-repair
+//!
+//! One coordinator per volume is a *convention* the network cannot
+//! enforce — a second front-end, or this one's past self surviving a
+//! partition, could fork the epoch history. Three mechanisms close it:
+//!
+//! - **Fencing** (server-side, see the `remote` module docs): after
+//!   [`ReplicatedStore::try_acquire_lease`], every mutating frame
+//!   carries the granted fence token and a node refuses frames below
+//!   its current grant. On any `Fenced` refusal the volume **latches
+//!   read-only** ([`ReplicatedStore::is_fenced`],
+//!   [`StoreStats::fenced`]): flushes fail, the fenced write is never
+//!   retried, reads keep serving. [`ReplicatedStore::reacquire`] wins
+//!   a fresh lease, discards the losing coordinator's buffered writes,
+//!   adopts the nodes' committed epoch, and re-syncs stragglers before
+//!   writes resume.
+//! - **Quorum flush**: an epoch commits when every dirty block has
+//!   `ceil(R/2)` replica acks under the current token and at least one
+//!   live node holds the new epoch record; nodes that fail mid-flush
+//!   go to the probation/rebuild path *without* blocking the commit
+//!   (the previous all-writable-nodes barrier is now the degenerate
+//!   fully-healthy case).
+//! - **Read-repair**: whenever an epoch record is observed *behind*
+//!   the committed epoch — at revival probes and at
+//!   [`ReplicatedStore::reacquire`]'s sweep — the stale replica set is
+//!   queued for re-sync through the background rebuilder and counted
+//!   as [`StoreStats::read_repairs`].
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,7 +103,7 @@ use discfs_crypto::sha256::Sha256;
 use discfs_crypto::Digest;
 use netsim::SimClock;
 
-use crate::{BlockStore, DeadCause, RemoteStore, StoreStats, BLOCK_SIZE};
+use crate::{BlockStore, DeadCause, RemoteError, RemoteStore, StoreStats, BLOCK_SIZE};
 
 /// Epoch record magic.
 const EPOCH_MAGIC: [u8; 8] = *b"DISCEPOC";
@@ -178,12 +206,25 @@ struct RebuildWork {
     items: VecDeque<(u64, usize)>,
 }
 
+/// The lease this coordinator acquired, remembered so
+/// [`ReplicatedStore::reacquire`] can ask for the same terms again.
+#[derive(Clone, Copy)]
+struct LeaseTerms {
+    coordinator: u64,
+    ttl: Duration,
+}
+
 struct ReplState {
     nodes: Vec<Node>,
     spares: Vec<RemoteStore>,
     /// Coordinator-side write-back buffer: `idx -> (block, meta)`.
     dirty: BTreeMap<u64, (Bytes, bool)>,
     epoch: u64,
+    /// Latched on the first `Fenced` refusal: a newer coordinator owns
+    /// the volume, so this one serves reads only until `reacquire`.
+    fenced: bool,
+    /// The lease terms this coordinator last acquired under.
+    lease: Option<LeaseTerms>,
     /// Set by block-0 write-throughs: the next flush must commit an
     /// epoch even if the dirty map is empty, so node content never
     /// stays ahead of the last committed epoch across a clean flush.
@@ -210,6 +251,7 @@ pub struct ReplicatedStore {
     replica_reads: AtomicU64,
     rebuilds: AtomicU64,
     nodes_revived: AtomicU64,
+    read_repairs: AtomicU64,
     vectored_reads: AtomicU64,
     vectored_writes: AtomicU64,
     flushes: AtomicU64,
@@ -345,6 +387,8 @@ impl ReplicatedStore {
             spares,
             dirty: BTreeMap::new(),
             epoch: 0,
+            fenced: false,
+            lease: None,
             pending_commit: false,
             queue: VecDeque::new(),
             last_tick: Duration::ZERO,
@@ -405,6 +449,7 @@ impl ReplicatedStore {
             replica_reads: AtomicU64::new(0),
             rebuilds: AtomicU64::new(recovered),
             nodes_revived: AtomicU64::new(0),
+            read_repairs: AtomicU64::new(0),
             vectored_reads: AtomicU64::new(0),
             vectored_writes: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
@@ -426,6 +471,107 @@ impl ReplicatedStore {
     /// The last committed epoch.
     pub fn epoch(&self) -> u64 {
         self.state.lock().epoch
+    }
+
+    /// Whether the volume is latched read-only by a `Fenced` refusal
+    /// (a newer coordinator holds the lease); cleared by
+    /// [`ReplicatedStore::reacquire`].
+    pub fn is_fenced(&self) -> bool {
+        self.state.lock().fenced
+    }
+
+    /// Acquires the volume lease for `coordinator` on a strict
+    /// majority of the nodes (and best-effort on the spares). Every
+    /// node client then stamps its granted fence token on mutating
+    /// frames. The terms are remembered for
+    /// [`ReplicatedStore::reacquire`].
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::LeaseHeld`] (or the transport error) from a
+    /// refusing node when a majority cannot be assembled; the volume's
+    /// state is unchanged on failure.
+    pub fn try_acquire_lease(&self, coordinator: u64, ttl: Duration) -> Result<(), RemoteError> {
+        let mut st = self.state.lock();
+        self.acquire_locked(&mut st, LeaseTerms { coordinator, ttl })
+    }
+
+    fn acquire_locked(&self, st: &mut ReplState, terms: LeaseTerms) -> Result<(), RemoteError> {
+        let n = st.nodes.len();
+        let mut granted = 0;
+        let mut refusal = None;
+        for node in &st.nodes {
+            if node.store.is_dead() {
+                continue;
+            }
+            match node.store.try_acquire_lease(terms.coordinator, terms.ttl) {
+                Ok(_) => granted += 1,
+                Err(e) => refusal = Some(e),
+            }
+        }
+        for spare in &st.spares {
+            // Best-effort: a spare holds no data yet, and it re-learns
+            // the fence the moment it is swapped in and written to.
+            let _ = spare.try_acquire_lease(terms.coordinator, terms.ttl);
+        }
+        if granted > n / 2 {
+            st.lease = Some(terms);
+            Ok(())
+        } else {
+            Err(refusal.unwrap_or_else(|| RemoteError::Server("lease quorum not reached".into())))
+        }
+    }
+
+    /// Recovers a fenced volume: re-acquires a fresh lease under the
+    /// remembered terms, **discards** this coordinator's buffered
+    /// writes (they lost the race — the committed history is the newer
+    /// coordinator's), adopts the nodes' maximum committed epoch, and
+    /// queues a re-sync (counted as [`StoreStats::read_repairs`]) for
+    /// every replica observed behind it. On success the read-only
+    /// latch clears and writes may resume under the new token.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Server`] when no lease was ever acquired; any
+    /// error of [`ReplicatedStore::try_acquire_lease`] when the
+    /// majority re-grant fails (the volume stays fenced).
+    pub fn reacquire(&self) -> Result<(), RemoteError> {
+        let mut st = self.state.lock();
+        let terms = st
+            .lease
+            .ok_or_else(|| RemoteError::Server("no lease terms to reacquire under".into()))?;
+        self.acquire_locked(&mut st, terms)?;
+        st.dirty.clear();
+        st.pending_commit = false;
+        // Sweep the epoch records: the committed history may have
+        // advanced while we were fenced out.
+        let n = st.nodes.len();
+        let slot = epoch_slot(self.block_count, n, self.replicas);
+        let epochs: Vec<Option<u64>> = st
+            .nodes
+            .iter()
+            .map(|node| {
+                if node.store.is_dead() {
+                    return None;
+                }
+                node.store
+                    .try_read_block(slot, true)
+                    .ok()
+                    .map(|b| decode_epoch(&b))
+            })
+            .collect();
+        let e_max = epochs.iter().flatten().copied().max().unwrap_or(0);
+        st.epoch = e_max.max(st.epoch);
+        for (target, epoch) in epochs.iter().enumerate() {
+            if st.nodes[target].state == NodeState::Live && epoch.is_some_and(|e| e < st.epoch) {
+                st.nodes[target].generation += 1;
+                st.nodes[target].state = NodeState::Rebuilding;
+                self.enqueue_rebuild(&mut st, target);
+                self.read_repairs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        st.fenced = false;
+        Ok(())
     }
 
     /// Nodes currently in service (serving reads).
@@ -636,9 +782,12 @@ impl ReplicatedStore {
             st.nodes[target].generation += 1;
             st.nodes[target].state = NodeState::Live;
         } else {
+            // The revived replica's epoch record reads behind the
+            // committed epoch: schedule a read-repair re-sync.
             st.nodes[target].generation += 1;
             st.nodes[target].state = NodeState::Rebuilding;
             self.enqueue_rebuild(st, target);
+            self.read_repairs.fetch_add(1, Ordering::Relaxed);
         }
         self.nodes_revived.fetch_add(1, Ordering::Relaxed);
     }
@@ -811,21 +960,34 @@ impl ReplicatedStore {
     /// outside the epoch transaction — so the filesystem's
     /// dirty-marker ordering survives (module docs). Idempotent, so a
     /// mid-loop node failure restarts the whole pass after the rebuild.
+    /// A `Fenced` refusal latches the volume read-only instead (the
+    /// write is dropped, never retried — the newer coordinator owns
+    /// block 0 now); the caller's next flush surfaces the error.
     fn write_through_zero(&self, st: &mut ReplState, data: &[u8], meta: bool) {
         let n = st.nodes.len();
+        if st.fenced {
+            return;
+        }
         'retry: for _ in 0..self.failover_budget {
             for r in 0..self.replicas {
                 let node = node_of(0, r, n);
                 if !st.nodes[node].writable() {
                     continue;
                 }
-                if st.nodes[node]
-                    .store
-                    .try_write_block(inner_of(0, r, n, self.replicas), data, meta)
-                    .is_err()
-                {
-                    self.handle_failure(st, node);
-                    continue 'retry;
+                match st.nodes[node].store.try_write_block(
+                    inner_of(0, r, n, self.replicas),
+                    data,
+                    meta,
+                ) {
+                    Ok(()) => {}
+                    Err(RemoteError::Fenced { .. }) => {
+                        st.fenced = true;
+                        return;
+                    }
+                    Err(_) => {
+                        self.handle_failure(st, node);
+                        continue 'retry;
+                    }
                 }
             }
             st.pending_commit = true;
@@ -946,18 +1108,29 @@ impl BlockStore for ReplicatedStore {
         }
     }
 
-    /// Commits the buffered epoch: every live node receives its
-    /// replica writes as one durability unit whose last record stamps
-    /// `epoch + 1` (meta writes ride ahead through the metadata path —
-    /// the epoch record still commits strictly after them). A node
-    /// failure mid-flush rebuilds onto a spare and restarts the push —
-    /// the writes are idempotent, so the surviving nodes just re-apply
-    /// them. Node journals are deliberately *not* flushed here: the
-    /// journal is each node's durability channel, and keeping the
+    /// Commits the buffered epoch under a **write quorum**: each
+    /// writable node receives its replica writes as one durability
+    /// unit whose last record stamps `epoch + 1` (meta writes ride
+    /// ahead through the metadata path — the epoch record still
+    /// commits strictly after them). The commit point is reached when
+    /// every dirty block has `ceil(R/2)` replica acks and at least one
+    /// live node holds the new record; a node that fails mid-flush
+    /// goes to the probation/rebuild path and the pass *continues* —
+    /// the minority catches up via re-sync instead of blocking the
+    /// flush. Every frame carries the coordinator's fence token: a
+    /// [`RemoteError::Fenced`] refusal aborts immediately (never
+    /// retried — the frame was not applied) and latches the volume
+    /// read-only. Node journals are deliberately *not* flushed here:
+    /// the journal is each node's durability channel, and keeping the
     /// epoch history in it is what the torn-write recovery replays.
     fn flush(&self) -> std::io::Result<()> {
         let mut st = self.state.lock();
         self.flushes.fetch_add(1, Ordering::Relaxed);
+        if st.fenced {
+            return Err(std::io::Error::other(
+                "volume is fenced: a newer coordinator holds the lease",
+            ));
+        }
         if st.dirty.is_empty() && !st.pending_commit {
             return Ok(());
         }
@@ -965,9 +1138,13 @@ impl BlockStore for ReplicatedStore {
         let next = st.epoch + 1;
         let record = Bytes::from(epoch_record(next));
         let slot = epoch_slot(self.block_count, n, self.replicas);
-        'retry: for _ in 0..self.failover_budget {
-            for node in 0..n {
-                if !st.nodes[node].writable() {
+        let quorum = self.replicas.div_ceil(2);
+        // Per node slot: has its current occupant acked its full batch
+        // this flush? (A spare swapped in mid-flush starts over.)
+        let mut done = vec![false; n];
+        for _ in 0..self.failover_budget {
+            for (node, node_done) in done.iter_mut().enumerate() {
+                if *node_done || !st.nodes[node].writable() {
                     continue; // degraded: probation/failed nodes catch
                               // up via re-sync or remount recovery
                 }
@@ -989,9 +1166,18 @@ impl BlockStore for ReplicatedStore {
                 if !meta_writes.is_empty() {
                     let refs: Vec<(u64, &[u8])> =
                         meta_writes.iter().map(|(i, b)| (*i, &b[..][..])).collect();
-                    if st.nodes[node].store.try_write_blocks(&refs, true).is_err() {
-                        self.handle_failure(&mut st, node);
-                        continue 'retry;
+                    match st.nodes[node].store.try_write_blocks(&refs, true) {
+                        Ok(()) => {}
+                        Err(RemoteError::Fenced { .. }) => {
+                            st.fenced = true;
+                            return Err(std::io::Error::other(
+                                "flush fenced: a newer coordinator holds the lease",
+                            ));
+                        }
+                        Err(_) => {
+                            self.handle_failure(&mut st, node);
+                            continue;
+                        }
                     }
                 }
                 let mut refs: Vec<(u64, &[u8])> =
@@ -1004,18 +1190,37 @@ impl BlockStore for ReplicatedStore {
                     refs.push((slot, &record));
                 }
                 if refs.is_empty() {
+                    *node_done = true;
                     continue;
                 }
-                if st.nodes[node].store.try_write_blocks(&refs, false).is_err() {
-                    self.handle_failure(&mut st, node);
-                    continue 'retry;
+                match st.nodes[node].store.try_write_blocks(&refs, false) {
+                    Ok(()) => *node_done = true,
+                    Err(RemoteError::Fenced { .. }) => {
+                        st.fenced = true;
+                        return Err(std::io::Error::other(
+                            "flush fenced: a newer coordinator holds the lease",
+                        ));
+                    }
+                    Err(_) => self.handle_failure(&mut st, node),
                 }
             }
-            st.epoch = next;
-            st.dirty.clear();
-            st.pending_commit = false;
-            self.maybe_tick(&mut st);
-            return Ok(());
+            // Commit check: quorum of acks per dirty block, plus a
+            // live record holder.
+            let acked = |st: &ReplState, m: usize| done[m] && !st.nodes[m].store.is_dead();
+            let quorum_met = st.dirty.keys().all(|&idx| {
+                (0..self.replicas)
+                    .filter(|&r| acked(&st, node_of(idx, r, n)))
+                    .count()
+                    >= quorum
+            });
+            let record_held = (0..n).any(|m| acked(&st, m) && st.nodes[m].state == NodeState::Live);
+            if quorum_met && record_held {
+                st.epoch = next;
+                st.dirty.clear();
+                st.pending_commit = false;
+                self.maybe_tick(&mut st);
+                return Ok(());
+            }
         }
         Err(std::io::Error::other("replicated flush kept failing"))
     }
@@ -1038,7 +1243,11 @@ impl BlockStore for ReplicatedStore {
         stats.replica_reads += self.replica_reads.load(Ordering::Relaxed);
         stats.rebuilds += self.rebuilds.load(Ordering::Relaxed);
         stats.nodes_revived += self.nodes_revived.load(Ordering::Relaxed);
+        stats.read_repairs += self.read_repairs.load(Ordering::Relaxed);
         stats.rebuild_backlog += st.queue.iter().map(|w| w.items.len() as u64).sum::<u64>();
+        // The node clients already contribute their fenced-write
+        // rejections; the latch itself shows as one more.
+        stats.fenced += u64::from(st.fenced);
         stats
     }
 
@@ -1207,5 +1416,187 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_panics() {
         volume(8, 2, 2, 0).read_block(8);
+    }
+
+    /// Shared backing for two coordinators: each node is one store +
+    /// one lease, and every coordinator gets its own `serve_shared`
+    /// connection per node.
+    type SharedNode = (std::sync::Arc<SimStore>, std::sync::Arc<crate::NodeLease>);
+
+    fn shared_backing(blocks: u64, nodes: usize, replicas: usize) -> (SimClock, Vec<SharedNode>) {
+        let clock = SimClock::new();
+        let node_bc = ReplicatedStore::node_block_count(blocks, nodes, replicas);
+        let backing = (0..nodes)
+            .map(|_| {
+                (
+                    std::sync::Arc::new(SimStore::untimed(node_bc)),
+                    std::sync::Arc::new(crate::NodeLease::default()),
+                )
+            })
+            .collect();
+        (clock, backing)
+    }
+
+    fn shared_clients(clock: &SimClock, backing: &[SharedNode]) -> Vec<RemoteStore> {
+        backing
+            .iter()
+            .map(|(store, lease)| {
+                RemoteStore::serve_shared(
+                    std::sync::Arc::clone(store) as std::sync::Arc<dyn BlockStore>,
+                    std::sync::Arc::clone(lease),
+                    clock,
+                    LinkConfig::instant(),
+                    RemoteOptions::default(),
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fenced_coordinator_latches_read_only_and_reacquires() {
+        let ttl = Duration::from_millis(1);
+        let (clock, backing) = shared_backing(16, 4, 2);
+        // Coordinator A owns the volume and commits epoch 1.
+        let a = ReplicatedStore::new(shared_clients(&clock, &backing), vec![], 16, 2);
+        a.try_acquire_lease(1, ttl).unwrap();
+        for i in 0..16u64 {
+            a.write_block(i, &block_of(i as u8 + 1));
+        }
+        a.flush().unwrap();
+        assert_eq!(a.epoch(), 1);
+        // A's lease expires; coordinator B acquires on the raw clients
+        // *before* mounting (mount recovery itself writes), then
+        // commits epoch 2.
+        clock.advance(Duration::from_secs(1));
+        let b_clients = shared_clients(&clock, &backing);
+        for c in &b_clients {
+            c.try_acquire_lease(2, ttl).unwrap();
+        }
+        let b = ReplicatedStore::new(b_clients, vec![], 16, 2);
+        assert_eq!(b.epoch(), 1, "B mounts A's committed history");
+        b.write_block(5, &block_of(0xB5));
+        b.flush().unwrap();
+        assert_eq!(b.epoch(), 2);
+        // A, surviving with its stale token, tries to write: the flush
+        // is fenced, nothing of it lands, and A latches read-only.
+        a.write_block(7, &block_of(0xA7));
+        assert!(a.flush().is_err());
+        assert!(a.is_fenced());
+        assert!(a.stats().fenced >= 1);
+        assert!(a.flush().is_err(), "fenced flush fails without retrying");
+        // Reads still serve (B's committed data, not A's dead letter).
+        assert_eq!(b.read_block(5)[0], 0xB5);
+        // B's lease expires; A re-acquires, discards its losing
+        // writes, and adopts the committed epoch 2 before resuming.
+        clock.advance(Duration::from_secs(1));
+        a.reacquire().unwrap();
+        assert!(!a.is_fenced());
+        assert_eq!(a.epoch(), 2);
+        assert_eq!(a.read_block(7)[0], 8, "A's fenced write was discarded");
+        a.write_block(7, &block_of(0xAA));
+        a.flush().unwrap();
+        assert_eq!(a.epoch(), 3);
+        assert_eq!(a.read_block(7)[0], 0xAA);
+    }
+
+    #[test]
+    fn revived_stale_replica_schedules_a_read_repair() {
+        let clock = SimClock::new();
+        let node_bc = ReplicatedStore::node_block_count(16, 4, 2);
+        let opts = RemoteOptions {
+            timeout: Duration::from_millis(10),
+            base: Duration::from_millis(2),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(40),
+            deadline: Duration::from_millis(200),
+        };
+        let plan = netsim::FaultPlan::seeded(42);
+        let mut nodes: Vec<RemoteStore> = (0..3)
+            .map(|_| {
+                RemoteStore::serve_local(
+                    SimStore::untimed(node_bc),
+                    &clock,
+                    LinkConfig::instant(),
+                    opts,
+                )
+            })
+            .collect();
+        nodes.insert(
+            2,
+            RemoteStore::serve_local_with_faults(
+                SimStore::untimed(node_bc),
+                &clock,
+                LinkConfig::instant(),
+                opts,
+                &plan,
+            ),
+        );
+        let store = ReplicatedStore::new(nodes, vec![], 16, 2);
+        for i in 0..16u64 {
+            store.write_block(i, &block_of(i as u8 + 1));
+        }
+        store.flush().unwrap();
+        // Partition node 2; the detecting read times it out into
+        // probation and fails over.
+        plan.partition(clock.now(), clock.now() + Duration::from_secs(60));
+        assert_eq!(store.read_block(2)[0], 3, "failover serves the read");
+        assert_eq!(store.probation_nodes(), 1);
+        // Quorum flush: epoch 2 commits without node 2.
+        store.write_block(6, &block_of(0x66));
+        store.flush().unwrap();
+        assert_eq!(store.epoch(), 2);
+        // Heal; the revival probe finds node 2's epoch record behind
+        // the committed epoch and schedules a read-repair re-sync.
+        clock.advance(Duration::from_secs(61));
+        store.pump_rebuild();
+        let stats = store.stats();
+        assert_eq!(stats.read_repairs, 1, "stale revival counted");
+        assert!(stats.nodes_revived >= 1);
+        assert_eq!(store.rebuild_backlog(), 0);
+        assert_eq!(store.live_nodes(), 4);
+        for i in 0..16u64 {
+            let want = if i == 6 { 0x66 } else { i as u8 + 1 };
+            assert_eq!(store.read_block(i)[0], want);
+        }
+    }
+
+    mod epoch_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Arbitrary bytes — wrong-sized, empty, random — never
+            /// panic and never read as a committed epoch.
+            #[test]
+            fn arbitrary_bytes_decode_to_epoch_zero(
+                data in proptest::collection::vec(any::<u8>(), 0..2 * BLOCK_SIZE)
+            ) {
+                prop_assert_eq!(decode_epoch(&data), 0);
+            }
+
+            /// A truncated (torn) epoch record reads as epoch 0.
+            #[test]
+            fn truncated_record_decodes_to_zero(
+                epoch in 1u64..u64::MAX, len in 0usize..BLOCK_SIZE
+            ) {
+                let block = epoch_record(epoch);
+                prop_assert_eq!(decode_epoch(&block[..len]), 0);
+            }
+
+            /// Any single bit flip in the covered prefix (magic, epoch,
+            /// checksum) invalidates the record: it reads as epoch 0,
+            /// never as a wrong epoch, and never panics.
+            #[test]
+            fn bit_flipped_record_decodes_to_zero(
+                epoch in 1u64..u64::MAX, byte in 0usize..48, bit in 0u32..8
+            ) {
+                let mut block = epoch_record(epoch);
+                block[byte] ^= 1 << bit;
+                prop_assert_eq!(decode_epoch(&block), 0);
+            }
+        }
     }
 }

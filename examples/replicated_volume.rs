@@ -5,17 +5,26 @@
 //! Part one drives the block layer directly: write through a 4-node
 //! R=2 volume with a hot spare, kill a node mid-read, and watch the
 //! reads fail over to the surviving replicas while the spare is
-//! rebuilt to full strength. Part two mounts DisCFS on top of the
-//! same tier (journaled files per node) and reports the wire-level
-//! counters the RPC clients collect.
+//! rebuilt to full strength. Part two walks a coordinator handoff:
+//! A owns the volume under a server-side lease, falls silent, B takes
+//! over at expiry, A's zombie writes bounce off the fence, and the
+//! fenced A re-acquires and rejoins. Part three mounts DisCFS on top
+//! of the same tier (journaled files per node) and reports the
+//! wire-level counters the RPC clients collect.
 //!
 //! Run with `cargo run --release --example replicated_volume`.
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use discfs::{CredentialIssuer, Perm, Testbed};
 use discfs_crypto::ed25519::SigningKey;
 use ffs::{FsConfig, StoreBackend};
 use netsim::{LinkConfig, SimClock};
-use store::{BlockStore, RemoteOptions, RemoteStore, ReplicatedStore, SimStore, BLOCK_SIZE};
+use store::{
+    BlockStore, NodeLease, RemoteError, RemoteOptions, RemoteStore, ReplicatedStore, SimStore,
+    BLOCK_SIZE,
+};
 
 const NODES: usize = 4;
 const REPLICAS: usize = 2;
@@ -78,6 +87,124 @@ fn block_layer_tour() {
     assert_eq!(store.live_nodes(), NODES);
 }
 
+/// Part three: coordinator handoff under lease fencing. Coordinator A
+/// owns the volume, falls silent, and B takes over once A's lease
+/// expires — while A's zombie writes bounce off the server-side fence
+/// and clients keep reading throughout.
+fn coordinator_handoff_tour() {
+    println!("\n-- coordinator handoff: leases, fencing, zero lost reads --");
+    let clock = SimClock::new();
+    let node_bc = ReplicatedStore::node_block_count(BLOCKS, NODES, REPLICAS);
+    // The nodes outlive any coordinator: each is a store plus a lease
+    // table, and every coordinator brings its own connections.
+    let backing: Vec<(Arc<SimStore>, Arc<NodeLease>)> = (0..NODES)
+        .map(|_| {
+            (
+                Arc::new(SimStore::untimed(node_bc)),
+                Arc::new(NodeLease::default()),
+            )
+        })
+        .collect();
+    let connect = |()| -> Vec<RemoteStore> {
+        backing
+            .iter()
+            .map(|(node, lease)| {
+                RemoteStore::serve_shared(
+                    Arc::clone(node) as Arc<dyn BlockStore>,
+                    Arc::clone(lease),
+                    &clock,
+                    LinkConfig::ethernet_100mbps(),
+                    RemoteOptions::default(),
+                    None,
+                )
+            })
+            .collect()
+    };
+    let payload = |i: u64, tag: u8| {
+        let mut b = vec![tag; BLOCK_SIZE];
+        b[..8].copy_from_slice(&i.to_le_bytes());
+        b
+    };
+
+    // Coordinator A acquires the lease and commits a workload.
+    let ttl = Duration::from_secs(30);
+    let store_a = ReplicatedStore::new(connect(()), Vec::new(), BLOCKS, REPLICAS);
+    store_a
+        .try_acquire_lease(1, ttl)
+        .expect("A leases the volume");
+    for i in 0..BLOCKS {
+        store_a.write_block(i, &payload(i, 0xA1));
+    }
+    store_a.flush().expect("A commits");
+    println!("  A holds the lease, committed epoch {}", store_a.epoch());
+
+    // B cannot steal the lease while A's is unexpired.
+    let store_b = ReplicatedStore::new(connect(()), Vec::new(), BLOCKS, REPLICAS);
+    match store_b.try_acquire_lease(2, ttl) {
+        Err(RemoteError::LeaseHeld { holder, .. }) => {
+            println!("  B's takeover refused: lease held by coordinator {holder}");
+        }
+        other => panic!("expected LeaseHeld, got {other:?}"),
+    }
+
+    // A falls silent; its lease expires on the virtual clock, B
+    // acquires, and B's mount adopts A's committed history.
+    clock.advance(ttl + Duration::from_secs(1));
+    store_b.try_acquire_lease(2, ttl).expect("B takes over");
+    println!(
+        "  A silent for {ttl:?}: B holds the lease at epoch {}",
+        store_b.epoch()
+    );
+    store_b.write_block(0, &payload(0, 0xB2));
+    store_b.flush().expect("B commits");
+
+    // A comes back as a zombie: every straggler write is fenced at
+    // the nodes, nothing lands, and A latches read-only.
+    store_a.write_block(1, &payload(1, 0xEE));
+    let fenced = store_a.flush();
+    assert!(fenced.is_err(), "A's straggler must be fenced");
+    assert!(store_a.is_fenced());
+    println!(
+        "  A's straggler flush: \"{}\" ({} frames refused at the nodes)",
+        fenced.unwrap_err(),
+        backing
+            .iter()
+            .map(|(_, lease)| lease.fenced_rejections())
+            .sum::<u64>()
+    );
+
+    // Clients kept reading throughout — B serves every block, with
+    // A's fenced junk nowhere to be seen.
+    let mut failed = 0;
+    for i in 0..BLOCKS {
+        let expect = if i == 0 {
+            payload(0, 0xB2)
+        } else {
+            payload(i, 0xA1)
+        };
+        if store_b.read_block(i) != expect {
+            failed += 1;
+        }
+    }
+    assert_eq!(failed, 0, "handoff must not lose or corrupt a block");
+    println!(
+        "  0 failed reads across the handoff, epoch {}",
+        store_b.epoch()
+    );
+
+    // The fenced A can rejoin properly: wait out B's lease, then
+    // re-acquire under its remembered terms and re-sync in one step.
+    clock.advance(ttl + Duration::from_secs(1));
+    store_a.reacquire().expect("A re-leases and re-syncs");
+    assert!(!store_a.is_fenced());
+    store_a.write_block(2, &payload(2, 0xA3));
+    store_a.flush().expect("A writes under its fresh lease");
+    println!(
+        "  A re-acquired and resumed writing at epoch {}",
+        store_a.epoch()
+    );
+}
+
 fn discfs_on_replicated_tour(dir: &std::path::Path) {
     println!("\n-- DisCFS on StoreBackend::Replicated (journaled file per node) --");
     let backend = StoreBackend::Replicated {
@@ -126,8 +253,12 @@ fn discfs_on_replicated_tour(dir: &std::path::Path) {
 
 fn main() {
     block_layer_tour();
+    coordinator_handoff_tour();
     let dir = std::env::temp_dir().join(format!("discfs-example-repl-{}", std::process::id()));
     discfs_on_replicated_tour(&dir);
     std::fs::remove_dir_all(&dir).ok();
-    println!("\nA node can die mid-workload and the volume keeps serving every read.");
+    println!(
+        "\nA node can die mid-workload, a coordinator can die mid-ownership — \
+         the volume keeps serving every read either way."
+    );
 }

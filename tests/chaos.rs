@@ -287,6 +287,303 @@ fn flap_burst_is_absorbed_by_backoff() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Virtual-clock lease TTL for the split-brain matrix: long enough
+/// that a coordinator's own workload never outlives its lease, short
+/// against the partition windows that force a handoff.
+const LEASE_TTL: Duration = Duration::from_secs(60);
+
+/// One shared storage node for the multi-coordinator runs: a journaled
+/// store plus its server-side lease table. Every coordinator gets its
+/// own `serve_shared` connection per node — its own link, fault plan,
+/// and fence token — while the blocks and the fence are shared.
+type SharedNode = (Arc<FileStore>, Arc<store::NodeLease>);
+
+fn shared_nodes(dir: &std::path::Path, blocks: u64) -> Vec<SharedNode> {
+    let node_bc = ReplicatedStore::node_block_count(blocks, NODES, REPLICAS);
+    (0..NODES)
+        .map(|i| {
+            let inner = FileStore::open(&dir.join(format!("node-{i}")), node_bc)
+                .expect("open node journal store");
+            (Arc::new(inner), Arc::new(store::NodeLease::default()))
+        })
+        .collect()
+}
+
+/// Connects one coordinator to every shared node. A faulty
+/// coordinator (A in the matrix) rides chaos links; a takeover
+/// coordinator connects clean — the faults under test live on the
+/// stale coordinator's side of the partition, and recovery pushes
+/// whole-node rebuild batches that need the patient retry policy.
+fn connect_coordinator(
+    backing: &[SharedNode],
+    clock: &SimClock,
+    plans: Option<&[FaultPlan]>,
+) -> Vec<RemoteStore> {
+    let (link, opts) = match plans {
+        Some(_) => (LinkConfig::ethernet_100mbps(), chaos_opts()),
+        None => (LinkConfig::instant(), RemoteOptions::default()),
+    };
+    backing
+        .iter()
+        .enumerate()
+        .map(|(i, (node, lease))| {
+            RemoteStore::serve_shared(
+                Arc::clone(node) as Arc<dyn BlockStore>,
+                Arc::clone(lease),
+                clock,
+                link,
+                opts,
+                plans.map(|p| &p[i]),
+            )
+        })
+        .collect()
+}
+
+/// Two-coordinator split-brain schedule: coordinator A loses one node
+/// mid-flush, then loses the network entirely; B acquires the expired
+/// lease, mounts A's committed history, and writes; the healed A's
+/// straggler writes must all bounce off the fence. Every node ends on
+/// ONE epoch history, the remounted volume is fsck-clean, and no
+/// client read fails at any point in the handoff.
+fn run_split_brain(seed: u64) {
+    let dir = store::temp_dir_for_tests(&format!("split-brain-{seed}"));
+    let fs_config = FsConfig {
+        total_blocks: 512,
+        inode_count: 128,
+    };
+    let backing = shared_nodes(&dir, fs_config.total_blocks);
+    let clock = SimClock::new();
+    let plans: Vec<FaultPlan> = (0..NODES)
+        .map(|i| {
+            FaultPlan::seeded(seed * 7000 + i as u64)
+                .with_loss(0.005 + 0.005 * (seed % 3) as f64)
+                .with_duplication(0.01)
+                .with_jitter(Duration::from_micros(200))
+        })
+        .collect();
+
+    // Coordinator A: faulty links, the lease, a committed workload.
+    let store_a = Arc::new(ReplicatedStore::new(
+        connect_coordinator(&backing, &clock, Some(&plans)),
+        Vec::new(),
+        fs_config.total_blocks,
+        REPLICAS,
+    ));
+    store_a
+        .try_acquire_lease(1, LEASE_TTL)
+        .expect("A acquires the virgin volume's lease");
+    let bed_a = Testbed::with_store(
+        fs_config,
+        LinkConfig::instant(),
+        128,
+        &clock,
+        store_a.clone() as Arc<dyn BlockStore>,
+    );
+    let bob = key(2);
+    let mut client_a = bed_a.connect(&bob).expect("connect A");
+    client_a
+        .submit_credential(&grant_root(&bed_a, &bob))
+        .unwrap();
+    let root = client_a.remote().root();
+    let mut files = Vec::new();
+    for i in 0..3 {
+        let file = client_a
+            .create_with_credential(&root, &format!("a{i}"), 0o644)
+            .unwrap();
+        let data = body(seed, i);
+        client_a.client().write_all(&file.fh, 0, &data).unwrap();
+        files.push((file.fh, data));
+    }
+    bed_a.sync().expect("A's baseline sync");
+
+    // Partition one node out from under A mid-flush: the quorum
+    // commit proceeds, the victim lands in probation one epoch behind.
+    let victim = (seed as usize) % NODES;
+    plans[victim].partition(clock.now(), clock.now() + Duration::from_secs(3600));
+    let late = client_a
+        .create_with_credential(&root, "late", 0o644)
+        .unwrap();
+    let late_data = body(seed, 9);
+    client_a
+        .client()
+        .write_all(&late.fh, 0, &late_data)
+        .unwrap();
+    files.push((late.fh, late_data));
+    bed_a.sync().expect("A's degraded quorum sync");
+    assert_eq!(
+        store_a.probation_nodes(),
+        1,
+        "seed {seed}: victim must sit in probation ({:?})",
+        store_a.node_states()
+    );
+    let epoch_a = store_a.epoch();
+
+    // A loses the network entirely; its lease expires on the virtual
+    // clock while it is cut off.
+    let cut = clock.now();
+    for plan in &plans {
+        plan.partition(cut, cut + Duration::from_secs(3600));
+    }
+    clock.advance(LEASE_TTL + Duration::from_secs(1));
+
+    // Coordinator B: clean links to the same nodes. The lease is
+    // acquired on the raw clients FIRST — mount recovery itself
+    // writes (it re-syncs the victim), and those writes must carry
+    // B's fence token.
+    let clients_b = connect_coordinator(&backing, &clock, None);
+    for c in &clients_b {
+        c.try_acquire_lease(2, LEASE_TTL)
+            .expect("B takes over the expired lease");
+    }
+    let store_b = Arc::new(ReplicatedStore::new(
+        clients_b,
+        Vec::new(),
+        fs_config.total_blocks,
+        REPLICAS,
+    ));
+    assert_eq!(
+        store_b.epoch(),
+        epoch_a,
+        "seed {seed}: B must mount A's committed history"
+    );
+    let bed_b = Testbed::with_store(
+        fs_config,
+        LinkConfig::instant(),
+        128,
+        &clock,
+        store_b.clone() as Arc<dyn BlockStore>,
+    );
+    let carol = key(3);
+    let mut client_b = bed_b.connect(&carol).expect("connect B");
+    // Zero failed client reads during the handoff: every file A
+    // committed is byte-exact through B.
+    for (fh, data) in &files {
+        let cred = CredentialIssuer::new(bed_b.admin())
+            .holder(&carol.public())
+            .grant(fh, Perm::R)
+            .issue();
+        client_b.submit_credential(&cred).unwrap();
+        let back = client_b.client().read_all(fh, 0, data.len()).unwrap();
+        assert_eq!(&back, data, "read through B during handoff (seed {seed})");
+    }
+    client_b
+        .submit_credential(&grant_root(&bed_b, &carol))
+        .unwrap();
+    let bfile = client_b.create_with_credential(&root, "b0", 0o644).unwrap();
+    let bdata = body(seed, 5);
+    client_b.client().write_all(&bfile.fh, 0, &bdata).unwrap();
+    files.push((bfile.fh, bdata));
+    bed_b.sync().expect("B's sync under its own lease");
+    let epoch_b = store_b.epoch();
+    assert!(epoch_b > epoch_a, "seed {seed}: B must commit new epochs");
+
+    // Heal A's links. Its buffered stragglers replay — and every one
+    // of them must bounce off the fence without touching a node.
+    clock.advance(Duration::from_secs(3600));
+    let probe = 17u64;
+    let committed = store_b.read_block(probe);
+    store_a.write_block(probe, &[0xEE; store::BLOCK_SIZE]);
+    assert!(
+        store_a.flush().is_err(),
+        "seed {seed}: the stale coordinator's flush must be fenced"
+    );
+    assert!(store_a.is_fenced(), "seed {seed}: A must latch read-only");
+    assert!(
+        store_a.flush().is_err(),
+        "seed {seed}: fenced latch fails fast without retrying"
+    );
+    let stats_a = store_a.stats();
+    assert!(
+        stats_a.fenced >= 1,
+        "seed {seed}: fenced writes must be counted: {stats_a:?}"
+    );
+    let rejections: u64 = backing.iter().map(|(_, l)| l.fenced_rejections()).sum();
+    assert!(
+        rejections >= 1,
+        "seed {seed}: a node must have refused A's straggler"
+    );
+    assert_eq!(
+        store_b.read_block(probe),
+        committed,
+        "seed {seed}: zero fenced writes applied"
+    );
+    assert_eq!(store_b.epoch(), epoch_b, "seed {seed}: history unforked");
+
+    // Tear down both coordinators and remount fresh: ONE epoch
+    // history on every node, fsck-clean, all data byte-exact.
+    drop(client_a);
+    drop(client_b);
+    drop(bed_a);
+    drop(bed_b);
+    drop(store_a);
+    drop(store_b);
+    clock.advance(LEASE_TTL + Duration::from_secs(1));
+    let clients_c = connect_coordinator(&backing, &clock, None);
+    for c in &clients_c {
+        c.try_acquire_lease(3, LEASE_TTL)
+            .expect("fresh mount takes the lease");
+    }
+    let store_c = Arc::new(ReplicatedStore::new(
+        clients_c,
+        Vec::new(),
+        fs_config.total_blocks,
+        REPLICAS,
+    ));
+    store_c.pump_rebuild();
+    assert_eq!(
+        store_c.epoch(),
+        epoch_b,
+        "seed {seed}: remount adopts B's committed history"
+    );
+    let node_bc = ReplicatedStore::node_block_count(fs_config.total_blocks, NODES, REPLICAS);
+    let records: Vec<_> = backing
+        .iter()
+        .map(|(node, _)| node.read_block(node_bc - 1))
+        .collect();
+    assert!(
+        records.iter().all(|r| *r == records[0]),
+        "seed {seed}: every node must hold the same epoch record"
+    );
+    assert!(
+        records[0].starts_with(b"DISCEPOC"),
+        "seed {seed}: committed record"
+    );
+    let bed_c = Testbed::with_store(
+        fs_config,
+        LinkConfig::instant(),
+        128,
+        &clock,
+        store_c.clone() as Arc<dyn BlockStore>,
+    );
+    bed_c.fs().check().expect("fsck after split-brain heal");
+    let dave = key(4);
+    let client_c = bed_c.connect(&dave).unwrap();
+    for (fh, data) in &files {
+        let cred = CredentialIssuer::new(bed_c.admin())
+            .holder(&dave.public())
+            .grant(fh, Perm::R)
+            .issue();
+        client_c.submit_credential(&cred).unwrap();
+        let back = client_c.client().read_all(fh, 0, data.len()).unwrap();
+        assert_eq!(&back, data, "read after split-brain heal (seed {seed})");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn split_brain_seeds_0_to_3() {
+    for seed in 0..4 {
+        run_split_brain(seed);
+    }
+}
+
+#[test]
+fn split_brain_seeds_4_to_7() {
+    for seed in 4..8 {
+        run_split_brain(seed);
+    }
+}
+
 /// Builds a clean (fault-free) replicated volume over simulated
 /// Ethernet with one hot spare, fully written and committed.
 fn committed_volume(blocks: u64, cfg: RebuildConfig) -> (ReplicatedStore, SimClock) {
